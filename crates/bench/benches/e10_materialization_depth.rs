@@ -1,0 +1,18 @@
+//! Criterion companion to experiment E10: query locality across
+//! materialization depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_materialization_depth");
+    g.sample_size(10);
+    for &tuples in &[200usize, 2_000] {
+        g.bench_with_input(BenchmarkId::new("spectrum", tuples), &tuples, |b, &n| {
+            b.iter(|| gsview_bench::e10::measure(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

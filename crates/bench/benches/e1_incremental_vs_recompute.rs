@@ -1,0 +1,23 @@
+//! Criterion wall-time companion to experiment E1 (§4.4, Example 7).
+//!
+//! `measure()` runs the full comparison (incremental stream + refresh
+//! stream) — the per-strategy split lives in the harness table, which
+//! reports per-update µs for each side separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_incremental_vs_recompute");
+    g.sample_size(10);
+    for &tuples in &[100usize, 1_000, 5_000] {
+        g.bench_with_input(
+            BenchmarkId::new("both_systems", tuples),
+            &tuples,
+            |b, &n| b.iter(|| gsview_bench::e1::measure(n, 30, 11)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

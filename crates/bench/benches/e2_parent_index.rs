@@ -1,0 +1,17 @@
+//! Criterion companion to experiment E2 (§4.4): `ancestor(N, p)` with
+//! and without the inverse parent index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_parent_index");
+    for &len in &[16usize, 256, 2048] {
+        g.bench_with_input(BenchmarkId::new("ancestor", len), &len, |b, &n| {
+            b.iter(|| gsview_bench::e2::measure_chain(n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

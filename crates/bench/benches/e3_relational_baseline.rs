@@ -1,0 +1,18 @@
+//! Criterion companion to experiment E3 (§4.4, Example 8): native vs
+//! relational-flattening maintenance across path depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_relational_baseline");
+    g.sample_size(10);
+    for &depth in &[2usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("both_systems", depth), &depth, |b, &d| {
+            b.iter(|| gsview_bench::e3::measure(d, 60, 40, 13))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

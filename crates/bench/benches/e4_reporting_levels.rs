@@ -1,0 +1,23 @@
+//! Criterion companion to experiment E4 (§5.1): warehouse maintenance
+//! under the three source report levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsview_warehouse::ReportLevel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_reporting_levels");
+    g.sample_size(10);
+    for (name, level) in [
+        ("L1", ReportLevel::OidsOnly),
+        ("L2", ReportLevel::WithValues),
+        ("L3", ReportLevel::WithPaths),
+    ] {
+        g.bench_with_input(BenchmarkId::new("stream", name), &level, |b, &l| {
+            b.iter(|| gsview_bench::e4::measure(l, false, 200, 60))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion companion to experiment E5 (§5.2): auxiliary caching on
+//! and off under a mixed stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsview_workload::ChurnSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_aux_caching");
+    g.sample_size(10);
+    let churn = ChurnSpec {
+        ops: 60,
+        modify_weight: 2,
+        field_modify_weight: 0,
+        insert_weight: 1,
+        delete_weight: 1,
+        target_bias: 0.5,
+        age_range: 60,
+        seed: 33,
+    };
+    for cached in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::new("stream", if cached { "cached" } else { "uncached" }),
+            &cached,
+            |b, &cc| b.iter(|| gsview_bench::e5::measure("bench", churn, cc, 200)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion companion to experiment E6 (§6): simple vs wild-card view
+//! maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_wildcard_views");
+    g.sample_size(10);
+    for &persons in &[100usize, 500] {
+        g.bench_with_input(BenchmarkId::new("simple", persons), &persons, |b, &n| {
+            b.iter(|| gsview_bench::e6::measure_simple(n, 60))
+        });
+        g.bench_with_input(BenchmarkId::new("wildcard", persons), &persons, |b, &n| {
+            b.iter(|| gsview_bench::e6::measure_wildcard(n, 60))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion companion to experiment E7 (§6): DAG-aware maintenance
+//! across share factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_dag_bases");
+    g.sample_size(10);
+    for &share in &[1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("share", share), &share, |b, &s| {
+            b.iter(|| gsview_bench::e7::measure(400, s, 40))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

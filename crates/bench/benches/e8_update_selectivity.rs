@@ -1,0 +1,20 @@
+//! Criterion companion to experiment E8 (§4.4): screening cost across
+//! relevance biases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_update_selectivity");
+    g.sample_size(10);
+    for &bias in &[0.05f64, 0.5, 1.0] {
+        g.bench_with_input(
+            BenchmarkId::new("bias", format!("{bias}")),
+            &bias,
+            |b, &x| b.iter(|| gsview_bench::e8::measure(x, 200, 80)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion companion to experiment E9: forward vs backward query
+//! planning on a selective final label.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_query_planning");
+    g.sample_size(10);
+    for &(groups, per) in &[(20usize, 20usize), (100, 100)] {
+        g.bench_with_input(
+            BenchmarkId::new("both_strategies", groups * per),
+            &(groups, per),
+            |b, &(gr, p)| b.iter(|| gsview_bench::e9::measure(gr, p, 100)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

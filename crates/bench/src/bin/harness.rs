@@ -1,0 +1,43 @@
+//! The experiment harness: regenerates every experiment table.
+//!
+//! ```text
+//! harness [--quick] [e1 e2 ...]
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() {
+        gsview_bench::ALL.to_vec()
+    } else {
+        requested
+    };
+    println!(
+        "gsview experiment harness ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let mut failed = false;
+    for id in ids {
+        let t0 = Instant::now();
+        match gsview_bench::run(id, quick) {
+            Some(table) => {
+                println!("{table}");
+                println!("[{id} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment: {id} (known: {:?})", gsview_bench::ALL);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

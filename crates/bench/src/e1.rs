@@ -1,0 +1,173 @@
+//! E1 — incremental maintenance vs full recomputation (paper §4.4,
+//! Example 7).
+//!
+//! Claim: "incremental maintenance will be superior to recomputing the
+//! entire view if the view contains many delegate objects (in which
+//! case recomputation will be very expensive), and updates only impact
+//! a few, easily identifiable objects."
+//!
+//! We sweep the database size (tuples in the viewed relation) and
+//! measure, per update of a mixed churn stream, (a) base-data accesses
+//! and (b) wall time, for Algorithm 1 versus refresh-by-recomputation.
+
+use crate::table::{fnum, Table};
+use gsview_core::{recompute, LocalBase, Maintainer, SimpleViewDef};
+use gsview_query::{CmpOp, Pred};
+use gsview_workload::{relations, relations_churn, ChurnSpec, RelationsSpec};
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct E1Row {
+    /// Tuples in the viewed relation.
+    pub tuples: usize,
+    /// Mean accesses per update, incremental.
+    pub inc_accesses: f64,
+    /// Mean accesses per update, recomputation.
+    pub rec_accesses: f64,
+    /// Mean µs per update, incremental.
+    pub inc_us: f64,
+    /// Mean µs per update, recomputation.
+    pub rec_us: f64,
+}
+
+impl E1Row {
+    /// Recompute ÷ incremental, in accesses.
+    pub fn speedup(&self) -> f64 {
+        self.rec_accesses / self.inc_accesses.max(1e-9)
+    }
+}
+
+fn view_def() -> SimpleViewDef {
+    SimpleViewDef::new("SEL", "REL", "r0.tuple").with_cond("age", Pred::new(CmpOp::Gt, 30i64))
+}
+
+/// Run one configuration.
+pub fn measure(tuples: usize, ops: usize, seed: u64) -> E1Row {
+    let spec = RelationsSpec {
+        relations: 2,
+        tuples_per_relation: tuples,
+        extra_fields: 2,
+        age_range: 60,
+        seed,
+    };
+    let churn = ChurnSpec {
+        ops,
+        modify_weight: 2,
+        field_modify_weight: 0,
+        insert_weight: 1,
+        delete_weight: 1,
+        target_bias: 0.7,
+        age_range: 60,
+        seed: seed + 1,
+    };
+
+    // Incremental run.
+    let (mut store, mut db) = relations::generate(spec, Default::default()).expect("generate");
+    let script = relations_churn(&mut db, churn);
+    let def = view_def();
+    let maintainer = Maintainer::new(def.clone());
+    let mut mv = recompute::recompute(&def, &mut LocalBase::new(&store)).expect("init");
+    store.reset_accesses();
+    let t0 = Instant::now();
+    let mut n_updates = 0usize;
+    for op in &script {
+        let applied = op.replay(&mut store).expect("valid script");
+        if matches!(op, gsview_workload::ScriptOp::Apply(_)) {
+            n_updates += 1;
+            maintainer
+                .apply(&mut mv, &mut LocalBase::new(&store), &applied)
+                .expect("maintain");
+        }
+    }
+    let inc_time = t0.elapsed();
+    let inc_accesses = store.accesses() as f64 / n_updates as f64;
+
+    // Recomputation run (same stream, fresh database).
+    let (mut store, mut db) = relations::generate(spec, Default::default()).expect("generate");
+    let script = relations_churn(&mut db, churn);
+    let mut mv = recompute::recompute(&def, &mut LocalBase::new(&store)).expect("init");
+    store.reset_accesses();
+    let t0 = Instant::now();
+    let mut n_updates2 = 0usize;
+    for op in &script {
+        op.replay(&mut store).expect("valid script");
+        if matches!(op, gsview_workload::ScriptOp::Apply(_)) {
+            n_updates2 += 1;
+            recompute::refresh(&def, &mut LocalBase::new(&store), &mut mv).expect("refresh");
+        }
+    }
+    let rec_time = t0.elapsed();
+    let rec_accesses = store.accesses() as f64 / n_updates2 as f64;
+    assert_eq!(n_updates, n_updates2);
+
+    E1Row {
+        tuples,
+        inc_accesses,
+        rec_accesses,
+        inc_us: inc_time.as_secs_f64() * 1e6 / n_updates as f64,
+        rec_us: rec_time.as_secs_f64() * 1e6 / n_updates as f64,
+    }
+}
+
+/// Run the sweep and build the table.
+pub fn run(quick: bool) -> Table {
+    let sizes: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 50_000]
+    };
+    let ops = if quick { 100 } else { 300 };
+    let mut t = Table::new(
+        "E1",
+        "incremental maintenance vs full recomputation (Example 7 workload)",
+        "per-update cost of Algorithm 1 is ~constant; recomputation grows with view size",
+    )
+    .headers(&[
+        "tuples",
+        "inc acc/upd",
+        "rec acc/upd",
+        "acc speedup",
+        "inc us/upd",
+        "rec us/upd",
+    ]);
+    for &n in sizes {
+        let r = measure(n, ops, 11);
+        t.row(vec![
+            r.tuples.to_string(),
+            fnum(r.inc_accesses),
+            fnum(r.rec_accesses),
+            format!("{}x", fnum(r.speedup())),
+            fnum(r.inc_us),
+            fnum(r.rec_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_wins_and_scales_flat() {
+        let small = measure(100, 60, 5);
+        let large = measure(2_000, 60, 5);
+        // Recomputation cost grows with view size...
+        assert!(
+            large.rec_accesses > small.rec_accesses * 5.0,
+            "recompute should scale with size: {} vs {}",
+            small.rec_accesses,
+            large.rec_accesses
+        );
+        // ...incremental cost stays roughly flat (within 5x).
+        assert!(
+            large.inc_accesses < small.inc_accesses * 5.0 + 50.0,
+            "incremental should not scale with size: {} vs {}",
+            small.inc_accesses,
+            large.inc_accesses
+        );
+        // And incremental wins outright at the larger size.
+        assert!(large.speedup() > 10.0, "speedup {}", large.speedup());
+    }
+}

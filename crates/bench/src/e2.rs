@@ -1,0 +1,135 @@
+//! E2 — the inverse (parent) index (paper §4.4).
+//!
+//! Claim: "if the base database has an 'inverse index' such that from
+//! each node we can find out its parent, then evaluating
+//! `ancestor(N, p)` is straightforward. If there does not exist such an
+//! index, evaluating the same function may require a traversal from
+//! ROOT to N."
+//!
+//! We sweep chain depth and bushy-tree size and measure the accesses
+//! one `ancestor()` call costs with and without the index.
+
+use crate::table::{fnum, Table};
+use gsdb::{path, Path, StoreConfig};
+use gsview_workload::tree;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct E2Row {
+    /// Shape description.
+    pub shape: String,
+    /// Objects in the database.
+    pub objects: usize,
+    /// Accesses with the parent index.
+    pub with_index: u64,
+    /// Accesses without it (search realization).
+    pub without_index: u64,
+}
+
+fn no_index() -> StoreConfig {
+    StoreConfig {
+        parent_index: false,
+        label_index: false,
+        log_updates: false,
+    }
+}
+
+/// Measure `ancestor(leaf, suffix)` on a chain of the given length.
+pub fn measure_chain(len: usize) -> E2Row {
+    let suffix = Path::parse("c.v");
+    let (s_idx, _, atom, _) = tree::chain(len, StoreConfig::default()).expect("chain");
+    s_idx.reset_accesses();
+    let a = path::ancestor(&s_idx, atom, &suffix);
+    let with_index = s_idx.accesses();
+
+    let (s_raw, _, atom, _) = tree::chain(len, no_index()).expect("chain");
+    s_raw.reset_accesses();
+    let b = path::ancestor(&s_raw, atom, &suffix);
+    let without_index = s_raw.accesses();
+    assert_eq!(a, b, "both realizations must agree");
+    E2Row {
+        shape: format!("chain depth {len}"),
+        objects: len + 2,
+        with_index,
+        without_index,
+    }
+}
+
+/// Measure on a bushy uniform tree (fanout 8), asking for the last
+/// leaf's parent.
+pub fn measure_bushy(depth: usize) -> E2Row {
+    let spec = tree::TreeSpec { depth, fanout: 8 };
+    let suffix = Path::parse("leaf");
+    let (s_idx, db) = tree::generate(spec, StoreConfig::default()).expect("tree");
+    let target = *db.leaves.last().expect("leaves");
+    s_idx.reset_accesses();
+    let a = path::ancestor(&s_idx, target, &suffix);
+    let with_index = s_idx.accesses();
+
+    let (s_raw, db) = tree::generate(spec, no_index()).expect("tree");
+    let target = *db.leaves.last().expect("leaves");
+    s_raw.reset_accesses();
+    let b = path::ancestor(&s_raw, target, &suffix);
+    let without_index = s_raw.accesses();
+    assert_eq!(a, b);
+    E2Row {
+        shape: format!("bushy depth {depth} fanout 8"),
+        objects: s_idx.len(),
+        with_index,
+        without_index,
+    }
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> Table {
+    let chain_lens: &[usize] = if quick {
+        &[8, 64]
+    } else {
+        &[8, 64, 512, 4096]
+    };
+    let bushy_depths: &[usize] = if quick { &[3] } else { &[3, 4, 5] };
+    let mut t = Table::new(
+        "E2",
+        "cost of ancestor(N, p) with vs without the inverse index",
+        "the parent index makes ancestor O(|p|); without it the whole database is searched",
+    )
+    .headers(&["shape", "objects", "acc w/ index", "acc w/o index", "ratio"]);
+    for &len in chain_lens {
+        let r = measure_chain(len);
+        t.row(vec![
+            r.shape.clone(),
+            r.objects.to_string(),
+            r.with_index.to_string(),
+            r.without_index.to_string(),
+            format!("{}x", fnum(r.without_index as f64 / r.with_index.max(1) as f64)),
+        ]);
+    }
+    for &d in bushy_depths {
+        let r = measure_bushy(d);
+        t.row(vec![
+            r.shape.clone(),
+            r.objects.to_string(),
+            r.with_index.to_string(),
+            r.without_index.to_string(),
+            format!("{}x", fnum(r.without_index as f64 / r.with_index.max(1) as f64)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_cost_is_flat_while_search_grows() {
+        let small = measure_chain(8);
+        let large = measure_chain(256);
+        assert_eq!(
+            small.with_index, large.with_index,
+            "indexed ancestor depends only on |p|"
+        );
+        assert!(large.without_index > small.without_index * 4);
+        assert!(large.without_index > large.with_index * 10);
+    }
+}

@@ -1,0 +1,220 @@
+//! E3 — native GSDB maintenance vs relational flattening (paper §4.4,
+//! Example 8).
+//!
+//! Claim: flattening the tree into OID-LABEL / PARENT-CHILD /
+//! OID-TYPE-VALUE and maintaining the view with counting is workable,
+//! "but there are disadvantages": the view becomes a
+//! `(k+j)`-way self-join and "the 'path semantics' are hidden in the
+//! relations", which the paper believes makes maintenance "more
+//! expensive to evaluate".
+//!
+//! Where this bites is **deep paths with repeated labels**: a
+//! PARENT-CHILD delta could sit at *any* join position whose label
+//! matches, so the counting algorithm probes every position — an
+//! `O(depth)` climb per position, `O(depth²)` per edge delta — while
+//! Algorithm 1 computes `path(ROOT, N1)` once and knows the position.
+//! We sweep the path depth on a repeated-label chain forest; both
+//! systems run the same stream and are checked for agreement.
+
+use crate::table::{fnum, Table};
+use gsdb::{Object, Oid, Path, Store};
+use gsview_core::{recompute, LocalBase, Maintainer, SimpleViewDef};
+use gsview_query::{CmpOp, Pred};
+use gsview_relbaseline::{RelDb, RelView, RelViewDef};
+use gsview_workload::rng::rng;
+use rand::Rng;
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct E3Row {
+    /// Chain depth (self-join positions = depth + 1).
+    pub depth: usize,
+    /// Native accesses per update.
+    pub native_acc: f64,
+    /// Relational row ops per update.
+    pub rel_ops: f64,
+    /// Native µs per update.
+    pub native_us: f64,
+    /// Relational µs per update.
+    pub rel_us: f64,
+}
+
+/// Build a forest of `width` chains of `depth` levels, every level
+/// labeled `c`, each ending in one atom `v`. Returns
+/// `(store, edges, leaves)` where `edges` are all `(parent, child)`
+/// chain edges and `leaves` the value atoms.
+fn chain_forest(width: usize, depth: usize, seed: u64) -> (Store, Vec<(Oid, Oid)>, Vec<Oid>) {
+    let mut store = Store::new();
+    let mut r = rng(seed);
+    let mut heads = Vec::with_capacity(width);
+    let mut edges = Vec::new();
+    let mut leaves = Vec::new();
+    for w in 0..width {
+        let leaf = Oid::new(&format!("f{w}v"));
+        store
+            .create(Object::atom(leaf.name(), "v", r.gen_range(0..100i64)))
+            .expect("fresh");
+        leaves.push(leaf);
+        let mut child = leaf;
+        for d in (0..depth).rev() {
+            let o = Oid::new(&format!("f{w}c{d}"));
+            store
+                .create(Object::set(o.name(), "c", &[child]))
+                .expect("fresh");
+            edges.push((o, child));
+            child = o;
+        }
+        heads.push(child);
+    }
+    store
+        .create(Object::set("FR", "forest", &heads))
+        .expect("root");
+    for &h in &heads {
+        edges.push((Oid::new("FR"), h));
+    }
+    (store, edges, leaves)
+}
+
+fn defs(depth: usize) -> (SimpleViewDef, RelViewDef) {
+    let sel = Path(vec![gsdb::Label::new("c"); depth]);
+    let cond = Path::parse("v");
+    let pred = Pred::new(CmpOp::Gt, 50i64);
+    (
+        SimpleViewDef::new("SEL", "FR", sel.to_string().as_str())
+            .with_cond("v", pred.clone()),
+        RelViewDef::new(Oid::new("FR"), &sel, &cond, Some(pred)),
+    )
+}
+
+/// The update stream: leaf modifications plus mid-chain edge
+/// detach/reattach pairs.
+fn stream(
+    edges: &[(Oid, Oid)],
+    leaves: &[Oid],
+    ops: usize,
+    seed: u64,
+) -> Vec<gsdb::Update> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(ops);
+    for i in 0..ops {
+        if i % 4 == 3 {
+            let (p, c) = edges[r.gen_range(0..edges.len())];
+            out.push(gsdb::Update::Delete { parent: p, child: c });
+            out.push(gsdb::Update::Insert { parent: p, child: c });
+        } else {
+            let l = leaves[r.gen_range(0..leaves.len())];
+            out.push(gsdb::Update::Modify {
+                oid: l,
+                new: gsdb::Atom::Int(r.gen_range(0..100)),
+            });
+        }
+    }
+    out
+}
+
+/// Run one depth configuration; asserts the two systems agree after
+/// every update.
+pub fn measure(depth: usize, width: usize, ops: usize, seed: u64) -> E3Row {
+    let (sdef, rdef) = defs(depth);
+
+    // --- native ---
+    let (mut store, edges, leaves) = chain_forest(width, depth, seed);
+    let updates = stream(&edges, &leaves, ops, seed + 1);
+    let maintainer = Maintainer::new(sdef.clone());
+    let mut mv = recompute::recompute(&sdef, &mut LocalBase::new(&store)).expect("init");
+    store.reset_accesses();
+    let t0 = Instant::now();
+    for u in &updates {
+        let applied = store.apply(u.clone()).expect("valid");
+        maintainer
+            .apply(&mut mv, &mut LocalBase::new(&store), &applied)
+            .expect("maintain");
+    }
+    let native_us = t0.elapsed().as_secs_f64() * 1e6 / updates.len() as f64;
+    let native_acc = store.accesses() as f64 / updates.len() as f64;
+
+    // --- relational ---
+    let (mut store2, edges, leaves) = chain_forest(width, depth, seed);
+    let updates2 = stream(&edges, &leaves, ops, seed + 1);
+    let mut reldb = RelDb::encode(&store2);
+    let mut relview = RelView::recompute(&rdef, &reldb);
+    reldb.reset_ops();
+    let t0 = Instant::now();
+    for u in &updates2 {
+        let applied = store2.apply(u.clone()).expect("valid");
+        for delta in reldb.apply_update(&applied) {
+            relview.propagate(&rdef, &reldb, &delta);
+        }
+    }
+    let rel_us = t0.elapsed().as_secs_f64() * 1e6 / updates2.len() as f64;
+    let rel_ops = reldb.ops() as f64 / updates2.len() as f64;
+
+    assert_eq!(
+        mv.members_base(),
+        relview.members(),
+        "native and relational views must agree (depth {depth})"
+    );
+
+    E3Row {
+        depth,
+        native_acc,
+        rel_ops,
+        native_us,
+        rel_us,
+    }
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> Table {
+    let depths: &[usize] = if quick { &[2, 8] } else { &[2, 4, 8, 16, 32] };
+    let (width, ops) = if quick { (100, 100) } else { (200, 300) };
+    let mut t = Table::new(
+        "E3",
+        "native Algorithm 1 vs relational flattening + counting (repeated-label chains)",
+        "the relational delta-join probes every self-join position (O(depth^2) per edge); native locates in O(depth)",
+    )
+    .headers(&[
+        "path depth",
+        "native acc/upd",
+        "rel rows/upd",
+        "rows ratio",
+        "native us/upd",
+        "rel us/upd",
+    ]);
+    for &d in depths {
+        let r = measure(d, width, ops, 13);
+        t.row(vec![
+            r.depth.to_string(),
+            fnum(r.native_acc),
+            fnum(r.rel_ops),
+            format!("{}x", fnum(r.rel_ops / r.native_acc.max(1e-9))),
+            fnum(r.native_us),
+            fnum(r.rel_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relational_cost_grows_faster_with_depth() {
+        let shallow = measure(2, 60, 60, 3);
+        let deep = measure(12, 60, 60, 3);
+        let native_growth = deep.native_acc / shallow.native_acc.max(1e-9);
+        let rel_growth = deep.rel_ops / shallow.rel_ops.max(1e-9);
+        assert!(
+            rel_growth > native_growth * 1.5,
+            "relational should scale worse: native x{native_growth:.1}, relational x{rel_growth:.1}"
+        );
+        assert!(
+            deep.rel_ops > deep.native_acc,
+            "at depth 12 the relational baseline should touch more rows: {} vs {}",
+            deep.rel_ops,
+            deep.native_acc
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! E8 — update selectivity screening (paper §4.4, Example 7's closing
+//! observation).
+//!
+//! Claim: "if we consider a different update, one where a tuple T2 is
+//! inserted into relation s, ... the incremental maintenance algorithm
+//! will stop processing after it finds out that path(REL, S) does not
+//! match with the first label in sel_path." Irrelevant updates must be
+//! rejected at near-constant cost.
+
+use crate::table::{fnum, Table};
+use gsview_core::{recompute, LocalBase, Maintainer, SimpleViewDef};
+use gsview_query::{CmpOp, Pred};
+use gsview_workload::{relations, relations_churn, ChurnSpec, RelationsSpec, ScriptOp};
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct E8Row {
+    /// Fraction of ops aimed at the viewed relation.
+    pub bias: f64,
+    /// Fraction of updates that were relevant.
+    pub relevant_fraction: f64,
+    /// Mean accesses per relevant update.
+    pub acc_relevant: f64,
+    /// Mean accesses per irrelevant update.
+    pub acc_irrelevant: f64,
+}
+
+/// Run one configuration.
+pub fn measure(bias: f64, tuples: usize, ops: usize) -> E8Row {
+    let spec = RelationsSpec {
+        relations: 5,
+        tuples_per_relation: tuples,
+        extra_fields: 2,
+        age_range: 60,
+        seed: 61,
+    };
+    let churn = ChurnSpec {
+        ops,
+        modify_weight: 2,
+        field_modify_weight: 0,
+        insert_weight: 1,
+        delete_weight: 1,
+        target_bias: bias,
+        age_range: 60,
+        seed: 62,
+    };
+    let (mut store, mut db) = relations::generate(spec, Default::default()).expect("generate");
+    let script = relations_churn(&mut db, churn);
+    let def = SimpleViewDef::new("SEL", "REL", "r0.tuple")
+        .with_cond("age", Pred::new(CmpOp::Gt, 30i64));
+    let m = Maintainer::new(def.clone());
+    let mut mv = recompute::recompute(&def, &mut LocalBase::new(&store)).expect("init");
+
+    let (mut rel_n, mut rel_acc) = (0usize, 0u64);
+    let (mut irr_n, mut irr_acc) = (0usize, 0u64);
+    for op in &script {
+        let applied = op.replay(&mut store).expect("valid");
+        if !matches!(op, ScriptOp::Apply(_)) {
+            continue;
+        }
+        store.reset_accesses();
+        let out = m
+            .apply(&mut mv, &mut LocalBase::new(&store), &applied)
+            .expect("maintain");
+        let acc = store.accesses();
+        if out.relevant {
+            rel_n += 1;
+            rel_acc += acc;
+        } else {
+            irr_n += 1;
+            irr_acc += acc;
+        }
+    }
+    E8Row {
+        bias,
+        relevant_fraction: rel_n as f64 / (rel_n + irr_n) as f64,
+        acc_relevant: rel_acc as f64 / rel_n.max(1) as f64,
+        acc_irrelevant: irr_acc as f64 / irr_n.max(1) as f64,
+    }
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> Table {
+    let (tuples, ops) = if quick { (200, 150) } else { (1_000, 500) };
+    let mut t = Table::new(
+        "E8",
+        "screening of irrelevant updates (5 relations, view over r0)",
+        "irrelevant updates are rejected after the path-location test, at near-constant cost",
+    )
+    .headers(&[
+        "bias to r0",
+        "relevant frac",
+        "acc/relevant upd",
+        "acc/irrelevant upd",
+    ]);
+    for bias in [1.0, 0.5, 0.2, 0.05] {
+        let r = measure(bias, tuples, ops);
+        t.row(vec![
+            fnum(r.bias),
+            fnum(r.relevant_fraction),
+            fnum(r.acc_relevant),
+            fnum(r.acc_irrelevant),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irrelevant_updates_are_cheap() {
+        let r = measure(0.3, 300, 120);
+        assert!(r.relevant_fraction < 0.7);
+        assert!(
+            r.acc_irrelevant * 2.0 < r.acc_relevant,
+            "screening must be cheap: irrelevant {} vs relevant {}",
+            r.acc_irrelevant,
+            r.acc_relevant
+        );
+        // Constant-ish: a handful of accesses to locate and reject.
+        assert!(r.acc_irrelevant < 20.0, "got {}", r.acc_irrelevant);
+    }
+
+    #[test]
+    fn bias_controls_relevant_fraction() {
+        let hot = measure(0.9, 200, 120);
+        let cold = measure(0.1, 200, 120);
+        assert!(hot.relevant_fraction > cold.relevant_fraction);
+    }
+}

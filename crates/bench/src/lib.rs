@@ -1,0 +1,46 @@
+//! # gsview-bench — the experiment harness
+//!
+//! One module per experiment; each builds its workload, runs the sweep
+//! and returns a [`Table`]. The `harness` binary prints every table;
+//! Criterion benches (in `benches/`) wrap the same measurement kernels
+//! for wall-time statistics. DESIGN.md maps experiments to the paper's
+//! claims; EXPERIMENTS.md records the measured results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod e1;
+pub mod e10;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod table;
+
+pub use table::Table;
+
+/// All experiment ids, in order.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+];
+
+/// Run one experiment by id.
+pub fn run(id: &str, quick: bool) -> Option<Table> {
+    match id {
+        "e1" => Some(e1::run(quick)),
+        "e2" => Some(e2::run(quick)),
+        "e3" => Some(e3::run(quick)),
+        "e4" => Some(e4::run(quick)),
+        "e5" => Some(e5::run(quick)),
+        "e6" => Some(e6::run(quick)),
+        "e7" => Some(e7::run(quick)),
+        "e8" => Some(e8::run(quick)),
+        "e9" => Some(e9::run(quick)),
+        "e10" => Some(e10::run(quick)),
+        _ => None,
+    }
+}

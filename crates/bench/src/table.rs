@@ -1,0 +1,119 @@
+//! Result tables: every experiment returns one, the harness prints
+//! them, and EXPERIMENTS.md records them.
+
+use std::fmt;
+
+/// A printable experiment result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. `E1`.
+    pub id: &'static str,
+    /// Title line.
+    pub title: String,
+    /// The paper claim this table checks.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &'static str, title: impl Into<String>, claim: impl Into<String>) -> Self {
+        Table {
+            id,
+            title: title.into(),
+            claim: claim.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set headers.
+    pub fn headers(mut self, hs: &[&str]) -> Self {
+        self.headers = hs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        writeln!(f, "claim: {}", self.claim)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:>w$} |", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float compactly.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("EX", "demo", "things line up").headers(&["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== EX: demo =="));
+        assert!(s.contains("|   a | bbbb |"));
+        assert!(s.contains("| 100 | 2000 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new("EX", "demo", "c").headers(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.1234), "0.123");
+        assert_eq!(fnum(12.34), "12.3");
+        assert_eq!(fnum(1234.6), "1235");
+    }
+}

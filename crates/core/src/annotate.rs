@@ -1,0 +1,137 @@
+//! Auxiliary annotations on materialized views (paper §3.2):
+//!
+//! "A second use of view modification could be to add timestamps or
+//! other auxiliary information to delegate objects. For instance, the
+//! system could add a timestamp subobject to all set objects as they
+//! are inserted into the materialized view ... Queries can then refer
+//! to this auxiliary information, something they could not do on the
+//! equivalent virtual view."
+//!
+//! Timestamps are drawn from a caller-supplied logical clock so the
+//! library stays deterministic.
+
+use crate::mview::MaterializedView;
+use gsdb::{label::well_known, Object, Oid, Result};
+
+/// A monotonically increasing logical clock.
+#[derive(Clone, Debug, Default)]
+pub struct LogicalClock(u64);
+
+impl LogicalClock {
+    /// Start at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next tick.
+    pub fn tick(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+
+    /// Current value.
+    pub fn now(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Attach a `<delegate.ts, timestamp, integer, t>` subobject to a
+/// delegate (idempotent per delegate: a second call updates the value
+/// instead of adding another subobject).
+pub fn timestamp_delegate(
+    mv: &mut MaterializedView,
+    delegate: Oid,
+    clock: &mut LogicalClock,
+) -> Result<Oid> {
+    let t = clock.tick();
+    let ts_oid = Oid::new(&format!("{}.ts", delegate.name()));
+    if mv.store().contains(ts_oid) {
+        // Update in place: the timestamp object already lives in the
+        // view database as a child of the delegate.
+        mv.set_auxiliary_value(ts_oid, gsdb::Atom::Int(t as i64))?;
+        return Ok(ts_oid);
+    }
+    mv.adopt_auxiliary(
+        delegate,
+        Object {
+            oid: ts_oid,
+            label: well_known::timestamp(),
+            value: gsdb::Value::Atom(gsdb::Atom::Int(t as i64)),
+        },
+    )?;
+    Ok(ts_oid)
+}
+
+/// Timestamp every current member of the view.
+pub fn timestamp_all(mv: &mut MaterializedView, clock: &mut LogicalClock) -> Result<Vec<Oid>> {
+    let delegates = mv.members_delegates();
+    let mut out = Vec::with_capacity(delegates.len());
+    for d in delegates {
+        out.push(timestamp_delegate(mv, d, clock)?);
+    }
+    Ok(out)
+}
+
+/// Read a delegate's timestamp, if any.
+pub fn timestamp_of(mv: &MaterializedView, delegate: Oid) -> Option<u64> {
+    let ts_oid = Oid::new(&format!("{}.ts", delegate.name()));
+    match mv.store().atom(ts_oid)? {
+        gsdb::Atom::Int(t) => Some(*t as u64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsdb::Object;
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    #[test]
+    fn timestamps_attach_to_delegates() {
+        let mut mv = MaterializedView::new("V");
+        mv.v_insert(&Object::set("P1", "professor", &[oid("N1")]))
+            .unwrap();
+        let mut clock = LogicalClock::new();
+        let d = mv.delegate_of(oid("P1")).unwrap();
+        let ts = timestamp_delegate(&mut mv, d, &mut clock).unwrap();
+        assert_eq!(timestamp_of(&mv, d), Some(1));
+        // The timestamp is a child of the delegate (queryable).
+        assert!(mv.store().get(d).unwrap().children().contains(&ts));
+        // Re-timestamping updates in place.
+        timestamp_delegate(&mut mv, d, &mut clock).unwrap();
+        assert_eq!(timestamp_of(&mv, d), Some(2));
+        assert_eq!(
+            mv.store()
+                .get(d)
+                .unwrap()
+                .children()
+                .iter()
+                .filter(|c| c.name().ends_with(".ts"))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn timestamp_all_members() {
+        let mut mv = MaterializedView::new("V");
+        mv.v_insert(&Object::set("a", "x", &[])).unwrap();
+        mv.v_insert(&Object::set("b", "x", &[])).unwrap();
+        let mut clock = LogicalClock::new();
+        let stamped = timestamp_all(&mut mv, &mut clock).unwrap();
+        assert_eq!(stamped.len(), 2);
+        assert_eq!(clock.now(), 2);
+    }
+
+    #[test]
+    fn missing_timestamp_reads_none() {
+        let mut mv = MaterializedView::new("V");
+        mv.v_insert(&Object::set("a", "x", &[])).unwrap();
+        let d = mv.delegate_of(oid("a")).unwrap();
+        assert_eq!(timestamp_of(&mv, d), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! Consistency checking: is a materialized view "consistent with the
+//! base data" (paper §4.3's correctness criterion: "the delegates of
+//! all view objects are in MV, and there are no extra objects in MV")?
+//!
+//! The paper omits its correctness proof; this module is the executable
+//! substitute — property tests drive random update streams through
+//! Algorithm 1 and call [`check`] after every step.
+
+use crate::base::BaseAccess;
+use crate::mview::MaterializedView;
+use crate::recompute::recompute_members;
+use crate::viewdef::SimpleViewDef;
+use gsdb::{Oid, Value};
+use std::fmt;
+
+/// One detected inconsistency.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inconsistency {
+    /// A base object that should be in the view has no delegate.
+    Missing(Oid),
+    /// A delegate exists for a base object not in the view.
+    Extra(Oid),
+    /// A delegate's label differs from its base object's.
+    LabelMismatch {
+        /// The base object.
+        base: Oid,
+        /// Its delegate.
+        delegate: Oid,
+    },
+    /// A delegate's value differs from its base object's (modulo
+    /// swizzling: delegate OIDs are mapped back to base OIDs before
+    /// comparison).
+    ValueMismatch {
+        /// The base object.
+        base: Oid,
+        /// Its delegate.
+        delegate: Oid,
+    },
+}
+
+impl fmt::Display for Inconsistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inconsistency::Missing(o) => write!(f, "missing delegate for {o}"),
+            Inconsistency::Extra(o) => write!(f, "extra delegate for {o}"),
+            Inconsistency::LabelMismatch { base, delegate } => {
+                write!(f, "label mismatch: {delegate} vs base {base}")
+            }
+            Inconsistency::ValueMismatch { base, delegate } => {
+                write!(f, "value mismatch: {delegate} vs base {base}")
+            }
+        }
+    }
+}
+
+/// Check a materialized view against a fresh recomputation plus a
+/// per-delegate content comparison. Empty result = consistent.
+pub fn check(
+    def: &SimpleViewDef,
+    base: &mut dyn BaseAccess,
+    mv: &MaterializedView,
+) -> Vec<Inconsistency> {
+    let mut problems = Vec::new();
+    let expected = recompute_members(def, base);
+    let expected_set: std::collections::HashSet<Oid> = expected.iter().copied().collect();
+    for y in &expected {
+        if !mv.contains_base(*y) {
+            problems.push(Inconsistency::Missing(*y));
+        }
+    }
+    for b in mv.members_base() {
+        if !expected_set.contains(&b) {
+            problems.push(Inconsistency::Extra(b));
+        }
+    }
+    // Content comparison for members that are (correctly) present.
+    for b in mv.members_base() {
+        if !expected_set.contains(&b) {
+            continue;
+        }
+        let Some(d) = mv.delegate_of(b) else { continue };
+        let Some(dobj) = mv.delegate(d) else { continue };
+        let Some(bobj) = base.fetch(b) else {
+            problems.push(Inconsistency::ValueMismatch { base: b, delegate: d });
+            continue;
+        };
+        if dobj.label != bobj.label {
+            problems.push(Inconsistency::LabelMismatch { base: b, delegate: d });
+            continue;
+        }
+        let matches = match (&dobj.value, &bobj.value) {
+            (Value::Atom(a), Value::Atom(c)) => a == c,
+            (Value::Set(ds), Value::Set(bs)) => {
+                // Unswizzle delegate OIDs for comparison.
+                ds.len() == bs.len()
+                    && ds.iter().all(|o| {
+                        let eff = match o.split_delegate() {
+                            Some((v, inner)) if v == mv.view_oid() => inner,
+                            _ => o,
+                        };
+                        bs.contains(eff)
+                    })
+            }
+            _ => false,
+        };
+        if !matches {
+            problems.push(Inconsistency::ValueMismatch { base: b, delegate: d });
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::LocalBase;
+    use crate::recompute::recompute;
+    use gsdb::{samples, Object, Store};
+    use gsview_query::{CmpOp, Pred};
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn setup() -> (Store, SimpleViewDef) {
+        let mut store = Store::new();
+        samples::person_db(&mut store).unwrap();
+        let def = SimpleViewDef::new("YP", "ROOT", "professor")
+            .with_cond("age", Pred::new(CmpOp::Le, 45i64));
+        (store, def)
+    }
+
+    #[test]
+    fn fresh_recompute_is_consistent() {
+        let (store, def) = setup();
+        let mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        assert!(check(&def, &mut LocalBase::new(&store), &mv).is_empty());
+    }
+
+    #[test]
+    fn stale_view_is_flagged() {
+        let (mut store, def) = setup();
+        let mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        // Base changes; view not maintained.
+        store.modify_atom(oid("A1"), 99i64).unwrap();
+        let problems = check(&def, &mut LocalBase::new(&store), &mv);
+        assert!(problems.contains(&Inconsistency::Extra(oid("P1"))));
+    }
+
+    #[test]
+    fn missing_member_is_flagged() {
+        let (store, def) = setup();
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        mv.v_delete(oid("P1")).unwrap();
+        let problems = check(&def, &mut LocalBase::new(&store), &mv);
+        assert_eq!(problems, vec![Inconsistency::Missing(oid("P1"))]);
+    }
+
+    #[test]
+    fn value_drift_is_flagged() {
+        let (mut store, def) = setup();
+        let mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        // Base P1 gains a child the delegate copy lacks.
+        store.create(Object::atom("EXTRA", "x", 1i64)).unwrap();
+        store.insert_edge(oid("P1"), oid("EXTRA")).unwrap();
+        let problems = check(&def, &mut LocalBase::new(&store), &mv);
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, Inconsistency::ValueMismatch { base, .. } if *base == oid("P1"))));
+    }
+
+    #[test]
+    fn swizzled_view_still_checks_clean() {
+        let mut store = Store::new();
+        samples::person_db(&mut store).unwrap();
+        // A view containing both P1 and P3 so swizzling has an effect.
+        let def = SimpleViewDef::new("V", "ROOT", "professor")
+            .with_cond("name", Pred::new(CmpOp::Eq, "John"));
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        assert_eq!(mv.members_base(), vec![oid("P1")]);
+        // Manually add P3 so the view holds a parent-child pair; use a
+        // structural def for that instead.
+        let def2 = SimpleViewDef::new("V2", "ROOT", "professor.student");
+        let mut mv2 = recompute(&def2, &mut LocalBase::new(&store)).unwrap();
+        mv2.swizzle().unwrap();
+        assert!(check(&def2, &mut LocalBase::new(&store), &mv2).is_empty());
+        mv.swizzle().unwrap();
+        assert!(check(&def, &mut LocalBase::new(&store), &mv).is_empty());
+    }
+}

@@ -1,0 +1,492 @@
+//! Algorithm 1: incremental maintenance of a simple materialized GSDB
+//! view (paper §4.3), implemented case-for-case against the
+//! [`BaseAccess`] interface so the same code runs centralized (§4) and
+//! in a warehouse (§5).
+//!
+//! ```text
+//! > When insert(N1, N2) occurs:
+//!     If sel_path.cond_path = path(ROOT,N1).label(N2).p  (p arbitrary)
+//!     then S = eval(N2, p, cond);
+//!          for all X in S do V_insert(MV, MV.Y)
+//!              where Y = ancestor(X, cond_path).
+//!
+//! > When delete(N1, N2) occurs:
+//!     If sel_path.cond_path = path(ROOT,N1).label(N2).p
+//!     then S = eval(N2, p, cond);
+//!          for all X in S, let Y = ancestor(X, cond_path);
+//!          if p = p1.cond_path then V_delete(MV, MV.Y)
+//!          else if eval(Y, cond_path, cond) = ∅ then V_delete(MV, MV.Y).
+//!
+//! > When modify(N, oldv, newv) occurs:
+//!     If path(ROOT,N) = sel_path.cond_path
+//!     then Y = ancestor(N, cond_path);
+//!          if cond(newv) then V_insert(MV, MV.Y)
+//!          else if cond(oldv) and eval(Y, cond_path, cond) = ∅
+//!               then V_delete(MV, MV.Y).
+//! ```
+//!
+//! One implementation note on the delete case. When
+//! `p ≠ p1.cond_path` (equivalently `|cond_path| > |p|`), the object
+//! `Y = ancestor(X, cond_path)` lies *above* the deleted edge, so an
+//! ancestor walk starting at the now-detached `X` cannot reach it.
+//! Since `cond_path` is a suffix of `sel_path.cond_path`, it decomposes
+//! as `cond_path = q.label(N2).p`, and `Y = ancestor(N1, q)` computes
+//! the same object from the still-attached side. This is exactly the
+//! object the paper's condition re-check targets.
+
+use crate::base::BaseAccess;
+use crate::sink::ViewSink;
+use crate::viewdef::SimpleViewDef;
+use gsdb::{AppliedUpdate, Oid, Path, Result};
+use gsview_query::Pred;
+
+/// What one maintenance invocation did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// Did the update pass the path-location test (i.e. could it
+    /// possibly affect the view)? Irrelevant updates are rejected
+    /// without touching base data beyond `path(ROOT, N1)`/`label(N2)`.
+    pub relevant: bool,
+    /// Base OIDs whose delegates were inserted.
+    pub inserted: Vec<Oid>,
+    /// Base OIDs whose delegates were deleted.
+    pub deleted: Vec<Oid>,
+}
+
+impl Outcome {
+    fn irrelevant() -> Self {
+        Outcome::default()
+    }
+
+    fn relevant() -> Self {
+        Outcome {
+            relevant: true,
+            ..Outcome::default()
+        }
+    }
+
+    /// True iff the view changed.
+    pub fn changed(&self) -> bool {
+        !self.inserted.is_empty() || !self.deleted.is_empty()
+    }
+}
+
+/// The incremental maintainer for one simple view definition.
+///
+/// "The algorithm is triggered once by each update on the base
+/// objects" — call [`Maintainer::apply`] per [`AppliedUpdate`], in
+/// order, with the base reflecting the state right after that update
+/// and before any further ones.
+#[derive(Clone, Debug)]
+pub struct Maintainer {
+    def: SimpleViewDef,
+}
+
+impl Maintainer {
+    /// Build a maintainer for a definition.
+    pub fn new(def: SimpleViewDef) -> Self {
+        Maintainer { def }
+    }
+
+    /// The definition being maintained.
+    pub fn def(&self) -> &SimpleViewDef {
+        &self.def
+    }
+
+    /// Process one applied base update, mutating the maintenance
+    /// target (a [`MaterializedView`](crate::MaterializedView), a
+    /// [`MemberSet`](crate::MemberSet), or any other [`ViewSink`]).
+    pub fn apply(
+        &self,
+        mv: &mut dyn ViewSink,
+        base: &mut dyn BaseAccess,
+        update: &AppliedUpdate,
+    ) -> Result<Outcome> {
+        let outcome = match update {
+            AppliedUpdate::Insert { parent, child } => self.on_insert(mv, base, *parent, *child)?,
+            AppliedUpdate::Delete { parent, child } => self.on_delete(mv, base, *parent, *child)?,
+            AppliedUpdate::Modify { oid, old, new } => self.on_modify(mv, base, *oid, old, new)?,
+            // Creating an unlinked object or removing an unreferenced
+            // one "will have no impact on any queries, hence no effect
+            // on any views" (§4.1).
+            AppliedUpdate::Create { .. } | AppliedUpdate::Remove { .. } => Outcome::irrelevant(),
+        };
+        content_upkeep(mv, base, update)?;
+        Ok(outcome)
+    }
+
+    /// Locate the remainder path `p` such that
+    /// `sel_path.cond_path = path(ROOT, N1).label(N2).p`.
+    fn locate(&self, base: &mut dyn BaseAccess, n1: Oid, n2: Oid) -> Option<Path> {
+        let full = self.def.full_path();
+        let root_path = base.path_from_root(self.def.root, n1)?;
+        if root_path.len() + 1 > full.len() {
+            return None;
+        }
+        let l2 = base.label_of(n2)?;
+        let mut prefix = root_path;
+        prefix.push(l2);
+        full.strip_prefix(&prefix)
+    }
+
+    fn pred(&self) -> Option<&Pred> {
+        self.def.cond.as_ref().map(|c| &c.pred)
+    }
+
+    fn on_insert(
+        &self,
+        mv: &mut dyn ViewSink,
+        base: &mut dyn BaseAccess,
+        n1: Oid,
+        n2: Oid,
+    ) -> Result<Outcome> {
+        let Some(p) = self.locate(base, n1, n2) else {
+            return Ok(Outcome::irrelevant());
+        };
+        let mut out = Outcome::relevant();
+        let cond_path = self.def.cond_path();
+        let s = base.eval(n2, &p, self.pred());
+        for x in s {
+            let Some(y) = base.ancestor(x, &cond_path) else {
+                continue;
+            };
+            if mv.contains(y) {
+                continue;
+            }
+            let Some(obj) = base.fetch(y) else { continue };
+            mv.insert_member(&obj)?;
+            out.inserted.push(y);
+        }
+        Ok(out)
+    }
+
+    fn on_delete(
+        &self,
+        mv: &mut dyn ViewSink,
+        base: &mut dyn BaseAccess,
+        n1: Oid,
+        n2: Oid,
+    ) -> Result<Outcome> {
+        let Some(p) = self.locate(base, n1, n2) else {
+            return Ok(Outcome::irrelevant());
+        };
+        let mut out = Outcome::relevant();
+        let cond_path = self.def.cond_path();
+        let s = base.eval(n2, &p, self.pred());
+        if p.ends_with(&cond_path) {
+            // Y lies at or below N2: the detached subtree still holds
+            // the path from Y down to X.
+            for x in s {
+                let Some(y) = base.ancestor(x, &cond_path) else {
+                    continue;
+                };
+                if mv.delete_member(y)? {
+                    out.deleted.push(y);
+                }
+            }
+        } else {
+            // |cond_path| > |p|: cond_path = q.label(N2).p and Y is the
+            // still-attached ancestor(N1, q). Its condition lost the
+            // detached witnesses; it stays only if another descendant
+            // keeps the condition true (non-unique labels, §4.2).
+            if s.is_empty() {
+                return Ok(out);
+            }
+            let q = Path(cond_path.labels()[..cond_path.len() - p.len() - 1].to_vec());
+            let y = if q.is_empty() {
+                Some(n1)
+            } else {
+                base.ancestor(n1, &q)
+            };
+            if let Some(y) = y {
+                if base.eval(y, &cond_path, self.pred()).is_empty()
+                    && mv.delete_member(y)?
+                {
+                    out.deleted.push(y);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn on_modify(
+        &self,
+        mv: &mut dyn ViewSink,
+        base: &mut dyn BaseAccess,
+        n: Oid,
+        old: &gsdb::Atom,
+        new: &gsdb::Atom,
+    ) -> Result<Outcome> {
+        // Views without a condition are purely structural; modify
+        // cannot change membership.
+        let Some(cond) = &self.def.cond else {
+            return Ok(Outcome::irrelevant());
+        };
+        let full = self.def.full_path();
+        match base.path_from_root(self.def.root, n) {
+            Some(rp) if rp == full => {}
+            _ => return Ok(Outcome::irrelevant()),
+        }
+        let mut out = Outcome::relevant();
+        let Some(y) = base.ancestor(n, &cond.path) else {
+            return Ok(out);
+        };
+        if cond.pred.eval(new) {
+            if !mv.contains(y) {
+                if let Some(obj) = base.fetch(y) {
+                    mv.insert_member(&obj)?;
+                    out.inserted.push(y);
+                }
+            }
+        } else if cond.pred.eval(old)
+            && base.eval(y, &cond.path, Some(&cond.pred)).is_empty()
+            && mv.delete_member(y)?
+        {
+            out.deleted.push(y);
+        }
+        Ok(out)
+    }
+}
+
+/// Content upkeep (paper §3.2): a delegate carries "the same value as
+/// the original object", so when an update changes the value of an
+/// object that is (still) a view member — an edge into/out of a member
+/// set object, or a modify of an atomic member — its stored copy must
+/// be refreshed. Membership itself is Algorithm 1's job above; this
+/// pass only touches base data when the affected object is a member.
+pub(crate) fn content_upkeep(
+    mv: &mut dyn ViewSink,
+    base: &mut dyn BaseAccess,
+    update: &AppliedUpdate,
+) -> Result<()> {
+    let affected = match update {
+        AppliedUpdate::Insert { parent, .. } | AppliedUpdate::Delete { parent, .. } => *parent,
+        AppliedUpdate::Modify { oid, .. } => *oid,
+        AppliedUpdate::Create { .. } | AppliedUpdate::Remove { .. } => return Ok(()),
+    };
+    if mv.contains(affected) {
+        if let Some(obj) = base.fetch(affected) {
+            mv.refresh_member(&obj)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::LocalBase;
+    use crate::recompute::recompute;
+    use gsdb::{builder::atom, samples, Object, Store};
+    use gsview_query::{CmpOp, Pred};
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    /// View YP from paper Example 5: professors with age ≤ 45.
+    fn yp_def() -> SimpleViewDef {
+        SimpleViewDef::new("YP", "ROOT", "professor")
+            .with_cond("age", Pred::new(CmpOp::Le, 45i64))
+    }
+
+    fn person_store() -> Store {
+        let mut s = Store::new();
+        samples::person_db(&mut s).unwrap();
+        s
+    }
+
+    #[test]
+    fn example_5_insert_age_into_p2() {
+        // Paper Example 5/6: initially YP = {YP.P1}. After
+        // insert(P2, A2) with <A2, age, 40>, YP gains YP.P2.
+        let mut store = person_store();
+        let def = yp_def();
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        assert_eq!(mv.members_base(), vec![oid("P1")]);
+
+        store.create(Object::atom("A2", "age", 40i64)).unwrap();
+        let up = store.insert_edge(oid("P2"), oid("A2")).unwrap();
+        let m = Maintainer::new(def);
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(out.relevant);
+        assert_eq!(out.inserted, vec![oid("P2")]);
+        assert_eq!(mv.members_base(), vec![oid("P1"), oid("P2")]);
+        assert_eq!(
+            mv.delegate_of(oid("P2")).unwrap().name(),
+            "YP.P2",
+            "semantic delegate OID"
+        );
+    }
+
+    #[test]
+    fn example_6_delete_p1_from_root() {
+        // Paper Example 6 (second part): delete(ROOT, P1) removes
+        // YP.P1 from the view.
+        let mut store = person_store();
+        let def = yp_def();
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        let up = store.delete_edge(oid("ROOT"), oid("P1")).unwrap();
+        let m = Maintainer::new(def);
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(out.relevant);
+        assert_eq!(out.deleted, vec![oid("P1")]);
+        assert!(mv.is_empty());
+    }
+
+    #[test]
+    fn delete_condition_witness_above_the_edge() {
+        // delete(P1, A1): P1's only age witness detaches; the view must
+        // drop YP.P1 via the eval(Y, cond_path, cond) = ∅ re-check.
+        let mut store = person_store();
+        let def = yp_def();
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        let up = store.delete_edge(oid("P1"), oid("A1")).unwrap();
+        let m = Maintainer::new(def);
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(out.relevant);
+        assert_eq!(out.deleted, vec![oid("P1")]);
+    }
+
+    #[test]
+    fn delete_with_surviving_witness_keeps_member() {
+        // Non-unique labels (§4.2): give P1 a second age ≤ 45, delete
+        // one — P1 must stay in the view.
+        let mut store = person_store();
+        store.create(Object::atom("A1b", "age", 30i64)).unwrap();
+        store.insert_edge(oid("P1"), oid("A1b")).unwrap();
+        let def = yp_def();
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        assert!(mv.contains_base(oid("P1")));
+        let up = store.delete_edge(oid("P1"), oid("A1")).unwrap();
+        let m = Maintainer::new(def);
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(out.relevant);
+        assert!(out.deleted.is_empty(), "second witness keeps P1 in view");
+        assert!(mv.contains_base(oid("P1")));
+    }
+
+    #[test]
+    fn modify_into_and_out_of_the_view() {
+        let mut store = person_store();
+        let def = yp_def();
+        let m = Maintainer::new(def.clone());
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        // modify(A1, 45, 50): P1 leaves.
+        let up = store.modify_atom(oid("A1"), 50i64).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert_eq!(out.deleted, vec![oid("P1")]);
+        assert!(mv.is_empty());
+        // modify(A1, 50, 44): P1 returns.
+        let up = store.modify_atom(oid("A1"), 44i64).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert_eq!(out.inserted, vec![oid("P1")]);
+        assert_eq!(mv.members_base(), vec![oid("P1")]);
+    }
+
+    #[test]
+    fn modify_with_other_witness_keeps_member() {
+        let mut store = person_store();
+        store.create(Object::atom("A1b", "age", 30i64)).unwrap();
+        store.insert_edge(oid("P1"), oid("A1b")).unwrap();
+        let def = yp_def();
+        let m = Maintainer::new(def.clone());
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        let up = store.modify_atom(oid("A1"), 99i64).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(out.relevant);
+        assert!(!out.changed());
+        assert!(mv.contains_base(oid("P1")));
+    }
+
+    #[test]
+    fn irrelevant_updates_are_screened_out() {
+        // Example 7's point: an insert into relation s does not touch a
+        // view on relation r; here, updates under P4 (secretary) or on
+        // name atoms never match professor.age.
+        let mut store = person_store();
+        let def = yp_def();
+        let m = Maintainer::new(def.clone());
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+
+        let up = store.modify_atom(oid("N1"), "Johnny").unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(!out.relevant);
+
+        let up = store.modify_atom(oid("A4"), 41i64).unwrap(); // secretary.age
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(!out.relevant);
+
+        store.create(Object::atom("XTRA", "hobby", "chess")).unwrap();
+        let up = store.insert_edge(oid("P4"), oid("XTRA")).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(!out.relevant, "path(ROOT,P4).hobby does not prefix professor.age");
+    }
+
+    #[test]
+    fn insert_whole_subtree_example_7() {
+        // Example 7: inserting a complete tuple subtree into R puts the
+        // tuple into SEL in one step.
+        let mut store = Store::new();
+        samples::relations_db(&mut store, 3, 2).unwrap();
+        let def = SimpleViewDef::new("SEL", "REL", "r.tuple")
+            .with_cond("age", Pred::new(CmpOp::Gt, 30i64));
+        let m = Maintainer::new(def.clone());
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        assert!(mv.is_empty(), "ages 10..12 are all ≤ 30");
+
+        // New tuple T with <A, age, 40>.
+        atom("Anew", "age", 40i64).build(&mut store).unwrap();
+        gsdb::builder::set("Tnew", "tuple")
+            .reference("Anew")
+            .build(&mut store)
+            .unwrap();
+        let up = store.insert_edge(oid("R"), oid("Tnew")).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert_eq!(out.inserted, vec![oid("Tnew")]);
+        assert_eq!(mv.delegate_of(oid("Tnew")).unwrap().name(), "SEL.Tnew");
+
+        // Inserting a tuple into relation s is screened out after the
+        // first label comparison.
+        gsdb::builder::set("Unew", "tuple")
+            .child(atom("Bnew", "age", 50i64))
+            .build(&mut store)
+            .unwrap();
+        let up = store.insert_edge(oid("S"), oid("Unew")).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(!out.relevant);
+    }
+
+    #[test]
+    fn condless_structural_view() {
+        // SELECT ROOT.professor.student X (no condition).
+        let mut store = person_store();
+        let def = SimpleViewDef::new("ST", "ROOT", "professor.student");
+        let m = Maintainer::new(def.clone());
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        assert_eq!(mv.members_base(), vec![oid("P3")]);
+        // Detach P3 from P1: no professor.student derivation remains.
+        let up = store.delete_edge(oid("P1"), oid("P3")).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert_eq!(out.deleted, vec![oid("P3")]);
+        // Modify never matters for structural views.
+        let up = store.modify_atom(oid("A3"), 21i64).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(!out.relevant);
+    }
+
+    #[test]
+    fn insert_edge_to_existing_member_is_idempotent() {
+        let mut store = person_store();
+        let def = yp_def();
+        let m = Maintainer::new(def.clone());
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        // Second age witness for P1 inserted: P1 already in view.
+        store.create(Object::atom("A1c", "age", 20i64)).unwrap();
+        let up = store.insert_edge(oid("P1"), oid("A1c")).unwrap();
+        let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
+        assert!(out.relevant);
+        assert!(out.inserted.is_empty());
+        assert_eq!(mv.len(), 1);
+    }
+}

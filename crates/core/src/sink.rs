@@ -1,0 +1,123 @@
+//! The target interface of the maintenance algorithms.
+//!
+//! Algorithm 1 emits `V_insert` / `V_delete` operations. Depending on
+//! the setting, those land in a full [`MaterializedView`] (delegates
+//! with copied values), in a membership-only [`MemberSet`] (used for
+//! compound-view shadows and for auxiliary caches that only need to
+//! know *which* objects are in the view), or in a shared-delegate
+//! [`ViewCluster`](crate::cluster::ViewCluster).
+
+use crate::mview::MaterializedView;
+use gsdb::{Object, Oid, Result};
+use std::collections::HashSet;
+
+/// A maintenance target: something that receives view membership
+/// changes.
+pub trait ViewSink {
+    /// Is `base` currently a member?
+    fn contains(&self, base: Oid) -> bool;
+    /// Add a member (idempotent). Returns `true` if newly added.
+    fn insert_member(&mut self, obj: &Object) -> Result<bool>;
+    /// Remove a member (idempotent). Returns `true` if it was present.
+    fn delete_member(&mut self, base: Oid) -> Result<bool>;
+    /// Refresh a *current* member's stored copy from the base object
+    /// (paper §3.2: a delegate has "the same value as the original
+    /// object"). No-op for membership-only sinks and non-members.
+    /// Returns `true` if a copy was updated.
+    fn refresh_member(&mut self, obj: &Object) -> Result<bool> {
+        let _ = obj;
+        Ok(false)
+    }
+}
+
+impl ViewSink for MaterializedView {
+    fn contains(&self, base: Oid) -> bool {
+        self.contains_base(base)
+    }
+
+    fn insert_member(&mut self, obj: &Object) -> Result<bool> {
+        let existed = self.contains_base(obj.oid);
+        self.v_insert(obj)?;
+        Ok(!existed)
+    }
+
+    fn delete_member(&mut self, base: Oid) -> Result<bool> {
+        self.v_delete(base)
+    }
+
+    fn refresh_member(&mut self, obj: &Object) -> Result<bool> {
+        self.refresh_delegate(obj)
+    }
+}
+
+/// A membership-only view representation: just the set of base OIDs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemberSet {
+    members: HashSet<Oid>,
+}
+
+impl MemberSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current members, sorted by name.
+    pub fn members(&self) -> Vec<Oid> {
+        let mut v: Vec<Oid> = self.members.iter().copied().collect();
+        v.sort_by_key(|o| o.name());
+        v
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl ViewSink for MemberSet {
+    fn contains(&self, base: Oid) -> bool {
+        self.members.contains(&base)
+    }
+
+    fn insert_member(&mut self, obj: &Object) -> Result<bool> {
+        Ok(self.members.insert(obj.oid))
+    }
+
+    fn delete_member(&mut self, base: Oid) -> Result<bool> {
+        Ok(self.members.remove(&base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memberset_sink_semantics() {
+        let mut s = MemberSet::new();
+        let obj = Object::atom("a", "x", 1i64);
+        assert!(s.insert_member(&obj).unwrap());
+        assert!(!s.insert_member(&obj).unwrap(), "idempotent");
+        assert!(s.contains(Oid::new("a")));
+        assert!(s.delete_member(Oid::new("a")).unwrap());
+        assert!(!s.delete_member(Oid::new("a")).unwrap());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn materialized_view_sink_semantics() {
+        let mut mv = MaterializedView::new("V");
+        let obj = Object::atom("a", "x", 1i64);
+        assert!(mv.insert_member(&obj).unwrap());
+        assert!(!mv.insert_member(&obj).unwrap());
+        assert!(ViewSink::contains(&mv, Oid::new("a")));
+        assert!(mv.delete_member(Oid::new("a")).unwrap());
+        assert!(mv.is_empty());
+    }
+}

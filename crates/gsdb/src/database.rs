@@ -1,0 +1,132 @@
+//! Database objects (paper §2).
+//!
+//! "A graph-structured database (GSDB) is an object whose set value
+//! contains the OIDs of all objects in this database. Thus, a database
+//! is simply a way to group objects together." A database object is an
+//! ordinary set object; this module provides helpers for creating and
+//! maintaining them.
+
+use crate::{label::well_known, GsdbError, Label, Object, Oid, Result, Store, Value};
+
+/// Create a database object named `db` whose members are all objects
+/// reachable from `root` (inclusive). This mirrors how the paper forms
+/// `PERSON` from Example 2's objects.
+pub fn database_of_reachable(store: &mut Store, db: Oid, root: Oid) -> Result<Oid> {
+    let members = crate::graph::reachable(store, root);
+    store.create(Object {
+        oid: db,
+        label: well_known::database(),
+        value: Value::set_of(members),
+    })?;
+    Ok(db)
+}
+
+/// Create a database object with an explicit member list.
+pub fn database_of(store: &mut Store, db: Oid, members: &[Oid]) -> Result<Oid> {
+    store.create(Object::set(db.name(), "database", members))?;
+    Ok(db)
+}
+
+/// Create a database object with a custom label (paper: "A database
+/// object can have any type of label").
+pub fn database_with_label(
+    store: &mut Store,
+    db: Oid,
+    label: Label,
+    members: &[Oid],
+) -> Result<Oid> {
+    store.create(Object {
+        oid: db,
+        label,
+        value: Value::set_of(members.iter().copied()),
+    })?;
+    Ok(db)
+}
+
+/// Is `oid` a member of database `db`? Missing database objects contain
+/// nothing.
+pub fn is_member(store: &Store, db: Oid, oid: Oid) -> bool {
+    store
+        .get(db)
+        .and_then(|o| o.value.as_set())
+        .map(|s| s.contains(oid))
+        .unwrap_or(false)
+}
+
+/// Add a member to a database object (`insert(DB, O)` — the paper's
+/// model for adding an object to a database).
+pub fn add_member(store: &mut Store, db: Oid, oid: Oid) -> Result<()> {
+    store.insert_edge(db, oid).map(|_| ())
+}
+
+/// Remove a member from a database object.
+pub fn remove_member(store: &mut Store, db: Oid, oid: Oid) -> Result<()> {
+    store.delete_edge(db, oid).map(|_| ())
+}
+
+/// Members of a database object.
+pub fn members(store: &Store, db: Oid) -> Result<Vec<Oid>> {
+    let o = store.require(db)?;
+    let set = o.value.as_set().ok_or(GsdbError::NotASet(db))?;
+    Ok(set.iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Object;
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn setup() -> Store {
+        let mut s = Store::new();
+        s.create_all([
+            Object::set("R", "person", &[oid("x"), oid("y")]),
+            Object::atom("x", "name", "a"),
+            Object::atom("y", "name", "b"),
+            Object::atom("z", "name", "c"),
+        ])
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn database_of_reachable_collects_subtree() {
+        let mut s = setup();
+        database_of_reachable(&mut s, oid("D1"), oid("R")).unwrap();
+        assert!(is_member(&s, oid("D1"), oid("R")));
+        assert!(is_member(&s, oid("D1"), oid("x")));
+        assert!(is_member(&s, oid("D1"), oid("y")));
+        assert!(!is_member(&s, oid("D1"), oid("z")));
+        let db = s.get(oid("D1")).unwrap();
+        assert_eq!(db.label.as_str(), "database");
+    }
+
+    #[test]
+    fn membership_maintenance() {
+        let mut s = setup();
+        database_of(&mut s, oid("D"), &[oid("x")]).unwrap();
+        assert!(!is_member(&s, oid("D"), oid("z")));
+        add_member(&mut s, oid("D"), oid("z")).unwrap();
+        assert!(is_member(&s, oid("D"), oid("z")));
+        remove_member(&mut s, oid("D"), oid("z")).unwrap();
+        assert!(!is_member(&s, oid("D"), oid("z")));
+        assert_eq!(members(&s, oid("D")).unwrap(), vec![oid("x")]);
+    }
+
+    #[test]
+    fn missing_database_has_no_members() {
+        let s = setup();
+        assert!(!is_member(&s, oid("NOPE"), oid("x")));
+        assert!(members(&s, oid("NOPE")).is_err());
+    }
+
+    #[test]
+    fn custom_label_database() {
+        let mut s = setup();
+        database_with_label(&mut s, oid("D2"), Label::new("corpus"), &[oid("x")]).unwrap();
+        assert_eq!(s.label(oid("D2")).unwrap().as_str(), "corpus");
+    }
+}

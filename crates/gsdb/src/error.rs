@@ -1,0 +1,51 @@
+//! Error types for GSDB operations.
+
+use crate::Oid;
+use std::fmt;
+
+/// Errors raised when applying updates or accessing a store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GsdbError {
+    /// The referenced object does not exist.
+    NoSuchObject(Oid),
+    /// `insert`/`delete` targeted an atomic object
+    /// (paper §4.1: "N1 must have a set type").
+    NotASet(Oid),
+    /// `modify` targeted a set object (only atomic values can be
+    /// modified; set values change via insert/delete — paper §4.1).
+    NotAtomic(Oid),
+    /// `delete(N1, N2)` where `N2` is not a child of `N1`.
+    NotAChild {
+        /// The parent object.
+        parent: Oid,
+        /// The non-child.
+        child: Oid,
+    },
+    /// An object with this OID already exists.
+    DuplicateOid(Oid),
+    /// The operation requires a tree-structured database but the store
+    /// is not a tree (paper §4.2 assumes tree structure for Algorithm 1).
+    NotATree(Oid),
+}
+
+impl fmt::Display for GsdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsdbError::NoSuchObject(o) => write!(f, "no such object: {o}"),
+            GsdbError::NotASet(o) => write!(f, "object {o} is not a set object"),
+            GsdbError::NotAtomic(o) => write!(f, "object {o} is not an atomic object"),
+            GsdbError::NotAChild { parent, child } => {
+                write!(f, "{child} is not a child of {parent}")
+            }
+            GsdbError::DuplicateOid(o) => write!(f, "an object with OID {o} already exists"),
+            GsdbError::NotATree(o) => {
+                write!(f, "object {o} has multiple parents; database is not a tree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GsdbError {}
+
+/// Result alias for GSDB operations.
+pub type Result<T> = std::result::Result<T, GsdbError>;

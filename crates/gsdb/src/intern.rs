@@ -1,0 +1,144 @@
+//! Global string interner backing [`Oid`](crate::Oid) and
+//! [`Label`](crate::Label).
+//!
+//! The paper requires OIDs to be *universally unique identifiers* that can
+//! travel between databases (a warehouse delegate references a source
+//! object by its OID). A process-wide interner gives us cheap `Copy`
+//! handles with O(1) equality/hashing while preserving the human-readable
+//! names the paper uses in its examples (`ROOT`, `P1`, `MVJ.P1`, ...).
+//!
+//! Interned symbols are never freed; the set of distinct names in any
+//! realistic workload is bounded by the number of objects created.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A handle to an interned string. Two symbols are equal iff their
+/// underlying strings are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u64);
+
+struct Interner {
+    map: HashMap<&'static str, Symbol>,
+    strings: Vec<&'static str>,
+    /// For symbols created via [`intern_delegate`], the (view, base) pair
+    /// they were constructed from. Stored structurally so that delegate
+    /// OIDs can be split without parsing (base OIDs may themselves
+    /// contain the separator character).
+    delegates: HashMap<Symbol, (Symbol, Symbol)>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+            delegates: HashMap::new(),
+        })
+    })
+}
+
+/// Intern `s`, returning its symbol. Idempotent.
+pub fn intern(s: &str) -> Symbol {
+    let mut g = interner().lock().expect("interner poisoned");
+    if let Some(&sym) = g.map.get(s) {
+        return sym;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    let sym = Symbol(g.strings.len() as u64);
+    g.strings.push(leaked);
+    g.map.insert(leaked, sym);
+    sym
+}
+
+/// Intern the *semantic OID* of a delegate: the concatenation
+/// `"<view>.<base>"` (paper §3.2), remembering the pair structurally.
+pub fn intern_delegate(view: Symbol, base: Symbol) -> Symbol {
+    let name = format!("{}.{}", resolve(view), resolve(base));
+    let sym = intern(&name);
+    let mut g = interner().lock().expect("interner poisoned");
+    g.delegates.insert(sym, (view, base));
+    sym
+}
+
+/// If `sym` was created by [`intern_delegate`], return its
+/// `(view, base)` pair.
+pub fn delegate_parts(sym: Symbol) -> Option<(Symbol, Symbol)> {
+    interner()
+        .lock()
+        .expect("interner poisoned")
+        .delegates
+        .get(&sym)
+        .copied()
+}
+
+/// Resolve a symbol back to its string.
+pub fn resolve(sym: Symbol) -> &'static str {
+    interner()
+        .lock()
+        .expect("interner poisoned")
+        .strings
+        .get(sym.0 as usize)
+        .copied()
+        .expect("symbol from a different interner generation")
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({}:{})", self.0, resolve(*self))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(resolve(*self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = intern("hello");
+        let b = intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(intern("x1"), intern("x2"));
+    }
+
+    #[test]
+    fn delegate_symbols_are_splittable() {
+        let v = intern("MVJ");
+        let b = intern("P1");
+        let d = intern_delegate(v, b);
+        assert_eq!(resolve(d), "MVJ.P1");
+        assert_eq!(delegate_parts(d), Some((v, b)));
+        assert_eq!(delegate_parts(b), None);
+    }
+
+    #[test]
+    fn nested_delegates_split_one_level() {
+        let v1 = intern("V1");
+        let v2 = intern("V2");
+        let b = intern("B");
+        let d1 = intern_delegate(v1, b);
+        let d2 = intern_delegate(v2, d1);
+        assert_eq!(resolve(d2), "V2.V1.B");
+        assert_eq!(delegate_parts(d2), Some((v2, d1)));
+        assert_eq!(delegate_parts(d1), Some((v1, b)));
+    }
+
+    #[test]
+    fn empty_string_interns() {
+        let e = intern("");
+        assert_eq!(resolve(e), "");
+    }
+}

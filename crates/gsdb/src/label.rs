@@ -1,0 +1,125 @@
+//! Object labels.
+//!
+//! A label is "a string that explains the meaning of the object and does
+//! not need to be unique" (paper §2). Labels are the alphabet of paths
+//! and path expressions, so they must be cheap to compare: we intern
+//! them.
+
+use crate::intern::{intern, Symbol};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+/// An interned object label (e.g. `professor`, `age`, `view`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(Symbol);
+
+impl Label {
+    /// Intern a label by name.
+    pub fn new(name: &str) -> Self {
+        Label(intern(name))
+    }
+
+    /// The label's string.
+    pub fn as_str(self) -> &'static str {
+        crate::intern::resolve(self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({})", self.as_str())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<&String> for Label {
+    fn from(s: &String) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label::new(&s)
+    }
+}
+
+impl Serialize for Label {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Label {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Label::new(&s))
+    }
+}
+
+/// Well-known labels used by the view machinery (paper §3).
+pub mod well_known {
+    use super::Label;
+
+    /// Label of virtual view objects.
+    pub fn view() -> Label {
+        Label::new("view")
+    }
+
+    /// Label of materialized view objects.
+    pub fn mview() -> Label {
+        Label::new("mview")
+    }
+
+    /// Label of query answer objects.
+    pub fn answer() -> Label {
+        Label::new("answer")
+    }
+
+    /// Label of database objects.
+    pub fn database() -> Label {
+        Label::new("database")
+    }
+
+    /// Label of auxiliary timestamp subobjects (paper §3.2).
+    pub fn timestamp() -> Label {
+        Label::new("timestamp")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_compare_by_string() {
+        assert_eq!(Label::new("age"), Label::new("age"));
+        assert_ne!(Label::new("age"), Label::new("name"));
+    }
+
+    #[test]
+    fn labels_need_not_be_unique_per_object() {
+        // Two distinct objects may share a label; labels are just strings.
+        let a = Label::new("professor");
+        let b = Label::from("professor");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "professor");
+    }
+
+    #[test]
+    fn well_known_labels() {
+        assert_eq!(well_known::view().as_str(), "view");
+        assert_eq!(well_known::answer().as_str(), "answer");
+    }
+}

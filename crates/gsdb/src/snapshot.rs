@@ -1,0 +1,81 @@
+//! Serializable snapshots of a store.
+//!
+//! A warehouse initializing a materialized view needs a consistent copy
+//! of source state (paper §5); snapshots also let tests persist and
+//! diff database states. The snapshot format is a plain object list, so
+//! it round-trips through serde (JSON, etc.) without depending on
+//! interner state.
+
+use crate::{Object, Result, Store, StoreConfig};
+use serde::{Deserialize, Serialize};
+
+/// A serializable image of a store's objects.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Objects, sorted by OID name for deterministic output.
+    pub objects: Vec<Object>,
+}
+
+impl Snapshot {
+    /// Capture a snapshot of `store`.
+    pub fn capture(store: &Store) -> Snapshot {
+        let mut objects: Vec<Object> = store.iter().cloned().collect();
+        objects.sort_by_key(|o| o.oid.name());
+        Snapshot { objects }
+    }
+
+    /// Restore into a new store with the given configuration.
+    pub fn restore(&self, cfg: StoreConfig) -> Result<Store> {
+        let mut store = Store::with_config(cfg);
+        for o in &self.objects {
+            store.create(o.clone())?;
+        }
+        Ok(store)
+    }
+
+    /// Number of objects in the snapshot.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{samples, Oid, Path};
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let mut s = Store::new();
+        samples::person_db(&mut s).unwrap();
+        let snap = Snapshot::capture(&s);
+        assert_eq!(snap.len(), s.len());
+        let restored = snap.restore(StoreConfig::default()).unwrap();
+        assert_eq!(restored.len(), s.len());
+        // Structure survives: same reachability.
+        let before = crate::path::reach(&s, Oid::new("ROOT"), &Path::parse("professor.age"));
+        let after = crate::path::reach(&restored, Oid::new("ROOT"), &Path::parse("professor.age"));
+        assert_eq!(before, after);
+        // Parent index was rebuilt on restore.
+        assert!(restored
+            .parents(Oid::new("A1"))
+            .unwrap()
+            .contains(Oid::new("P1")));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut s = Store::new();
+        samples::fig1_db(&mut s).unwrap();
+        let snap = Snapshot::capture(&s);
+        // serde_json is not a dependency; use the Debug representation
+        // only to confirm determinism, and a manual clone for equality.
+        let snap2 = Snapshot::capture(&snap.restore(StoreConfig::default()).unwrap());
+        assert_eq!(snap, snap2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Store statistics: object counts, label histogram, fan-out
+//! distribution. Used by workload generators to validate their shapes
+//! and by the benchmark harness to report database parameters.
+
+use crate::{Label, Store};
+use std::collections::HashMap;
+
+/// Summary statistics for a store.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Total objects.
+    pub objects: usize,
+    /// Set objects.
+    pub set_objects: usize,
+    /// Atomic objects.
+    pub atomic_objects: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// Maximum fan-out of any set object.
+    pub max_fanout: usize,
+    /// Mean fan-out over set objects (0 when there are none).
+    pub mean_fanout: f64,
+    /// Objects per label.
+    pub label_histogram: HashMap<Label, usize>,
+}
+
+/// Compute statistics over every object in the store.
+pub fn stats(store: &Store) -> StoreStats {
+    let mut s = StoreStats {
+        objects: store.len(),
+        ..Default::default()
+    };
+    for obj in store.iter() {
+        *s.label_histogram.entry(obj.label).or_insert(0) += 1;
+        if obj.is_set() {
+            s.set_objects += 1;
+            let f = obj.children().len();
+            s.edges += f;
+            s.max_fanout = s.max_fanout.max(f);
+        } else {
+            s.atomic_objects += 1;
+        }
+    }
+    if s.set_objects > 0 {
+        s.mean_fanout = s.edges as f64 / s.set_objects as f64;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{atom, set};
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut store = Store::new();
+        set("r", "root")
+            .child(set("a", "mid").child(atom("x", "leaf", 1i64)).child(atom("y", "leaf", 2i64)))
+            .child(atom("z", "leaf", 3i64))
+            .build(&mut store)
+            .unwrap();
+        let s = stats(&store);
+        assert_eq!(s.objects, 5);
+        assert_eq!(s.set_objects, 2);
+        assert_eq!(s.atomic_objects, 3);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_fanout, 2);
+        assert!((s.mean_fanout - 2.0).abs() < 1e-9);
+        assert_eq!(s.label_histogram[&Label::new("leaf")], 3);
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let s = stats(&Store::new());
+        assert_eq!(s.objects, 0);
+        assert_eq!(s.mean_fanout, 0.0);
+    }
+}

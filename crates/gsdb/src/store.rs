@@ -1,0 +1,537 @@
+//! The object store: owns all objects of one or more graph structured
+//! databases and applies the basic updates of paper §4.1.
+//!
+//! The store is *conceptual-model faithful*: objects are
+//! `<OID, label, type, value>` records, and every mutation flows through
+//! [`Store::apply`] so that an update log can feed source monitors
+//! (paper §5) and maintenance algorithms (paper §4).
+//!
+//! Two optional indexes accelerate the functions Algorithm 1 relies on:
+//!
+//! * the **parent index** — the paper's "inverse index such that from
+//!   each node we can find out its parent" (§4.4), which makes
+//!   `ancestor(N, p)` a cheap upward walk instead of a traversal from
+//!   the root;
+//! * the **label index** — label → objects, used by query planning.
+//!
+//! Every object read increments an access counter, giving experiments a
+//! machine-independent measure of "access to base data" — the cost the
+//! paper's §4.4 discussion is about.
+
+use crate::{
+    AppliedUpdate, Atom, GsdbError, Label, Object, Oid, OidSet, Result, Update, Value,
+};
+use std::cell::Cell;
+use std::collections::HashMap;
+
+/// Store configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Maintain the inverse (child → parents) index (paper §4.4).
+    pub parent_index: bool,
+    /// Maintain the label → objects index.
+    pub label_index: bool,
+    /// Record applied updates in the update log.
+    pub log_updates: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            parent_index: true,
+            label_index: true,
+            log_updates: false,
+        }
+    }
+}
+
+/// An in-memory GSDB object store.
+#[derive(Debug, Default)]
+pub struct Store {
+    objects: HashMap<Oid, Object>,
+    parent_index: Option<HashMap<Oid, OidSet>>,
+    label_index: Option<HashMap<Label, OidSet>>,
+    log: Vec<AppliedUpdate>,
+    log_enabled: bool,
+    accesses: Cell<u64>,
+}
+
+impl Store {
+    /// A store with the default configuration (both indexes, no log).
+    pub fn new() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// A store with explicit configuration.
+    pub fn with_config(cfg: StoreConfig) -> Self {
+        Store {
+            objects: HashMap::new(),
+            parent_index: cfg.parent_index.then(HashMap::new),
+            label_index: cfg.label_index.then(HashMap::new),
+            log: Vec::new(),
+            log_enabled: cfg.log_updates,
+            accesses: Cell::new(0),
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True iff no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// True iff an object with this OID exists.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.objects.contains_key(&oid)
+    }
+
+    /// Look up an object, counting the access.
+    pub fn get(&self, oid: Oid) -> Option<&Object> {
+        self.accesses.set(self.accesses.get() + 1);
+        self.objects.get(&oid)
+    }
+
+    /// Look up an object or fail.
+    pub fn require(&self, oid: Oid) -> Result<&Object> {
+        self.get(oid).ok_or(GsdbError::NoSuchObject(oid))
+    }
+
+    /// Label of an object, if it exists.
+    pub fn label(&self, oid: Oid) -> Option<Label> {
+        self.get(oid).map(|o| o.label)
+    }
+
+    /// Children of a set object (empty slice for atomic or missing).
+    pub fn children(&self, oid: Oid) -> &[Oid] {
+        self.accesses.set(self.accesses.get() + 1);
+        self.objects
+            .get(&oid)
+            .map(|o| o.children())
+            .unwrap_or(&[])
+    }
+
+    /// Atomic value of an object, if atomic.
+    pub fn atom(&self, oid: Oid) -> Option<&Atom> {
+        self.get(oid).and_then(|o| o.atom_value())
+    }
+
+    /// Iterate all objects (order unspecified). Does not count accesses.
+    pub fn iter(&self) -> impl Iterator<Item = &Object> {
+        self.objects.values()
+    }
+
+    /// All OIDs, sorted by name (deterministic).
+    pub fn oids_sorted(&self) -> Vec<Oid> {
+        let mut v: Vec<Oid> = self.objects.keys().copied().collect();
+        v.sort_by_key(|o| o.name());
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Access accounting
+    // ------------------------------------------------------------------
+
+    /// Number of object reads since construction / last reset. This is
+    /// the "access to base data" cost the paper's §4.4 analysis uses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Reset the access counter.
+    pub fn reset_accesses(&self) {
+        self.accesses.set(0);
+    }
+
+    // ------------------------------------------------------------------
+    // Indexes
+    // ------------------------------------------------------------------
+
+    /// True iff the inverse (parent) index is maintained.
+    pub fn has_parent_index(&self) -> bool {
+        self.parent_index.is_some()
+    }
+
+    /// Parents of an object, from the inverse index. `None` if the index
+    /// is disabled (callers must then traverse — exactly the trade-off
+    /// of paper §4.4).
+    pub fn parents(&self, oid: Oid) -> Option<&OidSet> {
+        self.accesses.set(self.accesses.get() + 1);
+        self.parent_index.as_ref().map(|idx| {
+            static EMPTY: std::sync::OnceLock<OidSet> = std::sync::OnceLock::new();
+            idx.get(&oid)
+                .unwrap_or_else(|| EMPTY.get_or_init(OidSet::new))
+        })
+    }
+
+    /// Objects with a given label, from the label index. `None` if the
+    /// index is disabled.
+    pub fn with_label(&self, label: Label) -> Option<&OidSet> {
+        self.label_index.as_ref().map(|idx| {
+            static EMPTY: std::sync::OnceLock<OidSet> = std::sync::OnceLock::new();
+            idx.get(&label)
+                .unwrap_or_else(|| EMPTY.get_or_init(OidSet::new))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Insert a fresh object record. Fails on duplicate OID.
+    pub fn create(&mut self, object: Object) -> Result<()> {
+        self.apply(Update::Create { object }).map(|_| ())
+    }
+
+    /// Create many objects at once (setup convenience).
+    pub fn create_all(&mut self, objects: impl IntoIterator<Item = Object>) -> Result<()> {
+        for o in objects {
+            self.create(o)?;
+        }
+        Ok(())
+    }
+
+    /// `insert(parent, child)` — paper §4.1 update 1.
+    pub fn insert_edge(&mut self, parent: Oid, child: Oid) -> Result<AppliedUpdate> {
+        self.apply(Update::Insert { parent, child })
+    }
+
+    /// `delete(parent, child)` — paper §4.1 update 2.
+    pub fn delete_edge(&mut self, parent: Oid, child: Oid) -> Result<AppliedUpdate> {
+        self.apply(Update::Delete { parent, child })
+    }
+
+    /// `modify(oid, oldv, newv)` — paper §4.1 update 3 (old value is
+    /// captured from the store).
+    pub fn modify_atom(&mut self, oid: Oid, new: impl Into<Atom>) -> Result<AppliedUpdate> {
+        self.apply(Update::Modify {
+            oid,
+            new: new.into(),
+        })
+    }
+
+    /// Apply a basic update, validating it and maintaining indexes and
+    /// the update log. Returns the applied form (with old values).
+    pub fn apply(&mut self, update: Update) -> Result<AppliedUpdate> {
+        let applied = match update {
+            Update::Insert { parent, child } => {
+                if !self.objects.contains_key(&child) {
+                    return Err(GsdbError::NoSuchObject(child));
+                }
+                let pobj = self
+                    .objects
+                    .get_mut(&parent)
+                    .ok_or(GsdbError::NoSuchObject(parent))?;
+                let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
+                set.insert(child);
+                if let Some(idx) = self.parent_index.as_mut() {
+                    idx.entry(child).or_default().insert(parent);
+                }
+                AppliedUpdate::Insert { parent, child }
+            }
+            Update::Delete { parent, child } => {
+                let pobj = self
+                    .objects
+                    .get_mut(&parent)
+                    .ok_or(GsdbError::NoSuchObject(parent))?;
+                let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
+                if !set.remove(child) {
+                    return Err(GsdbError::NotAChild { parent, child });
+                }
+                if let Some(idx) = self.parent_index.as_mut() {
+                    if let Some(ps) = idx.get_mut(&child) {
+                        ps.remove(parent);
+                    }
+                }
+                AppliedUpdate::Delete { parent, child }
+            }
+            Update::Modify { oid, new } => {
+                let obj = self
+                    .objects
+                    .get_mut(&oid)
+                    .ok_or(GsdbError::NoSuchObject(oid))?;
+                let old = match &mut obj.value {
+                    Value::Atom(a) => std::mem::replace(a, new.clone()),
+                    Value::Set(_) => return Err(GsdbError::NotAtomic(oid)),
+                };
+                AppliedUpdate::Modify { oid, old, new }
+            }
+            Update::Create { object } => {
+                if self.objects.contains_key(&object.oid) {
+                    return Err(GsdbError::DuplicateOid(object.oid));
+                }
+                let oid = object.oid;
+                if let Some(idx) = self.label_index.as_mut() {
+                    idx.entry(object.label).or_default().insert(oid);
+                }
+                if let Some(idx) = self.parent_index.as_mut() {
+                    // A created object may arrive with children already in
+                    // its set value; index those edges.
+                    for c in object.children() {
+                        idx.entry(*c).or_default().insert(oid);
+                    }
+                }
+                self.objects.insert(oid, object);
+                AppliedUpdate::Create { oid }
+            }
+            Update::Remove { oid } => {
+                let obj = self
+                    .objects
+                    .remove(&oid)
+                    .ok_or(GsdbError::NoSuchObject(oid))?;
+                if let Some(idx) = self.label_index.as_mut() {
+                    if let Some(s) = idx.get_mut(&obj.label) {
+                        s.remove(oid);
+                    }
+                }
+                if let Some(idx) = self.parent_index.as_mut() {
+                    for c in obj.children() {
+                        if let Some(ps) = idx.get_mut(c) {
+                            ps.remove(oid);
+                        }
+                    }
+                    idx.remove(&oid);
+                }
+                AppliedUpdate::Remove { oid }
+            }
+        };
+        if self.log_enabled {
+            self.log.push(applied.clone());
+        }
+        Ok(applied)
+    }
+
+    // ------------------------------------------------------------------
+    // Update log
+    // ------------------------------------------------------------------
+
+    /// Drain the update log (the source monitor's feed, paper §5).
+    pub fn drain_log(&mut self) -> Vec<AppliedUpdate> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Peek the update log.
+    pub fn log(&self) -> &[AppliedUpdate] {
+        &self.log
+    }
+
+    // ------------------------------------------------------------------
+    // Set operations on set objects (paper §2)
+    // ------------------------------------------------------------------
+
+    /// `union(S1, S2)`: a new object whose value is
+    /// `value(S1) ∪ value(S2)`, with a fresh OID and S1's label.
+    pub fn union_objects(&mut self, fresh_oid: Oid, s1: Oid, s2: Oid) -> Result<Oid> {
+        let (label, v1) = {
+            let o1 = self.require(s1)?;
+            (o1.label, o1.value.as_set().ok_or(GsdbError::NotASet(s1))?.clone())
+        };
+        let v2 = {
+            let o2 = self.require(s2)?;
+            o2.value.as_set().ok_or(GsdbError::NotASet(s2))?.clone()
+        };
+        self.create(Object {
+            oid: fresh_oid,
+            label,
+            value: Value::Set(v1.union(&v2)),
+        })?;
+        Ok(fresh_oid)
+    }
+
+    /// `int(S1, S2)`: a new object whose value is
+    /// `value(S1) ∩ value(S2)`, with a fresh OID and S1's label.
+    pub fn intersect_objects(&mut self, fresh_oid: Oid, s1: Oid, s2: Oid) -> Result<Oid> {
+        let (label, v1) = {
+            let o1 = self.require(s1)?;
+            (o1.label, o1.value.as_set().ok_or(GsdbError::NotASet(s1))?.clone())
+        };
+        let v2 = {
+            let o2 = self.require(s2)?;
+            o2.value.as_set().ok_or(GsdbError::NotASet(s2))?.clone()
+        };
+        self.create(Object {
+            oid: fresh_oid,
+            label,
+            value: Value::Set(v1.intersection(&v2)),
+        })?;
+        Ok(fresh_oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn tiny_store() -> Store {
+        let mut s = Store::new();
+        s.create_all([
+            Object::set("ROOT", "person", &[oid("P1")]),
+            Object::set("P1", "professor", &[oid("A1")]),
+            Object::atom("A1", "age", 45i64),
+        ])
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn create_and_get() {
+        let s = tiny_store();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.label(oid("P1")).unwrap().as_str(), "professor");
+        assert_eq!(s.atom(oid("A1")), Some(&Atom::Int(45)));
+        assert!(s.get(oid("NOPE")).is_none());
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut s = tiny_store();
+        let err = s.create(Object::atom("A1", "age", 1i64)).unwrap_err();
+        assert_eq!(err, GsdbError::DuplicateOid(oid("A1")));
+    }
+
+    #[test]
+    fn insert_edge_updates_value_and_parent_index() {
+        let mut s = tiny_store();
+        s.create(Object::atom("N1", "name", "John")).unwrap();
+        s.insert_edge(oid("P1"), oid("N1")).unwrap();
+        assert!(s.get(oid("P1")).unwrap().children().contains(&oid("N1")));
+        assert!(s.parents(oid("N1")).unwrap().contains(oid("P1")));
+    }
+
+    #[test]
+    fn insert_into_atomic_rejected() {
+        let mut s = tiny_store();
+        let err = s.insert_edge(oid("A1"), oid("P1")).unwrap_err();
+        assert_eq!(err, GsdbError::NotASet(oid("A1")));
+    }
+
+    #[test]
+    fn insert_unknown_child_rejected() {
+        let mut s = tiny_store();
+        let err = s.insert_edge(oid("P1"), oid("GHOST")).unwrap_err();
+        assert_eq!(err, GsdbError::NoSuchObject(oid("GHOST")));
+    }
+
+    #[test]
+    fn delete_edge_and_not_a_child() {
+        let mut s = tiny_store();
+        s.delete_edge(oid("ROOT"), oid("P1")).unwrap();
+        assert!(s.get(oid("ROOT")).unwrap().children().is_empty());
+        assert!(!s.parents(oid("P1")).unwrap().contains(oid("ROOT")));
+        let err = s.delete_edge(oid("ROOT"), oid("P1")).unwrap_err();
+        assert_eq!(
+            err,
+            GsdbError::NotAChild {
+                parent: oid("ROOT"),
+                child: oid("P1")
+            }
+        );
+    }
+
+    #[test]
+    fn modify_captures_old_value() {
+        let mut s = tiny_store();
+        let applied = s.modify_atom(oid("A1"), 46i64).unwrap();
+        assert_eq!(
+            applied,
+            AppliedUpdate::Modify {
+                oid: oid("A1"),
+                old: Atom::Int(45),
+                new: Atom::Int(46),
+            }
+        );
+        assert_eq!(s.atom(oid("A1")), Some(&Atom::Int(46)));
+    }
+
+    #[test]
+    fn modify_set_object_rejected() {
+        let mut s = tiny_store();
+        let err = s.modify_atom(oid("P1"), 1i64).unwrap_err();
+        assert_eq!(err, GsdbError::NotAtomic(oid("P1")));
+    }
+
+    #[test]
+    fn update_log_records_applied_updates() {
+        let mut s = Store::with_config(StoreConfig {
+            log_updates: true,
+            ..StoreConfig::default()
+        });
+        s.create(Object::empty_set("R", "root")).unwrap();
+        s.create(Object::atom("X", "x", 1i64)).unwrap();
+        s.insert_edge(oid("R"), oid("X")).unwrap();
+        s.modify_atom(oid("X"), 2i64).unwrap();
+        let log = s.drain_log();
+        assert_eq!(log.len(), 4);
+        assert!(matches!(log[2], AppliedUpdate::Insert { .. }));
+        assert!(matches!(log[3], AppliedUpdate::Modify { .. }));
+        assert!(s.log().is_empty());
+    }
+
+    #[test]
+    fn label_index_tracks_create_remove() {
+        let mut s = tiny_store();
+        let prof = Label::new("professor");
+        assert!(s.with_label(prof).unwrap().contains(oid("P1")));
+        s.delete_edge(oid("ROOT"), oid("P1")).unwrap();
+        s.apply(Update::Remove { oid: oid("P1") }).unwrap();
+        assert!(!s.with_label(prof).unwrap().contains(oid("P1")));
+    }
+
+    #[test]
+    fn disabled_indexes_return_none() {
+        let s = Store::with_config(StoreConfig {
+            parent_index: false,
+            label_index: false,
+            log_updates: false,
+        });
+        assert!(s.parents(oid("X")).is_none());
+        assert!(s.with_label(Label::new("y")).is_none());
+        assert!(!s.has_parent_index());
+    }
+
+    #[test]
+    fn access_counter_counts_reads() {
+        let s = tiny_store();
+        s.reset_accesses();
+        let _ = s.get(oid("P1"));
+        let _ = s.children(oid("ROOT"));
+        assert_eq!(s.accesses(), 2);
+        s.reset_accesses();
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn union_and_intersect_objects() {
+        let mut s = Store::new();
+        s.create_all([
+            Object::atom("a", "x", 1i64),
+            Object::atom("b", "x", 2i64),
+            Object::atom("c", "x", 3i64),
+            Object::set("S1", "things", &[oid("a"), oid("b")]),
+            Object::set("S2", "things", &[oid("b"), oid("c")]),
+        ])
+        .unwrap();
+        let u = s.union_objects(oid("U"), oid("S1"), oid("S2")).unwrap();
+        let i = s.intersect_objects(oid("I"), oid("S1"), oid("S2")).unwrap();
+        assert_eq!(s.get(u).unwrap().children().len(), 3);
+        let io = s.get(i).unwrap();
+        assert_eq!(io.children(), &[oid("b")]);
+        // Result objects take S1's label (paper §2).
+        assert_eq!(io.label.as_str(), "things");
+    }
+
+    #[test]
+    fn create_with_children_populates_parent_index() {
+        let mut s = Store::new();
+        s.create(Object::atom("c1", "x", 1i64)).unwrap();
+        s.create(Object::set("p", "parent", &[oid("c1")])).unwrap();
+        assert!(s.parents(oid("c1")).unwrap().contains(oid("p")));
+    }
+}

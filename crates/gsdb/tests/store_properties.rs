@@ -1,0 +1,90 @@
+//! Model-based property tests for the storage substrate: `OidSet`
+//! against `std::collections::HashSet`, store update/rollback
+//! round-trips, and notation/snapshot round-trips over random trees.
+
+use gsdb::{notation, txn, Object, Oid, OidSet, Snapshot, Store, StoreConfig, Update};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn oid_pool() -> Vec<Oid> {
+    (0..12).map(|i| Oid::new(&format!("sp{i}"))).collect()
+}
+
+proptest! {
+    /// OidSet behaves exactly like a set of OIDs under random
+    /// insert/remove/contains sequences.
+    #[test]
+    fn oidset_matches_hashset_model(ops in prop::collection::vec((0..3u8, 0..12usize), 0..200)) {
+        let pool = oid_pool();
+        let mut sut = OidSet::new();
+        let mut model: HashSet<Oid> = HashSet::new();
+        for (kind, idx) in ops {
+            let o = pool[idx];
+            match kind {
+                0 => prop_assert_eq!(sut.insert(o), model.insert(o)),
+                1 => prop_assert_eq!(sut.remove(o), model.remove(&o)),
+                _ => prop_assert_eq!(sut.contains(o), model.contains(&o)),
+            }
+            prop_assert_eq!(sut.len(), model.len());
+        }
+        let mut got = sut.sorted();
+        got.sort_by_key(|o| o.name());
+        let mut want: Vec<Oid> = model.into_iter().collect();
+        want.sort_by_key(|o| o.name());
+        prop_assert_eq!(got, want);
+    }
+
+    /// Applying a batch and then its inverses restores the exact store
+    /// state (for effective updates).
+    #[test]
+    fn inverses_restore_state(values in prop::collection::vec(0..100i64, 1..8), salt in 0u32..1_000_000) {
+        let mut store = Store::with_config(StoreConfig::default());
+        let root = Oid::new(&format!("ir{salt}root"));
+        store.create(Object::empty_set(root.name(), "r")).unwrap();
+        let mut applied = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let a = Oid::new(&format!("ir{salt}a{i}"));
+            applied.push(store.apply(Update::Create {
+                object: Object::atom(a.name(), "v", *v),
+            }).unwrap());
+            applied.push(store.apply(Update::Insert { parent: root, child: a }).unwrap());
+            applied.push(store.apply(Update::Modify { oid: a, new: gsdb::Atom::Int(v + 1) }).unwrap());
+        }
+        let dirty = Snapshot::capture(&store);
+        // Undo everything in reverse.
+        for a in applied.iter().rev() {
+            let inv = txn::inverse(&store, a);
+            store.apply(inv).unwrap();
+        }
+        let clean = Snapshot::capture(&store);
+        prop_assert_eq!(clean.len(), 1, "only the root remains");
+        prop_assert_ne!(dirty, clean);
+    }
+
+    /// Random trees round-trip through the paper notation and through
+    /// snapshots.
+    #[test]
+    fn notation_roundtrip_random_trees(shape in prop::collection::vec((any::<u16>(), 0..50i64), 1..20), salt in 0u32..1_000_000) {
+        let mut store = Store::new();
+        let root = Oid::new(&format!("nr{salt}root"));
+        store.create(Object::empty_set(root.name(), "root")).unwrap();
+        let mut sets = vec![root];
+        for (i, (p, v)) in shape.iter().enumerate() {
+            let parent = sets[(*p as usize) % sets.len()];
+            if v % 3 == 0 {
+                let o = Oid::new(&format!("nr{salt}s{i}"));
+                store.create(Object::empty_set(o.name(), "mid")).unwrap();
+                store.insert_edge(parent, o).unwrap();
+                sets.push(o);
+            } else {
+                let o = Oid::new(&format!("nr{salt}a{i}"));
+                store.create(Object::atom(o.name(), "leaf", *v)).unwrap();
+                store.insert_edge(parent, o).unwrap();
+            }
+        }
+        prop_assert!(notation::roundtrips(&store).unwrap());
+        let snap = Snapshot::capture(&store);
+        let restored = snap.restore(StoreConfig::default()).unwrap();
+        prop_assert_eq!(snap, Snapshot::capture(&restored));
+    }
+}

@@ -1,0 +1,322 @@
+//! Tokenizer for the query language surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased): SELECT, WHERE, WITHIN, ANS, INT, DEFINE,
+    /// VIEW, MVIEW, AS, CONTAINS.
+    Keyword(String),
+    /// Identifier: OID, label, or variable name.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Quoted string literal (single or double quotes, or backquote as
+    /// in the paper's `‘John’`).
+    Str(String),
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `?`
+    Question,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `|`
+    Pipe,
+    /// `:`
+    Colon,
+    /// A comparison operator: `=`, `!=`, `<`, `<=`, `>`, `>=`.
+    Op(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Question => write!(f, "?"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Pipe => write!(f, "|"),
+            Token::Colon => write!(f, ":"),
+            Token::Op(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "WHERE", "WITHIN", "ANS", "INT", "DEFINE", "VIEW", "MVIEW", "AS", "CONTAINS",
+    "EXISTS",
+];
+
+/// A lexing error with byte position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a statement. Identifiers and operators are ASCII;
+/// non-ASCII text is only valid inside quoted string literals.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '.' => {
+                toks.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Token::Star);
+                i += 1;
+            }
+            '?' => {
+                toks.push(Token::Question);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Token::RParen);
+                i += 1;
+            }
+            '|' => {
+                toks.push(Token::Pipe);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Token::Colon);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Token::Op("=".into()));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push(Token::Op("!=".into()));
+                i += 2;
+            }
+            '<' | '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token::Op(format!("{c}=")));
+                    i += 2;
+                } else {
+                    toks.push(Token::Op(c.to_string()));
+                    i += 1;
+                }
+            }
+            '\'' | '"' | '`' => {
+                let quote = c;
+                let close = if quote == '`' { '\'' } else { quote };
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != close {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        pos: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                toks.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            '$' | '0'..='9' | '-' => {
+                // Numbers; `$100,000` style dollar literals lex as the
+                // integer 100000.
+                let start = i;
+                if c == '$' || c == '-' {
+                    i += 1;
+                }
+                let mut digits = String::new();
+                if c == '-' {
+                    digits.push('-');
+                }
+                let mut is_real = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        digits.push(d);
+                        i += 1;
+                    } else if d == ',' && c == '$' {
+                        i += 1; // thousands separator in dollar literals
+                    } else if d == '.'
+                        && !is_real
+                        && bytes
+                            .get(i + 1)
+                            .map(|b| (*b as char).is_ascii_digit())
+                            .unwrap_or(false)
+                    {
+                        is_real = true;
+                        digits.push('.');
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if digits.is_empty() || digits == "-" {
+                    return Err(LexError {
+                        pos: start,
+                        message: format!("malformed number starting with {c:?}"),
+                    });
+                }
+                if is_real {
+                    let r = digits.parse().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad real literal: {e}"),
+                    })?;
+                    toks.push(Token::Real(r));
+                } else {
+                    let n = digits.parse().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad integer literal: {e}"),
+                    })?;
+                    toks.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '-' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    toks.push(Token::Keyword(upper));
+                } else {
+                    toks.push(Token::Ident(word.to_owned()));
+                }
+            }
+            other if (other as u32) >= 0x80 => {
+                return Err(LexError {
+                    pos: i,
+                    message: "non-ASCII text is only allowed inside quoted string literals"
+                        .to_owned(),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_paper_query() {
+        let toks = lex("SELECT ROOT.professor X WHERE X.age > 40").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Ident("ROOT".into()),
+                Token::Dot,
+                Token::Ident("professor".into()),
+                Token::Ident("X".into()),
+                Token::Keyword("WHERE".into()),
+                Token::Ident("X".into()),
+                Token::Dot,
+                Token::Ident("age".into()),
+                Token::Op(">".into()),
+                Token::Int(40),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_wildcards_and_strings() {
+        let toks = lex("SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON").unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Str("John".into())));
+        assert!(toks.contains(&Token::Keyword("WITHIN".into())));
+    }
+
+    #[test]
+    fn lexes_define_mview() {
+        let toks = lex("define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45").unwrap();
+        assert_eq!(toks[0], Token::Keyword("DEFINE".into()));
+        assert_eq!(toks[1], Token::Keyword("MVIEW".into()));
+        assert!(toks.contains(&Token::Op("<=".into())));
+    }
+
+    #[test]
+    fn lexes_dollar_and_negative_and_real() {
+        assert_eq!(lex("$100,000").unwrap(), vec![Token::Int(100_000)]);
+        assert_eq!(lex("-5").unwrap(), vec![Token::Int(-5)]);
+        assert_eq!(lex("3.25").unwrap(), vec![Token::Real(3.25)]);
+    }
+
+    #[test]
+    fn dot_after_int_is_path_dot() {
+        // "DB1.?" style: 1.? must not parse 1. as a real.
+        let toks = lex("D1.?").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("D1".into()), Token::Dot, Token::Question]
+        );
+    }
+
+    #[test]
+    fn non_ascii_outside_strings_is_an_error_not_a_panic() {
+        // Previously `lex("Café")` sliced mid-character and panicked.
+        let e = lex("SELECT Café.x X").unwrap_err();
+        assert!(e.message.contains("non-ASCII"));
+        // Inside string literals, any UTF-8 is fine.
+        let toks = lex("SELECT R.a X WHERE X.n = 'Café ☕'").unwrap();
+        assert!(toks.contains(&Token::Str("Café ☕".into())));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = lex("SELECT #").unwrap_err();
+        assert_eq!(e.pos, 7);
+        let e = lex("'unterminated").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn backquoted_strings_as_in_paper() {
+        // The paper prints `John' with a backquote-apostrophe pair.
+        assert_eq!(lex("`John'").unwrap(), vec![Token::Str("John".into())]);
+    }
+}

@@ -1,0 +1,536 @@
+//! Path expressions: regular expressions over object labels (paper §2).
+//!
+//! "A path expression is a regular expression of paths. For example,
+//! `*`, `professor.*` and `professor.?` are path expressions." A
+//! constant path is also a path expression.
+//!
+//! Grammar (dot-separated elements):
+//!
+//! * a label `professor` — matches exactly that label;
+//! * `?` — matches any single label;
+//! * `*` — matches any sequence of zero or more labels;
+//! * `(a|b|c)` — matches any one of the listed labels.
+//!
+//! Expressions compile to an NFA over the label alphabet. We provide:
+//!
+//! * [`PathExpr::matches`] — is a constant path an *instance* of the
+//!   expression (paper §2: wild cards substituted by paths);
+//! * [`PathExpr::contains`] — language containment `L(a) ⊆ L(b)`,
+//!   the test paper §6 says wildcard-view maintenance needs
+//!   ("the maintenance algorithm needs to be able to test path
+//!   containment for general path expressions");
+//! * [`reach_expr`] — `N.e`, the union of `N.p` over all instances
+//!   `p` of `e` (paper §2), computed as a product BFS of the database
+//!   graph and the NFA.
+
+use gsdb::{Label, Oid, Path, Store};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::fmt;
+
+/// One dot-separated element of a path expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Elem {
+    /// A specific label.
+    Label(Label),
+    /// `?`: any single label.
+    AnyOne,
+    /// `*`: any sequence of zero or more labels.
+    AnySeq,
+    /// `(a|b)`: one label out of a set.
+    Alt(Vec<Label>),
+}
+
+/// A path expression: a sequence of elements.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct PathExpr(pub Vec<Elem>);
+
+impl PathExpr {
+    /// The empty path expression (matches only the empty path).
+    pub fn empty() -> Self {
+        PathExpr(Vec::new())
+    }
+
+    /// A constant path as an expression.
+    pub fn from_path(p: &Path) -> Self {
+        PathExpr(p.labels().iter().map(|&l| Elem::Label(l)).collect())
+    }
+
+    /// Parse a dotted expression: `"professor.*.age"`, `"?"`,
+    /// `"(a|b).x"`. Empty string parses to the empty expression.
+    ///
+    /// Returns `None` on malformed alternation syntax.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return Some(PathExpr::empty());
+        }
+        let mut elems = Vec::new();
+        for part in s.split('.') {
+            let part = part.trim();
+            let elem = match part {
+                "?" => Elem::AnyOne,
+                "*" => Elem::AnySeq,
+                _ if part.starts_with('(') && part.ends_with(')') => {
+                    let inner = &part[1..part.len() - 1];
+                    let labels: Vec<Label> = inner
+                        .split('|')
+                        .map(str::trim)
+                        .filter(|l| !l.is_empty())
+                        .map(Label::new)
+                        .collect();
+                    if labels.is_empty() {
+                        return None;
+                    }
+                    Elem::Alt(labels)
+                }
+                "" => return None,
+                // A stray '(', ')' or '|' here means an alternation was
+                // split apart by a dot (e.g. "(a|b.c)") or malformed —
+                // reject instead of silently treating it as a label.
+                _ if part.contains('(') || part.contains(')') || part.contains('|') => {
+                    return None
+                }
+                _ => Elem::Label(Label::new(part)),
+            };
+            elems.push(elem);
+        }
+        Some(PathExpr(elems))
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff no elements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True iff this expression is a constant path (no wild cards) —
+    /// the "simple view" precondition of paper §4.2.
+    pub fn is_constant(&self) -> bool {
+        self.0.iter().all(|e| matches!(e, Elem::Label(_)))
+    }
+
+    /// If constant, the corresponding path.
+    pub fn as_path(&self) -> Option<Path> {
+        let mut labels = Vec::with_capacity(self.0.len());
+        for e in &self.0 {
+            match e {
+                Elem::Label(l) => labels.push(*l),
+                _ => return None,
+            }
+        }
+        Some(Path(labels))
+    }
+
+    /// Concatenate two expressions (`sel_path.cond_path`).
+    pub fn concat(&self, other: &PathExpr) -> PathExpr {
+        let mut v = self.0.clone();
+        v.extend(other.0.iter().cloned());
+        PathExpr(v)
+    }
+
+    /// Compile to an NFA.
+    pub fn nfa(&self) -> Nfa {
+        Nfa::compile(self)
+    }
+
+    /// Is `p` an instance of this expression (paper §2)?
+    pub fn matches(&self, p: &Path) -> bool {
+        self.nfa().accepts(p.labels())
+    }
+
+    /// Language containment: does every instance of `self` also
+    /// instantiate `other`? Decided by determinizing both NFAs over
+    /// the joint alphabet (plus a fresh "other label" symbol) and
+    /// searching `L(self) ∩ ¬L(other)` for a witness.
+    pub fn contains(other: &PathExpr, inner: &PathExpr) -> bool {
+        // `inner ⊆ other`.
+        let mut alphabet: BTreeSet<Label> = BTreeSet::new();
+        for e in other.0.iter().chain(inner.0.iter()) {
+            match e {
+                Elem::Label(l) => {
+                    alphabet.insert(*l);
+                }
+                Elem::Alt(ls) => alphabet.extend(ls.iter().copied()),
+                _ => {}
+            }
+        }
+        // A label distinct from all mentioned ones stands in for "any
+        // other label" — sound because both NFAs treat all unmentioned
+        // labels identically.
+        let fresh = Label::new("\u{1}other\u{1}");
+        alphabet.insert(fresh);
+        let a = inner.nfa();
+        let b = other.nfa();
+        // BFS over (subset-of-a-states, subset-of-b-states) looking for
+        // a state where `a` accepts but `b` does not.
+        let start = (a.eclose(&[0]), b.eclose(&[0]));
+        let mut seen: HashSet<(Vec<usize>, Vec<usize>)> = HashSet::new();
+        let mut q = VecDeque::new();
+        seen.insert(start.clone());
+        q.push_back(start);
+        while let Some((sa, sb)) = q.pop_front() {
+            if a.any_accepting(&sa) && !b.any_accepting(&sb) {
+                return false; // witness: a path in inner but not other
+            }
+            for &l in &alphabet {
+                let na = a.step(&sa, l);
+                let nb = b.step(&sb, l);
+                if na.is_empty() {
+                    continue; // dead for inner ⇒ no counterexample there
+                }
+                let key = (na, nb);
+                if seen.insert(key.clone()) {
+                    q.push_back(key);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            match e {
+                Elem::Label(l) => write!(f, "{l}")?,
+                Elem::AnyOne => write!(f, "?")?,
+                Elem::AnySeq => write!(f, "*")?,
+                Elem::Alt(ls) => {
+                    write!(f, "(")?;
+                    for (j, l) in ls.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, "|")?;
+                        }
+                        write!(f, "{l}")?;
+                    }
+                    write!(f, ")")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&Path> for PathExpr {
+    fn from(p: &Path) -> Self {
+        PathExpr::from_path(p)
+    }
+}
+
+// ----------------------------------------------------------------------
+// NFA
+// ----------------------------------------------------------------------
+
+/// A transition predicate on one label step.
+#[derive(Clone, Debug)]
+enum Trans {
+    /// Consume exactly this label.
+    Label(Label),
+    /// Consume any label.
+    Any,
+    /// Consume one of these labels.
+    OneOf(Vec<Label>),
+}
+
+impl Trans {
+    fn admits(&self, l: Label) -> bool {
+        match self {
+            Trans::Label(t) => *t == l,
+            Trans::Any => true,
+            Trans::OneOf(ts) => ts.contains(&l),
+        }
+    }
+}
+
+/// A compiled NFA for a path expression. State `i` means "the first
+/// `i` elements are fully matched"; `*` elements add self-loops plus an
+/// epsilon edge.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// consuming transitions: (from, trans, to)
+    trans: Vec<(usize, Trans, usize)>,
+    /// epsilon transitions: (from, to)
+    eps: Vec<(usize, usize)>,
+    accept: usize,
+}
+
+impl Nfa {
+    fn compile(e: &PathExpr) -> Nfa {
+        let mut trans = Vec::new();
+        let mut eps = Vec::new();
+        for (i, elem) in e.0.iter().enumerate() {
+            match elem {
+                Elem::Label(l) => trans.push((i, Trans::Label(*l), i + 1)),
+                Elem::AnyOne => trans.push((i, Trans::Any, i + 1)),
+                Elem::AnySeq => {
+                    eps.push((i, i + 1));
+                    trans.push((i, Trans::Any, i));
+                }
+                Elem::Alt(ls) => trans.push((i, Trans::OneOf(ls.clone()), i + 1)),
+            }
+        }
+        Nfa {
+            trans,
+            eps,
+            accept: e.0.len(),
+        }
+    }
+
+    /// Epsilon closure of a state set; result sorted + deduped.
+    pub fn eclose(&self, states: &[usize]) -> Vec<usize> {
+        let mut out: BTreeSet<usize> = states.iter().copied().collect();
+        let mut frontier: Vec<usize> = states.to_vec();
+        while let Some(s) = frontier.pop() {
+            for &(f, t) in &self.eps {
+                if f == s && out.insert(t) {
+                    frontier.push(t);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// One consuming step from a (closed) state set on label `l`;
+    /// result is epsilon-closed.
+    pub fn step(&self, states: &[usize], l: Label) -> Vec<usize> {
+        let mut next = Vec::new();
+        for &s in states {
+            for (f, tr, t) in &self.trans {
+                if *f == s && tr.admits(l) && !next.contains(t) {
+                    next.push(*t);
+                }
+            }
+        }
+        self.eclose(&next)
+    }
+
+    /// The (epsilon-closed) start state set.
+    pub fn start(&self) -> Vec<usize> {
+        self.eclose(&[0])
+    }
+
+    /// Does any state in the set accept?
+    pub fn any_accepting(&self, states: &[usize]) -> bool {
+        states.contains(&self.accept)
+    }
+
+    /// Run the NFA over a label word.
+    pub fn accepts(&self, word: &[Label]) -> bool {
+        let mut cur = self.start();
+        for &l in word {
+            cur = self.step(&cur, l);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        self.any_accepting(&cur)
+    }
+}
+
+// ----------------------------------------------------------------------
+// N.e — reachability along a path expression
+// ----------------------------------------------------------------------
+
+/// Statistics from an expression traversal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Product states (object, NFA-state-set) visited.
+    pub states_visited: usize,
+}
+
+/// `N.e`: the union of `N.p` over all instances `p` of `e`
+/// (paper §2). `filter` restricts traversal to objects it admits —
+/// used to implement the `WITHIN DB1` clause, under which OIDs outside
+/// the database "are completely ignored by the query".
+///
+/// Result is sorted by OID name.
+pub fn reach_expr(
+    store: &Store,
+    n: Oid,
+    e: &PathExpr,
+    filter: &dyn Fn(Oid) -> bool,
+) -> (Vec<Oid>, TraversalStats) {
+    let nfa = e.nfa();
+    let mut stats = TraversalStats::default();
+    let mut results: Vec<Oid> = Vec::new();
+    let mut result_set: HashSet<Oid> = HashSet::new();
+    let start = nfa.start();
+    if !filter(n) {
+        return (Vec::new(), stats);
+    }
+    let mut seen: HashSet<(Oid, Vec<usize>)> = HashSet::new();
+    let mut q: VecDeque<(Oid, Vec<usize>)> = VecDeque::new();
+    seen.insert((n, start.clone()));
+    q.push_back((n, start));
+    while let Some((o, states)) = q.pop_front() {
+        stats.states_visited += 1;
+        if nfa.any_accepting(&states) && result_set.insert(o) {
+            results.push(o);
+        }
+        for &c in store.children(o) {
+            if !filter(c) || !store.contains(c) {
+                continue;
+            }
+            let Some(cl) = store.label(c) else { continue };
+            let next = nfa.step(&states, cl);
+            if next.is_empty() {
+                continue;
+            }
+            let key = (c, next.clone());
+            if seen.insert(key) {
+                q.push_back((c, next));
+            }
+        }
+    }
+    results.sort_by_key(|o| o.name());
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsdb::samples;
+
+    fn pe(s: &str) -> PathExpr {
+        PathExpr::parse(s).unwrap()
+    }
+
+    fn path(s: &str) -> Path {
+        Path::parse(s)
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["professor", "professor.age", "*", "?", "professor.*", "(a|b).x"] {
+            assert_eq!(pe(s).to_string(), s);
+        }
+        assert!(PathExpr::parse("a..b").is_none());
+        assert!(PathExpr::parse("()").is_none());
+        // Alternations cannot contain dots; malformed parens are
+        // rejected, not lexed as labels.
+        assert!(PathExpr::parse("(a|b.c)").is_none());
+        assert!(PathExpr::parse("(a").is_none());
+        assert!(PathExpr::parse("a|b").is_none());
+        assert_eq!(PathExpr::parse(""), Some(PathExpr::empty()));
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(pe("professor.age").is_constant());
+        assert!(!pe("professor.*").is_constant());
+        assert_eq!(pe("a.b").as_path(), Some(path("a.b")));
+        assert_eq!(pe("a.?").as_path(), None);
+    }
+
+    #[test]
+    fn matches_constant() {
+        assert!(pe("professor.age").matches(&path("professor.age")));
+        assert!(!pe("professor.age").matches(&path("professor")));
+        assert!(pe("").matches(&Path::empty()));
+        assert!(!pe("").matches(&path("x")));
+    }
+
+    #[test]
+    fn matches_wildcards() {
+        // ? = exactly one label.
+        assert!(pe("professor.?").matches(&path("professor.age")));
+        assert!(!pe("professor.?").matches(&path("professor")));
+        assert!(!pe("professor.?").matches(&path("professor.student.age")));
+        // * = any sequence, including empty (paper: any path p is
+        // contained in path expression *).
+        assert!(pe("*").matches(&Path::empty()));
+        assert!(pe("*").matches(&path("a.b.c")));
+        assert!(pe("professor.*").matches(&path("professor")));
+        assert!(pe("professor.*").matches(&path("professor.student.age")));
+        assert!(!pe("professor.*").matches(&path("secretary.age")));
+        // * in the middle.
+        assert!(pe("a.*.z").matches(&path("a.z")));
+        assert!(pe("a.*.z").matches(&path("a.m.n.z")));
+        assert!(!pe("a.*.z").matches(&path("a.m.n")));
+        // Alternation.
+        assert!(pe("(professor|student).age").matches(&path("student.age")));
+        assert!(!pe("(professor|student).age").matches(&path("secretary.age")));
+    }
+
+    #[test]
+    fn containment_basic() {
+        // Any path is contained in * (paper §6's example).
+        assert!(PathExpr::contains(&pe("*"), &pe("professor.age")));
+        assert!(PathExpr::contains(&pe("*"), &pe("a.*.b")));
+        // Reflexive.
+        assert!(PathExpr::contains(&pe("a.*.b"), &pe("a.*.b")));
+        // Constant vs constant.
+        assert!(PathExpr::contains(&pe("a.b"), &pe("a.b")));
+        assert!(!PathExpr::contains(&pe("a.b"), &pe("a.c")));
+        // ? ⊆ * but not vice versa.
+        assert!(PathExpr::contains(&pe("*"), &pe("?")));
+        assert!(!PathExpr::contains(&pe("?"), &pe("*")));
+        // a.* contains a but not b.
+        assert!(PathExpr::contains(&pe("a.*"), &pe("a")));
+        assert!(!PathExpr::contains(&pe("a.*"), &pe("b")));
+        // Alternation containment.
+        assert!(PathExpr::contains(&pe("(a|b).x"), &pe("a.x")));
+        assert!(!PathExpr::contains(&pe("(a|b).x"), &pe("c.x")));
+        // Unmentioned labels are handled by the fresh-symbol trick:
+        // ?.x ⊆ *.x, even for labels neither side names.
+        assert!(PathExpr::contains(&pe("*.x"), &pe("?.x")));
+        assert!(!PathExpr::contains(&pe("?.x"), &pe("*.x")));
+    }
+
+    #[test]
+    fn reach_expr_on_person_db() {
+        let mut s = Store::new();
+        samples::person_db(&mut s).unwrap();
+        let root = Oid::new("ROOT");
+        let all = |_: Oid| true;
+        // ROOT.professor = {P1, P2}.
+        let (profs, _) = reach_expr(&s, root, &pe("professor"), &all);
+        assert_eq!(profs, vec![Oid::new("P1"), Oid::new("P2")]);
+        // ROOT.* includes every descendant and ROOT itself (ε instance).
+        let (star, _) = reach_expr(&s, root, &pe("*"), &all);
+        assert_eq!(star.len(), 15); // all 15 objects reachable from ROOT
+        // ROOT.*.age: ages at any depth.
+        let (ages, _) = reach_expr(&s, root, &pe("*.age"), &all);
+        assert_eq!(
+            ages,
+            vec![Oid::new("A1"), Oid::new("A3"), Oid::new("A4")]
+        );
+        // ROOT.professor.?: all direct children of professors.
+        let (kids, _) = reach_expr(&s, root, &pe("professor.?"), &all);
+        assert_eq!(kids.len(), 6); // N1,A1,S1,P3,N2,ADD2
+    }
+
+    #[test]
+    fn reach_expr_respects_filter() {
+        let mut s = Store::new();
+        samples::person_db(&mut s).unwrap();
+        let root = Oid::new("ROOT");
+        // Exclude P1: nothing under it is reachable through it.
+        let not_p1 = |o: Oid| o != Oid::new("P1");
+        let (ages, _) = reach_expr(&s, root, &pe("*.age"), &not_p1);
+        // A1 is only under P1; A3 is under P3 which is also a direct
+        // child of ROOT, so it remains reachable; A4 under P4.
+        assert_eq!(ages, vec![Oid::new("A3"), Oid::new("A4")]);
+    }
+
+    #[test]
+    fn reach_expr_handles_cycles() {
+        let mut s = Store::new();
+        s.create_all([
+            gsdb::Object::empty_set("a", "x"),
+            gsdb::Object::empty_set("b", "x"),
+        ])
+        .unwrap();
+        s.insert_edge(Oid::new("a"), Oid::new("b")).unwrap();
+        s.insert_edge(Oid::new("b"), Oid::new("a")).unwrap();
+        let (r, stats) = reach_expr(&s, Oid::new("a"), &pe("*"), &|_| true);
+        assert_eq!(r.len(), 2);
+        assert!(stats.states_visited <= 4, "product BFS must terminate");
+    }
+}

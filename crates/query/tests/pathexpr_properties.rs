@@ -1,0 +1,129 @@
+//! Property tests for the path-expression machinery: NFA matching
+//! against a brute-force oracle, containment consistency, and
+//! forward/backward traversal agreement.
+
+use gsdb::{Label, Path};
+use gsview_query::pathexpr::{Elem, PathExpr};
+use proptest::prelude::*;
+
+const ALPHABET: &[&str] = &["a", "b", "c"];
+
+fn elem_strategy() -> impl Strategy<Value = Elem> {
+    prop_oneof![
+        (0..ALPHABET.len()).prop_map(|i| Elem::Label(Label::new(ALPHABET[i]))),
+        Just(Elem::AnyOne),
+        Just(Elem::AnySeq),
+        prop::collection::vec(0..ALPHABET.len(), 1..3).prop_map(|is| {
+            let mut ls: Vec<Label> = is.iter().map(|&i| Label::new(ALPHABET[i])).collect();
+            ls.dedup();
+            Elem::Alt(ls)
+        }),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = PathExpr> {
+    prop::collection::vec(elem_strategy(), 0..5).prop_map(PathExpr)
+}
+
+fn word_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..ALPHABET.len(), 0..6)
+}
+
+fn to_path(word: &[usize]) -> Path {
+    Path(word.iter().map(|&i| Label::new(ALPHABET[i])).collect())
+}
+
+/// Brute-force oracle: does `word` instantiate `expr`? Recursive
+/// descent with backtracking over `*`.
+fn oracle(elems: &[Elem], word: &[Label]) -> bool {
+    match elems.split_first() {
+        None => word.is_empty(),
+        Some((e, rest)) => match e {
+            Elem::Label(l) => word
+                .split_first()
+                .map(|(w, ws)| w == l && oracle(rest, ws))
+                .unwrap_or(false),
+            Elem::AnyOne => word
+                .split_first()
+                .map(|(_, ws)| oracle(rest, ws))
+                .unwrap_or(false),
+            Elem::Alt(ls) => word
+                .split_first()
+                .map(|(w, ws)| ls.contains(w) && oracle(rest, ws))
+                .unwrap_or(false),
+            Elem::AnySeq => (0..=word.len()).any(|k| oracle(rest, &word[k..])),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// NFA matching agrees with the brute-force oracle on every
+    /// expression × word pair.
+    #[test]
+    fn nfa_matches_oracle(expr in expr_strategy(), word in word_strategy()) {
+        let p = to_path(&word);
+        prop_assert_eq!(expr.matches(&p), oracle(&expr.0, p.labels()));
+    }
+
+    /// Containment is sound: if `a ⊆ b` then every word matched by `a`
+    /// is matched by `b` (checked over all short words).
+    #[test]
+    fn containment_is_sound(a in expr_strategy(), b in expr_strategy()) {
+        if PathExpr::contains(&b, &a) {
+            // Enumerate all words up to length 4 over the alphabet.
+            let mut words: Vec<Vec<usize>> = vec![vec![]];
+            for len in 1..=4usize {
+                let mut next = Vec::new();
+                for w in words.iter().filter(|w| w.len() == len - 1) {
+                    for i in 0..ALPHABET.len() {
+                        let mut v = w.clone();
+                        v.push(i);
+                        next.push(v);
+                    }
+                }
+                words.extend(next);
+            }
+            for w in words {
+                let p = to_path(&w);
+                if a.matches(&p) {
+                    prop_assert!(
+                        b.matches(&p),
+                        "containment claimed but {} ∈ L({}) ∉ L({})",
+                        p, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Containment is reflexive and `*`-topped.
+    #[test]
+    fn containment_reflexive_and_star_top(a in expr_strategy()) {
+        prop_assert!(PathExpr::contains(&a, &a));
+        let star = PathExpr::parse("*").unwrap();
+        prop_assert!(PathExpr::contains(&star, &a));
+    }
+
+    /// The reversed expression matches exactly the reversed words.
+    #[test]
+    fn reversal_matches_reversed_words(expr in expr_strategy(), word in word_strategy()) {
+        let p = to_path(&word);
+        let mut rev_word = word.clone();
+        rev_word.reverse();
+        let rp = to_path(&rev_word);
+        let rev_expr = gsview_query::plan::reversed(&expr);
+        prop_assert_eq!(expr.matches(&p), rev_expr.matches(&rp));
+    }
+
+    /// Constant expressions match exactly their own path.
+    #[test]
+    fn constant_exprs_match_only_themselves(word in word_strategy(), other in word_strategy()) {
+        let p = to_path(&word);
+        let expr = PathExpr::from_path(&p);
+        prop_assert!(expr.matches(&p));
+        let q = to_path(&other);
+        prop_assert_eq!(expr.matches(&q), p == q);
+    }
+}

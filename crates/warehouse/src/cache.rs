@@ -1,0 +1,475 @@
+//! Warehouse-side caching of auxiliary information (paper §5.2).
+//!
+//! [`AuxCache`] realizes Example 10: "for a view whose select path
+//! starts from object OBJ, say the warehouse caches all objects and
+//! labels reachable from OBJ along `sel_path.cond_path`. Then the
+//! warehouse can maintain the view locally, for any base update." The
+//! cache is itself "simply another materialized view" and is kept up
+//! to date from the source's update reports; when a report lacks the
+//! data needed to keep the cached region complete (e.g. an inserted
+//! professor's direct subobjects), the cache fetches exactly those
+//! objects — the paper's partial-caching caveat.
+//!
+//! [`PathKnowledge`] realizes the section's closing idea: "knowledge of
+//! paths that can never occur ... at the source", e.g. *student objects
+//! never have a salary child*, which lets the warehouse discard reports
+//! without any queries.
+
+use crate::protocol::{SourceQuery, SourceReply, UpdateReport};
+use crate::source::Wrapper;
+use gsdb::{path, AppliedUpdate, Label, Object, Oid, Path, Store, StoreConfig};
+use gsview_query::Pred;
+use std::collections::{HashMap, HashSet};
+
+/// A cached copy of the base subgraph along `sel_path.cond_path`.
+#[derive(Debug)]
+pub struct AuxCache {
+    root: Oid,
+    full: Path,
+    store: Store,
+    /// Subtrees detached by a just-applied delete, kept until
+    /// [`AuxCache::finalize_report`]: Algorithm 1's delete case still
+    /// evaluates `eval(N2, p, cond)` over the detached subtree, so the
+    /// cache must keep it (with its recorded pre-delete root path)
+    /// through maintenance.
+    detached: HashMap<Oid, Path>,
+    /// Queries issued to keep the cache complete (setup excluded).
+    pub maintenance_queries: u64,
+}
+
+impl AuxCache {
+    /// Build the cache by querying the source for every prefix level
+    /// of `full` (one `Reach` query per level plus one root fetch).
+    pub fn build(root: Oid, full: Path, wrapper: &Wrapper) -> AuxCache {
+        let mut store = Store::with_config(StoreConfig {
+            parent_index: true,
+            label_index: false,
+            log_updates: false,
+        });
+        if let SourceReply::Object(Some(info)) = wrapper.serve(&SourceQuery::Fetch(root)) {
+            store
+                .create(info.to_object())
+                .expect("fresh cache store accepts the root");
+        }
+        for depth in 1..=full.len() {
+            let prefix = Path(full.labels()[..depth].to_vec());
+            let reply = wrapper.serve(&SourceQuery::Reach {
+                n: root,
+                p: prefix,
+            });
+            if let SourceReply::Objects(infos) = reply {
+                for info in infos {
+                    if !store.contains(info.oid) {
+                        store
+                            .create(info.to_object())
+                            .expect("distinct OIDs within one level");
+                    }
+                }
+            }
+        }
+        AuxCache {
+            root,
+            full,
+            store,
+            detached: HashMap::new(),
+            maintenance_queries: 0,
+        }
+    }
+
+    /// The cached region's root.
+    pub fn root(&self) -> Oid {
+        self.root
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Is `n` in the cached region?
+    pub fn covers(&self, n: Oid) -> bool {
+        self.store.contains(n)
+    }
+
+    /// Does `rooted.l` extend along `full`? (I.e. is it a viable
+    /// prefix position — the object belongs in the cached region.)
+    fn extends(&self, rooted: &Path, l: Label) -> bool {
+        rooted.len() < self.full.len()
+            && self.full.labels()[..rooted.len()] == rooted.labels()[..]
+            && self.full.labels()[rooted.len()] == l
+    }
+
+    /// Maintain the cache from one update report. Missing labels or
+    /// subtree objects are fetched through `wrapper`, counting into
+    /// [`AuxCache::maintenance_queries`].
+    pub fn apply_report(&mut self, report: &UpdateReport, wrapper: &Wrapper) {
+        match &report.update {
+            AppliedUpdate::Modify { oid, new, .. } => {
+                if self.store.contains(*oid) {
+                    let _ = self.store.modify_atom(*oid, new.clone());
+                }
+            }
+            AppliedUpdate::Insert { parent, child } => {
+                if !self.store.contains(*parent) {
+                    return;
+                }
+                let Some(rooted) = path::path_between(&self.store, self.root, *parent) else {
+                    return;
+                };
+                let child_label = self.label_via(report, wrapper, *child);
+                let Some(cl) = child_label else { return };
+                if !self.extends(&rooted, cl) {
+                    return;
+                }
+                // Pull the child (and its relevant descendants) into
+                // the cached region.
+                let mut remaining = rooted.clone();
+                remaining.push(cl);
+                self.adopt(report, wrapper, *child, remaining);
+                let _ = self.store.insert_edge(*parent, *child);
+            }
+            AppliedUpdate::Delete { parent, child } => {
+                if self.store.contains(*parent) && self.store.contains(*child) {
+                    // Record the child's pre-delete root path so
+                    // eval over the detached subtree stays answerable
+                    // until finalize_report() collects it.
+                    if let Some(p) = path::path_between(&self.store, self.root, *child) {
+                        self.detached.insert(*child, p);
+                    }
+                    let _ = self.store.delete_edge(*parent, *child);
+                }
+            }
+            AppliedUpdate::Create { .. } | AppliedUpdate::Remove { .. } => {}
+        }
+    }
+
+    /// Ensure `oid` (whose root path will be `rooted`) and all its
+    /// descendants along `full` are cached.
+    fn adopt(&mut self, report: &UpdateReport, wrapper: &Wrapper, oid: Oid, rooted: Path) {
+        if self.store.contains(oid) {
+            return;
+        }
+        let Some(obj) = self.fetch_via(report, wrapper, oid) else {
+            return;
+        };
+        let children: Vec<Oid> = obj.children().to_vec();
+        self.store.create(obj).expect("checked absent above");
+        for c in children {
+            if let Some(cl) = self.label_via(report, wrapper, c) {
+                if self.extends(&rooted, cl) {
+                    let mut next = rooted.clone();
+                    next.push(cl);
+                    self.adopt(report, wrapper, c, next);
+                }
+            }
+        }
+    }
+
+    fn label_via(&mut self, report: &UpdateReport, wrapper: &Wrapper, oid: Oid) -> Option<Label> {
+        if let Some(info) = report.info_of(oid) {
+            return Some(info.label);
+        }
+        if let Some(l) = self.store.label(oid) {
+            return Some(l);
+        }
+        self.maintenance_queries += 1;
+        match wrapper.serve(&SourceQuery::LabelOf(oid)) {
+            SourceReply::LabelResult(l) => l,
+            _ => None,
+        }
+    }
+
+    fn fetch_via(&mut self, report: &UpdateReport, wrapper: &Wrapper, oid: Oid) -> Option<Object> {
+        if let Some(info) = report.info_of(oid) {
+            return Some(info.to_object());
+        }
+        self.maintenance_queries += 1;
+        match wrapper.serve(&SourceQuery::Fetch(oid)) {
+            SourceReply::Object(Some(info)) => Some(info.to_object()),
+            _ => None,
+        }
+    }
+
+    /// Collect subtrees detached by the report just maintained. Call
+    /// after Algorithm 1 has processed the triggering update.
+    pub fn finalize_report(&mut self) {
+        if self.detached.is_empty() {
+            return;
+        }
+        self.detached.clear();
+        gsdb::gc::collect(&mut self.store, &[self.root]);
+    }
+
+    /// The root path of `n`, looking through just-detached subtrees.
+    fn rooted_of(&self, n: Oid) -> Option<Path> {
+        if let Some(p) = path::path_between(&self.store, self.root, n) {
+            return Some(p);
+        }
+        // n may live inside a detached subtree: root path = recorded
+        // path of the detachment point + path within the subtree.
+        for (&top, top_path) in &self.detached {
+            if let Some(rest) = path::path_between(&self.store, top, n) {
+                return Some(top_path.concat(&rest));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Local (query-free) answers for Algorithm 1's functions
+    // ------------------------------------------------------------------
+
+    /// `path(root, n)` from the cache, if `n` is cached (including
+    /// just-detached subtrees, which report their pre-delete path).
+    pub fn try_path_from_root(&self, n: Oid) -> Option<Path> {
+        if !self.covers(n) {
+            return None;
+        }
+        self.rooted_of(n)
+    }
+
+    /// The cache is *complete* along `sel_path.cond_path`: it holds
+    /// every object whose root path is a prefix position of the view
+    /// path. On a tree-structured base (where root paths are unique),
+    /// an object **not** in the cache therefore has no root path that
+    /// Algorithm 1's location test could match — the warehouse may
+    /// reject the update locally, with no source query (Example 10:
+    /// "view maintenance corresponding to any base update can be done
+    /// locally"). Returns true when `n`'s irrelevance is certain.
+    pub fn certainly_off_path(&self, n: Oid) -> bool {
+        !self.covers(n)
+    }
+
+    /// `ancestor(n, p)` from the cache.
+    pub fn try_ancestor(&self, n: Oid, p: &Path) -> Option<Oid> {
+        if !self.covers(n) {
+            return None;
+        }
+        path::ancestor(&self.store, n, p)
+    }
+
+    /// `eval(n, p, pred)` from the cache, if the region under `n`
+    /// along `p` lies inside the cached region (so the local answer is
+    /// complete). Just-detached subtrees remain answerable until
+    /// [`AuxCache::finalize_report`].
+    pub fn try_eval(&self, n: Oid, p: &Path, pred: Option<&Pred>) -> Option<Vec<Oid>> {
+        if !self.covers(n) {
+            return None;
+        }
+        let rooted = self.rooted_of(n)?;
+        // The whole of n.p must lie along full for completeness.
+        let end = rooted.len() + p.len();
+        if end > self.full.len()
+            || self.full.labels()[..rooted.len()] != rooted.labels()[..]
+            || self.full.labels()[rooted.len()..end] != p.labels()[..]
+        {
+            return None;
+        }
+        Some(match pred {
+            Some(pr) => path::eval(&self.store, n, p, &|a| pr.eval(a)),
+            None => path::reach(&self.store, n, p),
+        })
+    }
+
+    /// Label from the cache.
+    pub fn try_label(&self, n: Oid) -> Option<Label> {
+        self.store.label(n)
+    }
+
+    /// Object copy from the cache.
+    pub fn try_fetch(&self, n: Oid) -> Option<Object> {
+        self.store.get(n).cloned()
+    }
+}
+
+/// Schema-like knowledge of impossible paths (paper §5.2 closing
+/// paragraph): pairs `(parent_label, child_label)` that never occur at
+/// the source.
+#[derive(Clone, Debug, Default)]
+pub struct PathKnowledge {
+    never_child: HashSet<(Label, Label)>,
+}
+
+impl PathKnowledge {
+    /// No knowledge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that objects labeled `parent` never have a child labeled
+    /// `child`.
+    pub fn assert_never_child(&mut self, parent: impl Into<Label>, child: impl Into<Label>) {
+        self.never_child.insert((parent.into(), child.into()));
+    }
+
+    /// Can this label path occur at the source?
+    pub fn path_possible(&self, p: &Path) -> bool {
+        p.labels()
+            .windows(2)
+            .all(|w| !self.never_child.contains(&(w[0], w[1])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{CostMeter, ReportLevel};
+    use crate::source::Source;
+    use gsdb::{samples, Update};
+    use gsview_query::{CmpOp, Pred};
+    use std::sync::Arc;
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn person_source(level: ReportLevel) -> Source {
+        let src = Source::empty("persons", oid("ROOT"), level);
+        src.with_store(|s| samples::person_db(s).map(|_| ())).unwrap();
+        src.with_store(|s| {
+            s.drain_log();
+        });
+        src
+    }
+
+    #[test]
+    fn build_caches_the_full_path_region() {
+        // Example 10's cache: ROOT, professors, and their age atoms.
+        let src = person_source(ReportLevel::WithValues);
+        let w = src.wrapper(Arc::new(CostMeter::new()));
+        let cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
+        assert!(cache.covers(oid("ROOT")));
+        assert!(cache.covers(oid("P1")));
+        assert!(cache.covers(oid("P2")));
+        assert!(cache.covers(oid("A1")));
+        // Not along professor.age:
+        assert!(!cache.covers(oid("P4")));
+        assert!(!cache.covers(oid("N1")));
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn local_answers_from_cache() {
+        let src = person_source(ReportLevel::WithValues);
+        let w = src.wrapper(Arc::new(CostMeter::new()));
+        let cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
+        assert_eq!(
+            cache.try_path_from_root(oid("A1")),
+            Some(Path::parse("professor.age"))
+        );
+        assert_eq!(
+            cache.try_ancestor(oid("A1"), &Path::parse("age")),
+            Some(oid("P1"))
+        );
+        let le45 = Pred::new(CmpOp::Le, 45i64);
+        assert_eq!(
+            cache.try_eval(oid("P1"), &Path::parse("age"), Some(&le45)),
+            Some(vec![oid("A1")])
+        );
+        // Outside the region: no (complete) local answer.
+        assert_eq!(cache.try_eval(oid("P1"), &Path::parse("name"), Some(&le45)), None);
+        assert!(cache.try_path_from_root(oid("N1")).is_none());
+    }
+
+    #[test]
+    fn modify_and_delete_maintain_cache_without_queries() {
+        let src = person_source(ReportLevel::WithValues);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter.clone());
+        let mut cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
+        meter.reset();
+
+        src.apply(Update::modify("A1", 50i64)).unwrap();
+        let reports = src.monitor().poll();
+        for r in &reports {
+            cache.apply_report(r, &w);
+        }
+        assert_eq!(cache.store.atom(oid("A1")), Some(&gsdb::Atom::Int(50)));
+
+        src.apply(Update::delete("ROOT", "P1")).unwrap();
+        for r in src.monitor().poll() {
+            cache.apply_report(&r, &w);
+            // Mid-report, the detached subtree is still answerable.
+            assert!(cache.try_eval(oid("P1"), &Path::parse("age"), None).is_some());
+            cache.finalize_report();
+        }
+        assert!(!cache.covers(oid("P1")), "detached region collected");
+        assert!(!cache.covers(oid("A1")));
+        assert_eq!(cache.maintenance_queries, 0);
+        assert_eq!(meter.queries(), 0, "fully local maintenance");
+    }
+
+    #[test]
+    fn insert_adopts_subtree_fetching_only_what_reports_lack() {
+        let src = person_source(ReportLevel::WithValues);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter.clone());
+        let mut cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
+        meter.reset();
+
+        // New professor P5 with an age child, inserted into ROOT.
+        src.with_store(|s| {
+            s.create(gsdb::Object::atom("A5", "age", 33i64))?;
+            s.create(gsdb::Object::set("P5", "professor", &[oid("A5")]))
+        })
+        .unwrap();
+        src.with_store(|s| {
+            s.drain_log();
+        });
+        src.apply(Update::insert("ROOT", "P5")).unwrap();
+        for r in src.monitor().poll() {
+            cache.apply_report(&r, &w);
+        }
+        assert!(cache.covers(oid("P5")));
+        assert!(cache.covers(oid("A5")), "age child adopted");
+        // The L2 report carried P5's label/value; A5's label+value
+        // needed fetching (the paper's "direct subobjects of P").
+        assert!(cache.maintenance_queries <= 2);
+        let le45 = Pred::new(CmpOp::Le, 45i64);
+        assert_eq!(
+            cache.try_eval(oid("P5"), &Path::parse("age"), Some(&le45)),
+            Some(vec![oid("A5")])
+        );
+    }
+
+    #[test]
+    fn irrelevant_inserts_do_not_grow_cache() {
+        let src = person_source(ReportLevel::WithValues);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter.clone());
+        let mut cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
+        let before = cache.len();
+        meter.reset();
+        // A hobby under P1: professor.hobby does not extend
+        // professor.age.
+        src.with_store(|s| s.create(gsdb::Object::atom("H1", "hobby", "go")))
+            .unwrap();
+        src.with_store(|s| {
+            s.drain_log();
+        });
+        src.apply(Update::insert("P1", "H1")).unwrap();
+        for r in src.monitor().poll() {
+            cache.apply_report(&r, &w);
+        }
+        assert_eq!(cache.len(), before);
+        assert_eq!(meter.queries(), 0);
+    }
+
+    #[test]
+    fn path_knowledge_rules_out_paths() {
+        // The paper's example: student objects never have salary
+        // children.
+        let mut pk = PathKnowledge::new();
+        pk.assert_never_child("student", "salary");
+        assert!(!pk.path_possible(&Path::parse("student.salary")));
+        assert!(!pk.path_possible(&Path::parse("professor.student.salary")));
+        assert!(pk.path_possible(&Path::parse("professor.salary")));
+        assert!(pk.path_possible(&Path::parse("student.name")));
+        assert!(pk.path_possible(&Path::empty()));
+    }
+}

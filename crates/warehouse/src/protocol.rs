@@ -1,0 +1,401 @@
+//! The source ↔ warehouse protocol (paper §5.1).
+//!
+//! Sources report updates at one of three levels, matching the paper's
+//! three scenarios:
+//!
+//! 1. [`ReportLevel::OidsOnly`] — "the source only reports the type of
+//!    U and the OIDs of all directly affected source objects";
+//! 2. [`ReportLevel::WithValues`] — "in addition to OIDs, the source
+//!    also reports the label and value of all directly affected
+//!    objects";
+//! 3. [`ReportLevel::WithPaths`] — "for each directly affected object
+//!    N, the source will report `path(ROOT, N)` as well as the OIDs of
+//!    objects along this path".
+//!
+//! The warehouse sends [`SourceQuery`] messages back when the report
+//! alone cannot answer Algorithm 1's functions; every message in both
+//! directions carries an estimated wire size so experiments can report
+//! bytes as well as query counts.
+
+use gsdb::{AppliedUpdate, Atom, Label, Object, Oid, Path, Value};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How much information a source volunteers with each update report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReportLevel {
+    /// Level 1: update type + OIDs of directly affected objects.
+    OidsOnly,
+    /// Level 2: + label, type and value of directly affected objects.
+    WithValues,
+    /// Level 3: + root path (labels and OIDs) of each directly
+    /// affected object.
+    WithPaths,
+}
+
+impl fmt::Display for ReportLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportLevel::OidsOnly => write!(f, "L1 (OIDs only)"),
+            ReportLevel::WithValues => write!(f, "L2 (+labels/values)"),
+            ReportLevel::WithPaths => write!(f, "L3 (+root paths)"),
+        }
+    }
+}
+
+/// Label + value of a directly affected object (level ≥ 2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectInfo {
+    /// The object.
+    pub oid: Oid,
+    /// Its label.
+    pub label: Label,
+    /// Its value at report time.
+    pub value: Value,
+}
+
+impl ObjectInfo {
+    /// Capture from an object.
+    pub fn of(obj: &Object) -> Self {
+        ObjectInfo {
+            oid: obj.oid,
+            label: obj.label,
+            value: obj.value.clone(),
+        }
+    }
+
+    /// Reconstruct an object copy.
+    pub fn to_object(&self) -> Object {
+        Object {
+            oid: self.oid,
+            label: self.label,
+            value: self.value.clone(),
+        }
+    }
+}
+
+/// The root path of a directly affected object (level 3): the labels
+/// of `path(ROOT, N)` and the OIDs of the objects along it
+/// (`ROOT = oids[0]`, …, `N = oids[last]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RootPathInfo {
+    /// The object the path leads to.
+    pub target: Oid,
+    /// Label path from the source root to the target.
+    pub path: Path,
+    /// OIDs along the path, root first, target last
+    /// (`oids.len() == path.len() + 1`).
+    pub oids: Vec<Oid>,
+}
+
+/// An update report from a source monitor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateReport {
+    /// Which source sent this.
+    pub source: String,
+    /// Monotonic per-source sequence number (for integrator ordering).
+    pub seq: u64,
+    /// The update itself (always carried: its OIDs are level 1).
+    pub update: AppliedUpdate,
+    /// Level-2 payload: info for each directly affected object.
+    pub info: Vec<ObjectInfo>,
+    /// Level-3 payload: root path for each directly affected object
+    /// that is reachable from the source root.
+    pub paths: Vec<RootPathInfo>,
+}
+
+impl UpdateReport {
+    /// Level-2 lookup.
+    pub fn info_of(&self, oid: Oid) -> Option<&ObjectInfo> {
+        self.info.iter().find(|i| i.oid == oid)
+    }
+
+    /// Level-3 lookup.
+    pub fn path_of(&self, oid: Oid) -> Option<&RootPathInfo> {
+        self.paths.iter().find(|p| p.target == oid)
+    }
+}
+
+/// A query from the warehouse back to a source (paper Example 9's
+/// `fetch X where func(X)` interface, specialized to the functions
+/// Algorithm 1 needs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceQuery {
+    /// Fetch one object (OID, label, type, value).
+    Fetch(Oid),
+    /// Compute `path(root, n)`.
+    PathFromRoot {
+        /// The root.
+        root: Oid,
+        /// The target.
+        n: Oid,
+    },
+    /// Compute `ancestor(n, p)`.
+    Ancestor {
+        /// The object.
+        n: Oid,
+        /// The path.
+        p: Path,
+    },
+    /// All ancestors with `path(X, n) = p` (DAG sources).
+    AncestorsAll {
+        /// The object.
+        n: Oid,
+        /// The path.
+        p: Path,
+    },
+    /// Objects in `n.p` (the warehouse tests conditions locally, as in
+    /// Example 9: "obtain all objects in N.p, then test cond() on
+    /// those objects locally").
+    Reach {
+        /// The start object.
+        n: Oid,
+        /// The path.
+        p: Path,
+    },
+    /// The label of an object.
+    LabelOf(Oid),
+}
+
+/// A source's reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceReply {
+    /// Reply to `Fetch`.
+    Object(Option<ObjectInfo>),
+    /// Reply to `PathFromRoot`.
+    PathResult(Option<Path>),
+    /// Reply to `Ancestor`.
+    AncestorResult(Option<Oid>),
+    /// Reply to `AncestorsAll`.
+    Ancestors(Vec<Oid>),
+    /// Reply to `Reach`: the objects in `n.p`, with values so the
+    /// warehouse can test conditions locally.
+    Objects(Vec<ObjectInfo>),
+    /// Reply to `LabelOf`.
+    LabelResult(Option<Label>),
+}
+
+// ----------------------------------------------------------------------
+// Wire-size estimation
+// ----------------------------------------------------------------------
+
+fn atom_bytes(a: &Atom) -> usize {
+    match a {
+        Atom::Int(_) | Atom::Real(_) => 8,
+        Atom::Bool(_) => 1,
+        Atom::Str(s) => s.len(),
+        Atom::Tagged(unit, _) => unit.as_str().len() + 8,
+    }
+}
+
+fn value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Atom(a) => atom_bytes(a),
+        Value::Set(s) => s.iter().map(|o| o.name().len()).sum::<usize>() + 2,
+    }
+}
+
+fn info_bytes(i: &ObjectInfo) -> usize {
+    i.oid.name().len() + i.label.as_str().len() + value_bytes(&i.value) + 3
+}
+
+fn path_bytes(p: &Path) -> usize {
+    p.labels().iter().map(|l| l.as_str().len() + 1).sum()
+}
+
+/// Estimated wire size of a message, in bytes. Deterministic and
+/// platform-independent; used by the cost meters.
+pub trait WireSize {
+    /// Estimated serialized size.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for UpdateReport {
+    fn wire_size(&self) -> usize {
+        let base = self.source.len()
+            + 8
+            + self
+                .update
+                .directly_affected()
+                .iter()
+                .map(|o| o.name().len())
+                .sum::<usize>()
+            + 8;
+        let l2: usize = self.info.iter().map(info_bytes).sum();
+        let l3: usize = self
+            .paths
+            .iter()
+            .map(|rp| {
+                rp.target.name().len()
+                    + path_bytes(&rp.path)
+                    + rp.oids.iter().map(|o| o.name().len()).sum::<usize>()
+            })
+            .sum();
+        base + l2 + l3
+    }
+}
+
+impl WireSize for SourceQuery {
+    fn wire_size(&self) -> usize {
+        match self {
+            SourceQuery::Fetch(o) | SourceQuery::LabelOf(o) => o.name().len() + 2,
+            SourceQuery::PathFromRoot { root, n } => root.name().len() + n.name().len() + 2,
+            SourceQuery::Ancestor { n, p }
+            | SourceQuery::AncestorsAll { n, p }
+            | SourceQuery::Reach { n, p } => n.name().len() + path_bytes(p) + 2,
+        }
+    }
+}
+
+impl WireSize for SourceReply {
+    fn wire_size(&self) -> usize {
+        match self {
+            SourceReply::Object(o) => o.as_ref().map(info_bytes).unwrap_or(1),
+            SourceReply::PathResult(p) => p.as_ref().map(path_bytes).unwrap_or(1),
+            SourceReply::AncestorResult(o) => o.map(|o| o.name().len()).unwrap_or(1),
+            SourceReply::Ancestors(os) => os.iter().map(|o| o.name().len()).sum::<usize>() + 1,
+            SourceReply::Objects(infos) => infos.iter().map(info_bytes).sum::<usize>() + 1,
+            SourceReply::LabelResult(l) => l.map(|l| l.as_str().len()).unwrap_or(1),
+        }
+    }
+}
+
+/// Communication cost counters, shared between the warehouse side and
+/// the source wrapper (atomic: wrappers may be driven from pump
+/// threads).
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    queries: AtomicU64,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CostMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a query/reply round trip.
+    pub fn record_query(&self, q: &SourceQuery, r: &SourceReply) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.messages.fetch_add(2, Ordering::Relaxed);
+        self.bytes
+            .fetch_add((q.wire_size() + r.wire_size()) as u64, Ordering::Relaxed);
+    }
+
+    /// Record a pushed update report.
+    pub fn record_report(&self, r: &UpdateReport) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(r.wire_size() as u64, Ordering::Relaxed);
+    }
+
+    /// Queries sent so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Messages (reports + queries + replies) so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_lookups() {
+        let report = UpdateReport {
+            source: "s1".into(),
+            seq: 1,
+            update: AppliedUpdate::Insert {
+                parent: Oid::new("P2"),
+                child: Oid::new("A2"),
+            },
+            info: vec![ObjectInfo {
+                oid: Oid::new("A2"),
+                label: Label::new("age"),
+                value: Value::Atom(Atom::Int(40)),
+            }],
+            paths: vec![RootPathInfo {
+                target: Oid::new("P2"),
+                path: Path::parse("professor"),
+                oids: vec![Oid::new("ROOT"), Oid::new("P2")],
+            }],
+        };
+        assert!(report.info_of(Oid::new("A2")).is_some());
+        assert!(report.info_of(Oid::new("P2")).is_none());
+        assert_eq!(
+            report.path_of(Oid::new("P2")).unwrap().path,
+            Path::parse("professor")
+        );
+        assert!(report.wire_size() > 0);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(ReportLevel::OidsOnly < ReportLevel::WithValues);
+        assert!(ReportLevel::WithValues < ReportLevel::WithPaths);
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let m = CostMeter::new();
+        let q = SourceQuery::Fetch(Oid::new("P1"));
+        let r = SourceReply::Object(None);
+        m.record_query(&q, &r);
+        m.record_query(&q, &r);
+        assert_eq!(m.queries(), 2);
+        assert_eq!(m.messages(), 4);
+        assert!(m.bytes() > 0);
+        m.reset();
+        assert_eq!(m.queries(), 0);
+    }
+
+    #[test]
+    fn richer_reports_cost_more_bytes() {
+        let update = AppliedUpdate::Insert {
+            parent: Oid::new("P2"),
+            child: Oid::new("A2"),
+        };
+        let l1 = UpdateReport {
+            source: "s".into(),
+            seq: 0,
+            update: update.clone(),
+            info: vec![],
+            paths: vec![],
+        };
+        let l2 = UpdateReport {
+            info: vec![ObjectInfo {
+                oid: Oid::new("A2"),
+                label: Label::new("age"),
+                value: Value::Atom(Atom::Int(40)),
+            }],
+            ..l1.clone()
+        };
+        let l3 = UpdateReport {
+            paths: vec![RootPathInfo {
+                target: Oid::new("P2"),
+                path: Path::parse("professor"),
+                oids: vec![Oid::new("ROOT"), Oid::new("P2")],
+            }],
+            ..l2.clone()
+        };
+        assert!(l1.wire_size() < l2.wire_size());
+        assert!(l2.wire_size() < l3.wire_size());
+    }
+}

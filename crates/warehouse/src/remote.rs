@@ -1,0 +1,283 @@
+//! [`RemoteBase`]: the warehouse-side realization of the
+//! [`BaseAccess`] interface Algorithm 1 runs against (paper §5.1).
+//!
+//! Each function is answered from the cheapest available tier:
+//!
+//! 1. the triggering **update report** (levels 2/3 carry labels,
+//!    values, and root paths of the directly affected objects);
+//! 2. the **auxiliary cache** (§5.2), when one is attached;
+//! 3. a **query back to the source** through its wrapper — the
+//!    expensive case the paper's techniques aim to avoid.
+
+use crate::cache::AuxCache;
+use crate::protocol::{SourceQuery, SourceReply, UpdateReport};
+use crate::source::Wrapper;
+use gsdb::{Label, Object, Oid, Path};
+use gsview_core::BaseAccess;
+use gsview_query::Pred;
+
+/// Base access over a source wrapper, consulting the triggering report
+/// and an optional auxiliary cache first.
+pub struct RemoteBase<'a> {
+    wrapper: &'a Wrapper,
+    report: Option<&'a UpdateReport>,
+    cache: Option<&'a AuxCache>,
+}
+
+impl<'a> RemoteBase<'a> {
+    /// Access with neither report nor cache (pure querying).
+    pub fn new(wrapper: &'a Wrapper) -> Self {
+        RemoteBase {
+            wrapper,
+            report: None,
+            cache: None,
+        }
+    }
+
+    /// Attach the triggering update report.
+    pub fn with_report(mut self, report: &'a UpdateReport) -> Self {
+        self.report = Some(report);
+        self
+    }
+
+    /// Attach an auxiliary cache.
+    pub fn with_cache(mut self, cache: &'a AuxCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+impl BaseAccess for RemoteBase<'_> {
+    fn path_from_root(&mut self, root: Oid, n: Oid) -> Option<Path> {
+        // Tier 1: level-3 reports carry path(ROOT, N) directly.
+        if let Some(r) = self.report {
+            if let Some(rp) = r.path_of(n) {
+                return Some(rp.path.clone());
+            }
+        }
+        // Tier 2: cache.
+        if let Some(c) = self.cache {
+            if let Some(p) = c.try_path_from_root(n) {
+                return Some(p);
+            }
+            if c.root() == root && c.certainly_off_path(n) {
+                // Complete-cache short circuit: n has no root path
+                // that the view's location test could match, so the
+                // maintenance algorithm will (correctly) treat the
+                // update as irrelevant without a source query.
+                return None;
+            }
+        }
+        // Tier 3: query.
+        match self.wrapper.serve(&SourceQuery::PathFromRoot { root, n }) {
+            SourceReply::PathResult(p) => p,
+            _ => None,
+        }
+    }
+
+    fn ancestor(&mut self, n: Oid, p: &Path) -> Option<Oid> {
+        if p.is_empty() {
+            return Some(n);
+        }
+        // Tier 1: a level-3 root path of n names the OIDs along it —
+        // the ancestor at distance |p| is right there if the labels
+        // match.
+        if let Some(r) = self.report {
+            if let Some(rp) = r.path_of(n) {
+                let len = rp.path.len();
+                if p.len() <= len && rp.path.ends_with(p) {
+                    // oids = [root, ..., n] has len+1 entries with n at
+                    // index len; the ancestor |p| levels up is at
+                    // index len - |p|.
+                    return rp.oids.get(len - p.len()).copied();
+                }
+            }
+        }
+        if let Some(c) = self.cache {
+            if let Some(a) = c.try_ancestor(n, p) {
+                return Some(a);
+            }
+        }
+        match self.wrapper.serve(&SourceQuery::Ancestor { n, p: p.clone() }) {
+            SourceReply::AncestorResult(a) => a,
+            _ => None,
+        }
+    }
+
+    fn ancestors_all(&mut self, n: Oid, p: &Path) -> Vec<Oid> {
+        match self
+            .wrapper
+            .serve(&SourceQuery::AncestorsAll { n, p: p.clone() })
+        {
+            SourceReply::Ancestors(a) => a,
+            _ => Vec::new(),
+        }
+    }
+
+    fn eval(&mut self, n: Oid, p: &Path, pred: Option<&Pred>) -> Vec<Oid> {
+        // Tier 1: empty-path eval over a reported object can be
+        // answered from the report (Example 5's insert(P2, A2) with a
+        // level-2 report needs no query for eval(A2, ∅, cond)).
+        if p.is_empty() {
+            if let Some(r) = self.report {
+                if let Some(info) = r.info_of(n) {
+                    return match (pred, info.value.as_atom()) {
+                        (Some(pr), Some(a)) => {
+                            if pr.eval(a) {
+                                vec![n]
+                            } else {
+                                vec![]
+                            }
+                        }
+                        (Some(_), None) => vec![],
+                        (None, _) => vec![n],
+                    };
+                }
+            }
+        }
+        if let Some(c) = self.cache {
+            if let Some(result) = c.try_eval(n, p, pred) {
+                return result;
+            }
+        }
+        // Tier 3: fetch n.p with values and test the condition locally
+        // (Example 9).
+        match self.wrapper.serve(&SourceQuery::Reach { n, p: p.clone() }) {
+            SourceReply::Objects(infos) => infos
+                .into_iter()
+                .filter(|i| match pred {
+                    None => true,
+                    Some(pr) => i.value.as_atom().map(|a| pr.eval(a)).unwrap_or(false),
+                })
+                .map(|i| i.oid)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn label_of(&mut self, n: Oid) -> Option<Label> {
+        if let Some(r) = self.report {
+            if let Some(info) = r.info_of(n) {
+                return Some(info.label);
+            }
+        }
+        if let Some(c) = self.cache {
+            if let Some(l) = c.try_label(n) {
+                return Some(l);
+            }
+        }
+        match self.wrapper.serve(&SourceQuery::LabelOf(n)) {
+            SourceReply::LabelResult(l) => l,
+            _ => None,
+        }
+    }
+
+    fn fetch(&mut self, n: Oid) -> Option<Object> {
+        if let Some(r) = self.report {
+            if let Some(info) = r.info_of(n) {
+                return Some(info.to_object());
+            }
+        }
+        if let Some(c) = self.cache {
+            if let Some(o) = c.try_fetch(n) {
+                return Some(o);
+            }
+        }
+        match self.wrapper.serve(&SourceQuery::Fetch(n)) {
+            SourceReply::Object(info) => info.map(|i| i.to_object()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{CostMeter, ReportLevel};
+    use crate::source::Source;
+    use gsdb::{samples, Update};
+    use gsview_query::{CmpOp, Pred};
+    use std::sync::Arc;
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn person_source(level: ReportLevel) -> Source {
+        let src = Source::empty("persons", oid("ROOT"), level);
+        src.with_store(|s| samples::person_db(s).map(|_| ())).unwrap();
+        src.with_store(|s| {
+            s.drain_log();
+        });
+        src
+    }
+
+    #[test]
+    fn report_tier_answers_without_queries_at_l3() {
+        let src = person_source(ReportLevel::WithPaths);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter.clone());
+        src.apply(Update::modify("A1", 50i64)).unwrap();
+        let reports = src.monitor().poll();
+        let report = &reports[0];
+        let mut rb = RemoteBase::new(&w).with_report(report);
+        // path(ROOT, A1) from the report.
+        assert_eq!(
+            rb.path_from_root(oid("ROOT"), oid("A1")),
+            Some(Path::parse("professor.age"))
+        );
+        // ancestor(A1, age) from the report's OID list.
+        assert_eq!(rb.ancestor(oid("A1"), &Path::parse("age")), Some(oid("P1")));
+        // label from the L2 payload.
+        assert_eq!(rb.label_of(oid("A1")).unwrap().as_str(), "age");
+        assert_eq!(meter.queries(), 0, "all answered from the report");
+    }
+
+    #[test]
+    fn query_tier_used_when_report_lacks_data() {
+        let src = person_source(ReportLevel::OidsOnly);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter.clone());
+        src.apply(Update::modify("A1", 50i64)).unwrap();
+        let reports = src.monitor().poll();
+        let mut rb = RemoteBase::new(&w).with_report(&reports[0]);
+        assert_eq!(
+            rb.path_from_root(oid("ROOT"), oid("A1")),
+            Some(Path::parse("professor.age"))
+        );
+        assert!(meter.queries() >= 1, "L1 reports force query-back");
+    }
+
+    #[test]
+    fn eval_tests_condition_locally() {
+        let src = person_source(ReportLevel::OidsOnly);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter.clone());
+        let mut rb = RemoteBase::new(&w);
+        let le45 = Pred::new(CmpOp::Le, 45i64);
+        let result = rb.eval(oid("P1"), &Path::parse("age"), Some(&le45));
+        assert_eq!(result, vec![oid("A1")]);
+        assert_eq!(meter.queries(), 1, "one Reach round trip");
+    }
+
+    #[test]
+    fn cache_tier_avoids_queries() {
+        let src = person_source(ReportLevel::WithValues);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter.clone());
+        let cache = crate::cache::AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
+        meter.reset();
+        let mut rb = RemoteBase::new(&w).with_cache(&cache);
+        let le45 = Pred::new(CmpOp::Le, 45i64);
+        assert_eq!(
+            rb.eval(oid("P1"), &Path::parse("age"), Some(&le45)),
+            vec![oid("A1")]
+        );
+        assert_eq!(
+            rb.path_from_root(oid("ROOT"), oid("P2")),
+            Some(Path::parse("professor"))
+        );
+        assert_eq!(rb.ancestor(oid("A1"), &Path::parse("age")), Some(oid("P1")));
+        assert_eq!(meter.queries(), 0, "cache answers everything");
+    }
+}

@@ -1,0 +1,335 @@
+//! Data sources, their monitors, and their wrappers (paper §5,
+//! Figure 6).
+//!
+//! A [`Source`] owns a GSDB. Its [`Monitor`] "detects the update events
+//! ... and reports them to the warehouse" at a configured
+//! [`ReportLevel`]; its [`Wrapper`] "translates queries from the
+//! warehouse ... and sends the results back". The warehouse "cannot
+//! control actions on source objects, but it can send queries to the
+//! source and obtain answers evaluated at the current source state" —
+//! accordingly the only handles the warehouse ever gets are `Monitor`
+//! and `Wrapper`, never the store itself.
+
+use crate::protocol::{
+    CostMeter, ObjectInfo, ReportLevel, RootPathInfo, SourceQuery, SourceReply, UpdateReport,
+};
+use gsdb::{path, AppliedUpdate, Oid, Result, Store, StoreConfig, Update};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An autonomous data source: a GSDB plus a designated root object.
+#[derive(Clone)]
+pub struct Source {
+    name: String,
+    root: Oid,
+    store: Arc<Mutex<Store>>,
+    level: ReportLevel,
+    seq: Arc<Mutex<u64>>,
+}
+
+impl Source {
+    /// Create a source around an existing store. Any update log
+    /// accumulated during setup is discarded — monitoring starts now.
+    pub fn new(name: &str, root: Oid, mut store: Store, level: ReportLevel) -> Self {
+        store.drain_log();
+        Source {
+            name: name.to_owned(),
+            root,
+            store: Arc::new(Mutex::new(store)),
+            level,
+            seq: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// Create an empty source with logging enabled.
+    pub fn empty(name: &str, root: Oid, level: ReportLevel) -> Self {
+        Source::new(
+            name,
+            root,
+            Store::with_config(StoreConfig {
+                parent_index: true,
+                label_index: true,
+                log_updates: true,
+            }),
+            level,
+        )
+    }
+
+    /// The source's name (used to qualify OIDs into universal ones in
+    /// real deployments; here names are already unique).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The source's root object.
+    pub fn root(&self) -> Oid {
+        self.root
+    }
+
+    /// Apply an update locally (the source is autonomous — this is its
+    /// own workload, not a warehouse action).
+    pub fn apply(&self, update: Update) -> Result<AppliedUpdate> {
+        self.store.lock().apply(update)
+    }
+
+    /// Run an arbitrary closure against the store (source-local
+    /// setup; not available to the warehouse).
+    pub fn with_store<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
+        f(&mut self.store.lock())
+    }
+
+    /// The monitor role for this source.
+    pub fn monitor(&self) -> Monitor {
+        Monitor {
+            source: self.clone(),
+        }
+    }
+
+    /// The wrapper role for this source, charging the given meter.
+    pub fn wrapper(&self, meter: Arc<CostMeter>) -> Wrapper {
+        Wrapper {
+            source: self.clone(),
+            meter,
+        }
+    }
+
+    fn make_report(&self, update: AppliedUpdate, seq: u64) -> UpdateReport {
+        let store = self.store.lock();
+        let mut report = UpdateReport {
+            source: self.name.clone(),
+            seq,
+            update,
+            info: Vec::new(),
+            paths: Vec::new(),
+        };
+        if self.level >= ReportLevel::WithValues {
+            for oid in report.update.directly_affected() {
+                if let Some(obj) = store.get(oid) {
+                    report.info.push(ObjectInfo::of(obj));
+                }
+            }
+        }
+        if self.level >= ReportLevel::WithPaths {
+            for oid in report.update.directly_affected() {
+                if let Some(p) = path::path_between(&store, self.root, oid) {
+                    let oids = oids_along(&store, self.root, oid, &p);
+                    report.paths.push(RootPathInfo {
+                        target: oid,
+                        path: p,
+                        oids,
+                    });
+                }
+            }
+        }
+        report
+    }
+}
+
+/// The OIDs along the (tree) path from `root` to `n`, root first.
+/// "When the source does the update, it needs to traverse the source
+/// database until reaching the updated object. So the source may
+/// record the path to the updated object" (§5.1).
+fn oids_along(store: &Store, root: Oid, n: Oid, p: &gsdb::Path) -> Vec<Oid> {
+    let mut oids = vec![n];
+    let mut cur = n;
+    for _ in 0..p.len() {
+        let Some(parents) = store.parents(cur) else {
+            break;
+        };
+        let Some(parent) = parents.iter().next() else {
+            break;
+        };
+        oids.push(parent);
+        cur = parent;
+        if cur == root {
+            break;
+        }
+    }
+    oids.reverse();
+    oids
+}
+
+/// The source monitor: drains the source's update log into reports.
+#[derive(Clone)]
+pub struct Monitor {
+    source: Source,
+}
+
+impl Monitor {
+    /// Collect reports for all updates applied since the last poll.
+    pub fn poll(&self) -> Vec<UpdateReport> {
+        let applied = self.source.store.lock().drain_log();
+        let mut seq_guard = self.source.seq.lock();
+        applied
+            .into_iter()
+            .map(|u| {
+                let seq = *seq_guard;
+                *seq_guard += 1;
+                self.source.make_report(u, seq)
+            })
+            .collect()
+    }
+
+    /// The source's name.
+    pub fn source_name(&self) -> &str {
+        self.source.name()
+    }
+}
+
+/// The source wrapper: answers warehouse queries at current source
+/// state, charging a cost meter per round trip.
+#[derive(Clone)]
+pub struct Wrapper {
+    source: Source,
+    meter: Arc<CostMeter>,
+}
+
+impl Wrapper {
+    /// Serve one query.
+    pub fn serve(&self, q: &SourceQuery) -> SourceReply {
+        let store = self.source.store.lock();
+        let reply = match q {
+            SourceQuery::Fetch(o) => SourceReply::Object(store.get(*o).map(ObjectInfo::of)),
+            SourceQuery::PathFromRoot { root, n } => {
+                SourceReply::PathResult(path::path_between(&store, *root, *n))
+            }
+            SourceQuery::Ancestor { n, p } => {
+                SourceReply::AncestorResult(path::ancestor(&store, *n, p))
+            }
+            SourceQuery::AncestorsAll { n, p } => {
+                SourceReply::Ancestors(path::ancestors_all(&store, *n, p))
+            }
+            SourceQuery::Reach { n, p } => SourceReply::Objects(
+                path::reach(&store, *n, p)
+                    .into_iter()
+                    .filter_map(|o| store.get(o).map(ObjectInfo::of))
+                    .collect(),
+            ),
+            SourceQuery::LabelOf(o) => SourceReply::LabelResult(store.label(*o)),
+        };
+        self.meter.record_query(q, &reply);
+        reply
+    }
+
+    /// The meter charged by this wrapper.
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// The source's root.
+    pub fn root(&self) -> Oid {
+        self.source.root()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsdb::{samples, Path};
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn person_source(level: ReportLevel) -> Source {
+        let src = Source::empty("persons", oid("ROOT"), level);
+        src.with_store(|s| samples::person_db(s).map(|_| ())).unwrap();
+        // Setup creates log entries; discard them.
+        src.with_store(|s| {
+            s.drain_log();
+        });
+        src
+    }
+
+    #[test]
+    fn monitor_reports_at_level_1() {
+        let src = person_source(ReportLevel::OidsOnly);
+        src.with_store(|s| s.create(gsdb::Object::atom("A2", "age", 40i64)))
+            .unwrap();
+        src.apply(Update::insert("P2", "A2")).unwrap();
+        let reports = src.monitor().poll();
+        assert_eq!(reports.len(), 2); // create + insert
+        let insert_report = &reports[1];
+        assert!(insert_report.info.is_empty());
+        assert!(insert_report.paths.is_empty());
+        assert_eq!(
+            insert_report.update.directly_affected(),
+            vec![oid("P2"), oid("A2")]
+        );
+    }
+
+    #[test]
+    fn monitor_reports_at_level_2_and_3() {
+        let src = person_source(ReportLevel::WithPaths);
+        src.with_store(|s| s.create(gsdb::Object::atom("A2", "age", 40i64)))
+            .unwrap();
+        src.apply(Update::insert("P2", "A2")).unwrap();
+        let reports = src.monitor().poll();
+        let r = &reports[1];
+        // L2: labels and values.
+        let a2 = r.info_of(oid("A2")).unwrap();
+        assert_eq!(a2.label.as_str(), "age");
+        // L3: root path of P2 with OIDs along it.
+        let p2 = r.path_of(oid("P2")).unwrap();
+        assert_eq!(p2.path, Path::parse("professor"));
+        assert_eq!(p2.oids, vec![oid("ROOT"), oid("P2")]);
+        // A2's path exists too (now a child of P2).
+        let a2p = r.path_of(oid("A2")).unwrap();
+        assert_eq!(a2p.path, Path::parse("professor.age"));
+    }
+
+    #[test]
+    fn monitor_sequences_reports() {
+        let src = person_source(ReportLevel::OidsOnly);
+        src.apply(Update::modify("A1", 46i64)).unwrap();
+        src.apply(Update::modify("A1", 47i64)).unwrap();
+        let reports = src.monitor().poll();
+        assert_eq!(reports[0].seq, 0);
+        assert_eq!(reports[1].seq, 1);
+        // Later polls continue the sequence.
+        src.apply(Update::modify("A1", 48i64)).unwrap();
+        let more = src.monitor().poll();
+        assert_eq!(more[0].seq, 2);
+    }
+
+    #[test]
+    fn wrapper_serves_and_meters() {
+        let src = person_source(ReportLevel::OidsOnly);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter.clone());
+        let reply = w.serve(&SourceQuery::PathFromRoot {
+            root: oid("ROOT"),
+            n: oid("A1"),
+        });
+        assert_eq!(
+            reply,
+            SourceReply::PathResult(Some(Path::parse("professor.age")))
+        );
+        let reply = w.serve(&SourceQuery::Fetch(oid("P1")));
+        match reply {
+            SourceReply::Object(Some(info)) => assert_eq!(info.label.as_str(), "professor"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(meter.queries(), 2);
+        assert_eq!(meter.messages(), 4);
+    }
+
+    #[test]
+    fn wrapper_reach_carries_values_for_local_cond_tests() {
+        // Example 9: the warehouse fetches N.p and tests cond locally.
+        let src = person_source(ReportLevel::OidsOnly);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter);
+        let reply = w.serve(&SourceQuery::Reach {
+            n: oid("P1"),
+            p: Path::parse("age"),
+        });
+        match reply {
+            SourceReply::Objects(infos) => {
+                assert_eq!(infos.len(), 1);
+                assert_eq!(infos[0].value, gsdb::Value::Atom(gsdb::Atom::Int(45)));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+}

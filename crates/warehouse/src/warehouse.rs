@@ -1,0 +1,477 @@
+//! The data warehouse (paper §5, Figure 6): stores materialized views
+//! over autonomous sources, maintains them from update reports, and
+//! queries back only when reports and caches cannot answer.
+
+use crate::cache::{AuxCache, PathKnowledge};
+use crate::protocol::{CostMeter, UpdateReport};
+use crate::remote::RemoteBase;
+use crate::source::Wrapper;
+use gsdb::{AppliedUpdate, Label, Oid, Result};
+use gsview_core::{MaterializedView, Maintainer, Outcome, SimpleViewDef};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Options controlling how a warehouse view is maintained.
+#[derive(Clone, Debug, Default)]
+pub struct ViewOptions {
+    /// Maintain an auxiliary cache along `sel_path.cond_path` (§5.2).
+    pub use_aux_cache: bool,
+    /// Screen reports by label before doing anything else (works at
+    /// report level ≥ 2: "the warehouse can do some local screening to
+    /// avoid some querying back to the source").
+    pub label_screening: bool,
+    /// Impossible-path knowledge (§5.2 closing paragraph).
+    pub knowledge: PathKnowledge,
+}
+
+/// Statistics for one warehouse view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Reports processed.
+    pub reports: u64,
+    /// Reports discarded by label screening or path knowledge, with no
+    /// query to the source.
+    pub screened_out: u64,
+    /// Reports that turned out relevant (Algorithm 1's location test
+    /// passed).
+    pub relevant: u64,
+    /// Members inserted over the view's lifetime.
+    pub inserted: u64,
+    /// Members deleted over the view's lifetime.
+    pub deleted: u64,
+}
+
+struct WarehouseView {
+    def: SimpleViewDef,
+    maintainer: Maintainer,
+    mv: MaterializedView,
+    source: String,
+    cache: Option<AuxCache>,
+    options: ViewOptions,
+    stats: ViewStats,
+}
+
+/// A warehouse holding materialized views over one or more sources.
+///
+/// The warehouse owns no base data: it reaches sources only through
+/// their wrappers (queries) and monitors (reports), exactly as in the
+/// paper's architecture where "only the warehouse (and not the data
+/// sources) knows the view definition".
+pub struct Warehouse {
+    wrappers: HashMap<String, Wrapper>,
+    meters: HashMap<String, Arc<CostMeter>>,
+    views: Vec<WarehouseView>,
+}
+
+impl Warehouse {
+    /// An empty warehouse.
+    pub fn new() -> Self {
+        Warehouse {
+            wrappers: HashMap::new(),
+            meters: HashMap::new(),
+            views: Vec::new(),
+        }
+    }
+
+    /// Connect a source by name, installing a cost meter on its
+    /// wrapper.
+    pub fn connect(&mut self, source: &crate::source::Source) {
+        let meter = Arc::new(CostMeter::new());
+        let wrapper = source.wrapper(meter.clone());
+        self.meters.insert(source.name().to_owned(), meter);
+        self.wrappers.insert(source.name().to_owned(), wrapper);
+    }
+
+    /// The cost meter for a connected source.
+    pub fn meter(&self, source: &str) -> Option<&CostMeter> {
+        self.meters.get(source).map(|m| m.as_ref())
+    }
+
+    /// Define a materialized view over a connected source and
+    /// initialize it by querying the source.
+    pub fn add_view(
+        &mut self,
+        source: &str,
+        def: SimpleViewDef,
+        options: ViewOptions,
+    ) -> Result<Oid> {
+        let wrapper = self
+            .wrappers
+            .get(source)
+            .unwrap_or_else(|| panic!("source {source} not connected"))
+            .clone();
+        let cache = options
+            .use_aux_cache
+            .then(|| AuxCache::build(def.root, def.full_path(), &wrapper));
+        // Initial materialization through the wrapper.
+        let mut base = RemoteBase::new(&wrapper);
+        let mv = gsview_core::recompute::recompute(&def, &mut base)?;
+        let view = def.view;
+        self.views.push(WarehouseView {
+            maintainer: Maintainer::new(def.clone()),
+            def,
+            mv,
+            source: source.to_owned(),
+            cache,
+            options,
+            stats: ViewStats::default(),
+        });
+        Ok(view)
+    }
+
+    /// Access a view's materialized state.
+    pub fn view(&self, view: Oid) -> Option<&MaterializedView> {
+        self.views.iter().find(|v| v.def.view == view).map(|v| &v.mv)
+    }
+
+    /// A view's statistics.
+    pub fn view_stats(&self, view: Oid) -> Option<ViewStats> {
+        self.views
+            .iter()
+            .find(|v| v.def.view == view)
+            .map(|v| v.stats)
+    }
+
+    /// A view's auxiliary-cache maintenance query count, if caching.
+    pub fn cache_queries(&self, view: Oid) -> Option<u64> {
+        self.views
+            .iter()
+            .find(|v| v.def.view == view)
+            .and_then(|v| v.cache.as_ref())
+            .map(|c| c.maintenance_queries)
+    }
+
+    /// Re-materialize one view by querying its source (the recovery
+    /// path for the update-anomaly the paper flags in §5.1: "source
+    /// updates may interfere with query evaluation and resulting in
+    /// inconsistent query results \[ZGMHW95\]" — when reports are
+    /// processed against a source state that has already moved on,
+    /// the view can drift; a refresh restores exactness).
+    pub fn refresh_view(&mut self, view: Oid) -> Result<()> {
+        let Some(wv) = self.views.iter_mut().find(|v| v.def.view == view) else {
+            return Ok(());
+        };
+        let wrapper = self
+            .wrappers
+            .get(&wv.source)
+            .expect("view sources are connected")
+            .clone();
+        let mut base = RemoteBase::new(&wrapper);
+        gsview_core::recompute::refresh(&wv.def, &mut base, &mut wv.mv)?;
+        Ok(())
+    }
+
+    /// Handle one update report from a source monitor: maintain every
+    /// view defined over that source.
+    pub fn handle_report(&mut self, report: &UpdateReport) -> Result<Vec<(Oid, Outcome)>> {
+        let wrapper = match self.wrappers.get(&report.source) {
+            Some(w) => w.clone(),
+            None => return Ok(Vec::new()),
+        };
+        let mut outcomes = Vec::new();
+        for wv in &mut self.views {
+            if wv.source != report.source {
+                continue;
+            }
+            wv.stats.reports += 1;
+
+            // Local screening (no source queries).
+            if screened_out(wv, report) {
+                wv.stats.screened_out += 1;
+                continue;
+            }
+
+            // Maintain the auxiliary cache first so it reflects the
+            // post-update state Algorithm 1 expects.
+            if let Some(cache) = wv.cache.as_mut() {
+                cache.apply_report(report, &wrapper);
+            }
+
+            let outcome = {
+                let mut base = RemoteBase::new(&wrapper).with_report(report);
+                if let Some(cache) = wv.cache.as_ref() {
+                    base = base.with_cache(cache);
+                }
+                wv.maintainer.apply(&mut wv.mv, &mut base, &report.update)?
+            };
+            if let Some(cache) = wv.cache.as_mut() {
+                cache.finalize_report();
+            }
+            if outcome.relevant {
+                wv.stats.relevant += 1;
+            }
+            wv.stats.inserted += outcome.inserted.len() as u64;
+            wv.stats.deleted += outcome.deleted.len() as u64;
+            outcomes.push((wv.def.view, outcome));
+        }
+        Ok(outcomes)
+    }
+}
+
+impl Default for Warehouse {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Local screening (paper §5.1 scenario 2 + §5.2 path knowledge):
+/// decide, from the report alone, that this view cannot be affected.
+fn screened_out(wv: &WarehouseView, report: &UpdateReport) -> bool {
+    // Path-knowledge screening: a view whose full path is impossible
+    // can never change.
+    if !wv.options.knowledge.path_possible(&wv.def.full_path()) {
+        return true;
+    }
+    if !wv.options.label_screening {
+        return false;
+    }
+    let full = wv.def.full_path();
+    match &report.update {
+        AppliedUpdate::Insert { child, .. } | AppliedUpdate::Delete { child, .. } => {
+            // "when label(N2) is not in the sel_path.cond_path,
+            // insert(N1, N2) will have no effect on the view."
+            match reported_label(report, *child) {
+                Some(l) => !full.labels().contains(&l),
+                None => false, // L1 report: cannot screen locally
+            }
+        }
+        AppliedUpdate::Modify { oid, .. } => {
+            // A modify matters only if the atom can sit at the tail of
+            // sel.cond — and only for views with a condition.
+            if wv.def.cond.is_none() {
+                return true;
+            }
+            match (reported_label(report, *oid), full.labels().last()) {
+                (Some(l), Some(&tail)) => l != tail,
+                _ => false,
+            }
+        }
+        AppliedUpdate::Create { .. } | AppliedUpdate::Remove { .. } => true,
+    }
+}
+
+fn reported_label(report: &UpdateReport, oid: Oid) -> Option<Label> {
+    report.info_of(oid).map(|i| i.label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ReportLevel;
+    use crate::source::Source;
+    use gsdb::{samples, Update};
+    use gsview_query::{CmpOp, Pred};
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn person_source(level: ReportLevel) -> Source {
+        let src = Source::empty("persons", oid("ROOT"), level);
+        src.with_store(|s| samples::person_db(s).map(|_| ())).unwrap();
+        src.with_store(|s| {
+            s.drain_log();
+        });
+        src
+    }
+
+    fn yp_def() -> SimpleViewDef {
+        SimpleViewDef::new("YP", "ROOT", "professor")
+            .with_cond("age", Pred::new(CmpOp::Le, 45i64))
+    }
+
+    fn pump(src: &Source, wh: &mut Warehouse) {
+        for r in src.monitor().poll() {
+            wh.handle_report(&r).unwrap();
+        }
+    }
+
+    #[test]
+    fn warehouse_maintains_view_from_reports() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view("persons", yp_def(), ViewOptions::default())
+            .unwrap();
+        assert_eq!(wh.view(oid("YP")).unwrap().members_base(), vec![oid("P1")]);
+
+        // Example 5 at the source: insert(P2, A2).
+        src.with_store(|s| s.create(gsdb::Object::atom("A2", "age", 40i64)))
+            .unwrap();
+        src.apply(Update::insert("P2", "A2")).unwrap();
+        pump(&src, &mut wh);
+        assert_eq!(
+            wh.view(oid("YP")).unwrap().members_base(),
+            vec![oid("P1"), oid("P2")]
+        );
+
+        // And a departure.
+        src.apply(Update::modify("A1", 80i64)).unwrap();
+        src.apply(Update::modify("A2", 80i64)).unwrap();
+        pump(&src, &mut wh);
+        assert!(wh.view(oid("YP")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn label_screening_avoids_queries_for_irrelevant_updates() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view(
+            "persons",
+            yp_def(),
+            ViewOptions {
+                label_screening: true,
+                ..ViewOptions::default()
+            },
+        )
+        .unwrap();
+        wh.meter("persons").unwrap().reset();
+
+        // Name changes cannot affect an age view.
+        src.apply(Update::modify("N1", "Johnny")).unwrap();
+        src.apply(Update::modify("N2", "Sal")).unwrap();
+        pump(&src, &mut wh);
+        let stats = wh.view_stats(oid("YP")).unwrap();
+        assert_eq!(stats.screened_out, 2);
+        assert_eq!(wh.meter("persons").unwrap().queries(), 0);
+    }
+
+    #[test]
+    fn richer_reports_need_fewer_queries() {
+        // The E4 claim in miniature: the same update costs strictly
+        // fewer queries as the report level rises.
+        let mut queries = Vec::new();
+        for level in [
+            ReportLevel::OidsOnly,
+            ReportLevel::WithValues,
+            ReportLevel::WithPaths,
+        ] {
+            let src = person_source(level);
+            let mut wh = Warehouse::new();
+            wh.connect(&src);
+            wh.add_view("persons", yp_def(), ViewOptions::default())
+                .unwrap();
+            wh.meter("persons").unwrap().reset();
+            src.apply(Update::modify("A1", 50i64)).unwrap();
+            pump(&src, &mut wh);
+            queries.push(wh.meter("persons").unwrap().queries());
+        }
+        assert!(
+            queries[0] > queries[1] || queries[1] > queries[2],
+            "queries must decrease with report level: {queries:?}"
+        );
+        assert!(queries[0] >= queries[1] && queries[1] >= queries[2]);
+    }
+
+    #[test]
+    fn cached_view_maintains_locally() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view(
+            "persons",
+            yp_def(),
+            ViewOptions {
+                use_aux_cache: true,
+                label_screening: true,
+                ..ViewOptions::default()
+            },
+        )
+        .unwrap();
+        wh.meter("persons").unwrap().reset();
+        // Example 10's claim: modify-driven maintenance is fully local.
+        src.apply(Update::modify("A1", 80i64)).unwrap(); // P1 leaves
+        src.apply(Update::modify("A1", 40i64)).unwrap(); // P1 returns
+        src.apply(Update::delete("ROOT", "P2")).unwrap();
+        pump(&src, &mut wh);
+        assert_eq!(
+            wh.view(oid("YP")).unwrap().members_base(),
+            vec![oid("P1")]
+        );
+        assert_eq!(
+            wh.meter("persons").unwrap().queries(),
+            0,
+            "maintenance fully local with the §5.2 cache"
+        );
+    }
+
+    #[test]
+    fn path_knowledge_short_circuits_impossible_views() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        let mut knowledge = PathKnowledge::new();
+        knowledge.assert_never_child("student", "salary");
+        // A view over an impossible path: every report is discarded.
+        wh.add_view(
+            "persons",
+            SimpleViewDef::new("SS", "ROOT", "professor.student")
+                .with_cond("salary", Pred::new(CmpOp::Gt, 0i64)),
+            ViewOptions {
+                knowledge,
+                label_screening: true,
+                ..ViewOptions::default()
+            },
+        )
+        .unwrap();
+        wh.meter("persons").unwrap().reset();
+        src.apply(Update::modify("S1", gsdb::Atom::tagged("dollar", 1i64)))
+            .unwrap();
+        pump(&src, &mut wh);
+        let stats = wh.view_stats(oid("SS")).unwrap();
+        assert_eq!(stats.screened_out, 1);
+        assert_eq!(wh.meter("persons").unwrap().queries(), 0);
+    }
+
+    #[test]
+    fn multiple_views_over_one_source() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view("persons", yp_def(), ViewOptions::default()).unwrap();
+        wh.add_view(
+            "persons",
+            SimpleViewDef::new("VJ", "ROOT", "professor")
+                .with_cond("name", Pred::new(CmpOp::Eq, "John")),
+            ViewOptions::default(),
+        )
+        .unwrap();
+        src.apply(Update::modify("N2", "John")).unwrap();
+        pump(&src, &mut wh);
+        assert_eq!(
+            wh.view(oid("VJ")).unwrap().members_base(),
+            vec![oid("P1"), oid("P2")]
+        );
+        assert_eq!(wh.view(oid("YP")).unwrap().members_base(), vec![oid("P1")]);
+    }
+
+    #[test]
+    fn warehouse_view_matches_direct_recompute() {
+        // End-to-end correctness across a mixed stream.
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view("persons", yp_def(), ViewOptions::default())
+            .unwrap();
+        let updates = vec![
+            Update::modify("A1", 50i64),
+            Update::modify("A1", 20i64),
+            Update::delete("P1", "A1"),
+            Update::insert("P1", "A1"),
+            Update::delete("ROOT", "P1"),
+            Update::insert("ROOT", "P1"),
+        ];
+        for u in updates {
+            src.apply(u).unwrap();
+            pump(&src, &mut wh);
+            let expected = src.with_store(|s| {
+                gsview_core::recompute::recompute_members(
+                    &yp_def(),
+                    &mut gsview_core::LocalBase::new(s),
+                )
+            });
+            assert_eq!(wh.view(oid("YP")).unwrap().members_base(), expected);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # gsview-workload — synthetic workloads for GSDB view experiments
+//!
+//! Deterministic, seeded generators for the database shapes and update
+//! streams the paper's evaluation scenarios need:
+//!
+//! * [`relations`] — the Example 7 "relational" GSDB
+//!   (`REL → r_i → tuple → field`);
+//! * [`tree`] — uniform trees and chains for depth/fan-out sweeps;
+//! * [`web`] — a web-like DAG with skewed linkage (the paper's
+//!   motivating Web-caching scenario);
+//! * [`person`] — heterogeneous person records in the spirit of
+//!   Example 2;
+//! * [`updates`] — replayable update scripts (tuple churn, age
+//!   modifications) with a relevance bias knob;
+//! * [`rng`] — seeded RNG and Zipf sampling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod person;
+pub mod relations;
+pub mod rng;
+pub mod tree;
+pub mod updates;
+pub mod web;
+
+pub use relations::{RelationsDb, RelationsSpec};
+pub use tree::{TreeDb, TreeSpec};
+pub use updates::{relations_churn, ChurnSpec, ScriptOp};
+pub use web::{WebDb, WebSpec};

@@ -1,0 +1,27 @@
+//! # gsview — Graph Structured Views and Their Incremental Maintenance
+//!
+//! A Rust implementation of Zhuge & Garcia-Molina, *Graph Structured
+//! Views and Their Incremental Maintenance* (ICDE 1998): views over
+//! OEM-style graph structured databases, Algorithm 1 for incremental
+//! maintenance of simple materialized views, and the data-warehouse
+//! architecture that maintains such views over autonomous sources.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`gsdb`] — the graph structured database substrate (paper §2);
+//! * [`query`] — the query/view-definition language (§2–3);
+//! * [`views`] — virtual & materialized views and the maintenance
+//!   algorithms (§3–4, §6);
+//! * [`warehouse`] — the warehousing architecture (§5);
+//! * [`relbaseline`] — the relational-flattening comparator (§4.4);
+//! * [`workload`] — deterministic synthetic workloads.
+//!
+//! See `examples/quickstart.rs` for a guided tour and DESIGN.md for
+//! the full system inventory.
+
+pub use gsdb;
+pub use gsview_query as query;
+pub use gsview_core as views;
+pub use gsview_warehouse as warehouse;
+pub use gsview_relbaseline as relbaseline;
+pub use gsview_workload as workload;
