@@ -1,0 +1,20 @@
+//! Criterion companion to experiment E11: wall time of one batched
+//! maintenance flush vs one-at-a-time passes over the same script.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_batched_maintenance");
+    g.sample_size(10);
+    for &batch_size in &[1usize, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("batch", batch_size),
+            &batch_size,
+            |b, &bs| b.iter(|| gsview_bench::e11::measure(bs, 200, 120, 0.4)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

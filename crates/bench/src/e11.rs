@@ -1,0 +1,179 @@
+//! E11 — batched delta maintenance.
+//!
+//! Claim: applying a buffered run of updates with one
+//! [`MaintPlan::apply_batch`] pass costs no more base accesses than
+//! one [`Maintainer::apply`] per update, and strictly fewer once the
+//! batch is large or churny enough for consolidation to cancel work
+//! (insert+delete of the same edge, runs of modifies on one atom).
+//!
+//! Both routes replay the *same* deterministic script and must land on
+//! the same membership as a from-scratch recompute.
+
+use crate::table::{fnum, Table};
+use gsdb::DeltaBatch;
+use gsview_core::{recompute, LocalBase, MaintPlan, Maintainer, SimpleViewDef};
+use gsview_query::{CmpOp, Pred};
+use gsview_workload::{cancelling_churn, into_batches, relations, ChurnSpec, RelationsSpec};
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct E11Row {
+    /// Updates buffered per flush.
+    pub batch_size: usize,
+    /// Applied updates in the script.
+    pub ops: usize,
+    /// Fraction of deltas surviving consolidation.
+    pub surviving_fraction: f64,
+    /// Base accesses, one `Maintainer::apply` per update.
+    pub seq_accesses: u64,
+    /// Base accesses, one `apply_batch` per flush.
+    pub batch_accesses: u64,
+    /// Final membership size (identical on both routes).
+    pub members: usize,
+}
+
+fn view_def() -> SimpleViewDef {
+    SimpleViewDef::new("E11", "REL", "r0.tuple").with_cond("age", Pred::new(CmpOp::Gt, 30i64))
+}
+
+/// Run one configuration: the same churny script maintained
+/// one-at-a-time and in flushes of `batch_size`.
+pub fn measure(batch_size: usize, tuples: usize, ops: usize, cancel_fraction: f64) -> E11Row {
+    let spec = RelationsSpec {
+        relations: 2,
+        tuples_per_relation: tuples,
+        extra_fields: 0,
+        age_range: 60,
+        seed: 111,
+    };
+    let churn = ChurnSpec {
+        ops,
+        modify_weight: 2,
+        field_modify_weight: 0,
+        insert_weight: 1,
+        delete_weight: 1,
+        target_bias: 0.8,
+        age_range: 60,
+        seed: 112,
+    };
+    let (store, mut db) = relations::generate(spec, Default::default()).expect("generate");
+    let script = cancelling_churn(&mut db, churn, cancel_fraction, 3);
+    let def = view_def();
+
+    // Route 1: sequential Algorithm 1.
+    let mut seq_store = store.clone();
+    let mut mv_seq = recompute::recompute(&def, &mut LocalBase::new(&seq_store)).expect("init");
+    let maintainer = Maintainer::new(def.clone());
+    let mut seq_accesses = 0u64;
+    let mut applied_ops = 0usize;
+    for op in &script {
+        let applied = op.replay(&mut seq_store).expect("valid script");
+        applied_ops += 1;
+        seq_store.reset_accesses();
+        maintainer
+            .apply(&mut mv_seq, &mut LocalBase::new(&seq_store), &applied)
+            .expect("maintain");
+        seq_accesses += seq_store.accesses();
+    }
+
+    // Route 2: buffered flushes of `batch_size` updates.
+    let mut b_store = store.clone();
+    let mut mv_b = recompute::recompute(&def, &mut LocalBase::new(&b_store)).expect("init");
+    let plan = MaintPlan::new(def.clone());
+    let mut batch_accesses = 0u64;
+    let (mut input, mut surviving) = (0usize, 0usize);
+    for chunk in into_batches(script, batch_size) {
+        let mut batch = DeltaBatch::new();
+        for op in &chunk {
+            batch.push(op.replay(&mut b_store).expect("valid script"));
+        }
+        b_store.reset_accesses();
+        let out = plan
+            .apply_batch(&mut mv_b, &mut LocalBase::new(&b_store), &batch)
+            .expect("batched maintain");
+        batch_accesses += b_store.accesses();
+        input += out.input_ops;
+        surviving += out.consolidated_ops;
+    }
+
+    // Both routes must agree with each other and with recompute.
+    let expected =
+        recompute::recompute_members(&def, &mut LocalBase::new(&b_store));
+    assert_eq!(mv_seq.members_base(), expected, "sequential route diverged");
+    assert_eq!(mv_b.members_base(), expected, "batched route diverged");
+
+    E11Row {
+        batch_size,
+        ops: applied_ops,
+        surviving_fraction: surviving as f64 / input.max(1) as f64,
+        seq_accesses,
+        batch_accesses,
+        members: expected.len(),
+    }
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> Table {
+    let (tuples, ops) = if quick { (200, 160) } else { (1_000, 600) };
+    let mut t = Table::new(
+        "E11",
+        "batched maintenance: one flush of N updates vs N single passes",
+        "batched apply is never costlier, and consolidation pays off as batches grow",
+    )
+    .headers(&[
+        "batch size",
+        "surviving frac",
+        "acc sequential",
+        "acc batched",
+        "batched/seq",
+    ]);
+    for &bs in &[1usize, 4, 16, 64, 256] {
+        let r = measure(bs, tuples, ops, 0.4);
+        t.row(vec![
+            format!("{}", r.batch_size),
+            fnum(r.surviving_fraction),
+            format!("{}", r.seq_accesses),
+            format!("{}", r.batch_accesses),
+            fnum(r.batch_accesses as f64 / r.seq_accesses.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_no_costlier_from_sixteen_up() {
+        for &bs in &[16usize, 64] {
+            let r = measure(bs, 200, 160, 0.4);
+            assert!(
+                r.batch_accesses <= r.seq_accesses,
+                "batch size {bs}: batched {} vs sequential {}",
+                r.batch_accesses,
+                r.seq_accesses
+            );
+        }
+    }
+
+    #[test]
+    fn consolidation_grows_with_batch_size() {
+        let small = measure(1, 200, 160, 0.5);
+        let large = measure(64, 200, 160, 0.5);
+        assert!(
+            large.surviving_fraction < small.surviving_fraction,
+            "large batches should cancel more: {} vs {}",
+            large.surviving_fraction,
+            small.surviving_fraction
+        );
+    }
+
+    #[test]
+    fn quick_sweep_is_consistent() {
+        // `measure` itself asserts both routes equal recompute.
+        let r = measure(32, 150, 100, 0.3);
+        assert_eq!(r.ops, r.ops);
+        assert!(r.surviving_fraction <= 1.0);
+    }
+}

@@ -39,7 +39,7 @@ fn stream(db: &person::PersonDb, ops: usize, seed: u64) -> Vec<gsdb::Update> {
     for _ in 0..ops {
         if r.gen_bool(0.5) && !db.names.is_empty() {
             let n = db.names[r.gen_range(0..db.names.len())];
-            let name = ["John", "Sally", "Tom"][r.gen_range(0..3)];
+            let name = ["John", "Sally", "Tom"][r.gen_range(0..3usize)];
             out.push(gsdb::Update::modify(n, name));
         } else {
             let a = db.ages[r.gen_range(0..db.ages.len())];

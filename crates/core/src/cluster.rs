@@ -231,6 +231,12 @@ impl crate::sink::ViewSink for ClusterShadow {
             Ok(false)
         }
     }
+
+    fn members(&self) -> Vec<Oid> {
+        let mut v: Vec<Oid> = self.current.iter().copied().collect();
+        v.sort_by_key(|o| o.name());
+        v
+    }
 }
 
 #[cfg(test)]

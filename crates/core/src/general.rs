@@ -10,11 +10,11 @@
 //!   than one path between two objects").
 
 use crate::base::{BaseAccess, LocalBase};
-use crate::maintain::{Maintainer, Outcome};
+use crate::maintain::{BatchOutcome, MaintPlan, Maintainer, Outcome};
 use crate::mview::MaterializedView;
 use crate::sink::{MemberSet, ViewSink};
 use crate::viewdef::{CompoundViewDef, GeneralViewDef, SimpleViewDef};
-use gsdb::{AppliedUpdate, Oid, Path, Result, Store};
+use gsdb::{AppliedUpdate, DeltaBatch, Oid, Path, Result, Store};
 use gsview_query::evaluate;
 use std::collections::HashSet;
 
@@ -82,6 +82,42 @@ impl CompoundMaintainer {
         // maintainers only touched membership shadows.
         crate::maintain::content_upkeep(mv, base, update)?;
         Ok(out)
+    }
+
+    /// Process a batch of updates: run the batched maintainer
+    /// ([`MaintPlan`]) per branch on its shadow, then reconcile the
+    /// union into the shared view once.
+    pub fn apply_batch(
+        &mut self,
+        mv: &mut MaterializedView,
+        base: &mut dyn BaseAccess,
+        batch: &DeltaBatch,
+    ) -> Result<BatchOutcome> {
+        let delta = batch.consolidate();
+        let mut relevant = 0;
+        for (m, shadow) in &mut self.branches {
+            let plan = MaintPlan::new(m.def().clone());
+            let out = plan.apply_consolidated(shadow, base, &delta)?;
+            relevant = relevant.max(out.relevant_deltas);
+        }
+        let sync = self.sync_outcome(mv, base)?;
+        // Content upkeep on the shared view, one pass per touched
+        // member (the branch maintainers only touched shadows).
+        for &o in &delta.touched {
+            if mv.contains_base(o) && !sync.inserted.contains(&o) {
+                if let Some(obj) = base.fetch(o) {
+                    mv.refresh_delegate(&obj)?;
+                }
+            }
+        }
+        Ok(BatchOutcome {
+            input_ops: delta.input_ops,
+            consolidated_ops: delta.len(),
+            relevant_deltas: relevant,
+            inserted: sync.inserted,
+            deleted: sync.deleted,
+            ..BatchOutcome::default()
+        })
     }
 
     /// Current union membership.
@@ -258,6 +294,90 @@ impl GeneralMaintainer {
                 }
             }
         }
+        Ok(out)
+    }
+
+    /// Process a batch of updates with the store in its final state.
+    ///
+    /// Each consolidated delta is screened with the containment guard
+    /// ([`GeneralMaintainer::edge_relevant`] / the full-expression
+    /// match for modifies); the centralized refresh — the expensive
+    /// part for wildcard views — runs **at most once per batch**
+    /// instead of once per relevant update.
+    pub fn apply_batch(
+        &self,
+        mv: &mut MaterializedView,
+        store: &Store,
+        batch: &DeltaBatch,
+    ) -> Result<BatchOutcome> {
+        let delta = batch.consolidate();
+        let mut out = BatchOutcome {
+            input_ops: delta.input_ops,
+            consolidated_ops: delta.len(),
+            ..BatchOutcome::default()
+        };
+        let mut relevant = false;
+        // For deletes the guard must not silently pass: the final
+        // state only shows the parent's *current* position — the edge
+        // may have been cut while the parent sat somewhere relevant
+        // and was then re-attached where the guard rejects it. Any
+        // surviving delete therefore forces the refresh; the guard
+        // still screens insert-only batches.
+        for e in &delta.edges {
+            let guard_hit = self.edge_relevant(store, e.parent, e.child);
+            if guard_hit {
+                out.relevant_deltas += 1;
+            }
+            if guard_hit || e.op == gsdb::EdgeOp::Delete {
+                relevant = true;
+            }
+        }
+        for m in &delta.modifies {
+            let hit = self.def.cond.is_some()
+                && gsdb::path::path_between(store, self.def.root, m.oid)
+                    .map(|p| self.def.full_expr().matches(&p))
+                    .unwrap_or(false);
+            if hit {
+                out.relevant_deltas += 1;
+                relevant = true;
+            }
+        }
+        if relevant {
+            let fresh = self.recompute(store)?;
+            let fresh_members: HashSet<Oid> = fresh.members_base().into_iter().collect();
+            for stale in mv.members_base() {
+                if !fresh_members.contains(&stale) && mv.v_delete(stale)? {
+                    out.deleted.push(stale);
+                }
+            }
+            for y in fresh.members_base() {
+                if let Some(obj) = store.get(y) {
+                    let obj = obj.clone();
+                    if mv.contains_base(y) {
+                        if mv.refresh_delegate(&obj)? {
+                            out.refreshed += 1;
+                        }
+                    } else {
+                        mv.v_insert(&obj)?;
+                        out.inserted.push(y);
+                    }
+                }
+            }
+        } else {
+            // Irrelevant batch: content upkeep only.
+            for &o in &delta.touched {
+                if mv.contains_base(o) {
+                    if let Some(obj) = store.get(o) {
+                        let obj = obj.clone();
+                        if mv.refresh_delegate(&obj)? {
+                            out.refreshed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out.inserted.sort_by_key(|o| o.name());
+        out.deleted.sort_by_key(|o| o.name());
         Ok(out)
     }
 }

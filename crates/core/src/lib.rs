@@ -59,6 +59,7 @@ pub mod consistency;
 pub mod general;
 mod maintain;
 mod mview;
+pub mod oracle;
 pub mod partial;
 pub mod recompute;
 mod sink;
@@ -72,8 +73,9 @@ pub use bulk::{view_unaffected, BulkUpdate};
 pub use catalog::{Catalog, CatalogError};
 pub use cluster::ViewCluster;
 pub use general::{CompoundMaintainer, DagMaintainer, GeneralMaintainer};
-pub use maintain::{Maintainer, Outcome};
+pub use maintain::{BatchOutcome, MaintPlan, Maintainer, Outcome};
 pub use mview::{MaterializedView, ViewDelta};
+pub use oracle::{assert_equivalent, check_equivalence, OracleVerdict};
 pub use partial::PartialView;
 pub use sink::{MemberSet, ViewSink};
 pub use viewdef::{CompoundViewDef, GeneralCond, GeneralViewDef, SimpleCond, SimpleViewDef};

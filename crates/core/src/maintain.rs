@@ -37,8 +37,9 @@
 use crate::base::BaseAccess;
 use crate::sink::ViewSink;
 use crate::viewdef::SimpleViewDef;
-use gsdb::{AppliedUpdate, Oid, Path, Result};
+use gsdb::{AppliedUpdate, ConsolidatedDelta, DeltaBatch, EdgeOp, Oid, Path, Result};
 use gsview_query::Pred;
+use std::collections::HashSet;
 
 /// What one maintenance invocation did.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -270,6 +271,272 @@ pub(crate) fn content_upkeep(
         }
     }
     Ok(())
+}
+
+/// What one batched maintenance invocation did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Raw updates in the batch.
+    pub input_ops: usize,
+    /// Surviving deltas after consolidation.
+    pub consolidated_ops: usize,
+    /// Consolidated deltas that passed the path-location test.
+    pub relevant_deltas: usize,
+    /// Base OIDs whose delegates were inserted.
+    pub inserted: Vec<Oid>,
+    /// Base OIDs whose delegates were deleted.
+    pub deleted: Vec<Oid>,
+    /// Current members whose stored copies were refreshed.
+    pub refreshed: usize,
+    /// Whether a full member re-verification sweep ran (only when the
+    /// batch detached part of the graph out from under the view).
+    pub swept: bool,
+}
+
+impl BatchOutcome {
+    /// True iff the view membership changed.
+    pub fn changed(&self) -> bool {
+        !self.inserted.is_empty() || !self.deleted.is_empty()
+    }
+}
+
+/// The batched maintainer for one simple view definition (the batched
+/// counterpart of [`Maintainer`]).
+///
+/// Where [`Maintainer::apply`] must run once per update with the base
+/// in the state *right after that update*, a `MaintPlan` is handed a
+/// whole [`DeltaBatch`] with the base already in its **final** state.
+/// It consolidates the batch (cancelling updates with no net effect),
+/// runs Algorithm 1's location test once per surviving delta, collects
+/// the candidate members each delta could affect, and then *repairs*
+/// each candidate against ground truth: `Y` is a member iff
+/// `path(ROOT, Y) = sel_path` and `eval(Y, cond_path, cond) ≠ ∅`.
+/// Repair makes the result independent of the order updates were
+/// applied in — batched maintenance converges to exactly the state
+/// sequential maintenance (and full recomputation) reaches.
+///
+/// Content upkeep (§3.2) runs as a single pass at the end: each
+/// *touched* member is refreshed once per batch instead of once per
+/// raw update, so a delegate's value is copied (and, for callers that
+/// keep views swizzled, re-swizzled via
+/// [`MaintPlan::apply_batch_swizzled`]) at most once.
+#[derive(Clone, Debug)]
+pub struct MaintPlan {
+    def: SimpleViewDef,
+}
+
+impl MaintPlan {
+    /// Build a plan for a definition.
+    pub fn new(def: SimpleViewDef) -> Self {
+        MaintPlan { def }
+    }
+
+    /// The definition being maintained.
+    pub fn def(&self) -> &SimpleViewDef {
+        &self.def
+    }
+
+    /// Process a batch of applied updates. `base` must reflect the
+    /// state *after every update in the batch*.
+    pub fn apply_batch(
+        &self,
+        mv: &mut dyn ViewSink,
+        base: &mut dyn BaseAccess,
+        batch: &DeltaBatch,
+    ) -> Result<BatchOutcome> {
+        self.apply_consolidated(mv, base, &batch.consolidate())
+    }
+
+    /// Process a batch against a [`MaterializedView`], re-swizzling
+    /// delegate values once at the end (a single pass over the view,
+    /// however many raw updates the batch held).
+    pub fn apply_batch_swizzled(
+        &self,
+        mv: &mut crate::mview::MaterializedView,
+        base: &mut dyn BaseAccess,
+        batch: &DeltaBatch,
+    ) -> Result<BatchOutcome> {
+        let out = self.apply_batch(mv, base, batch)?;
+        mv.swizzle()?;
+        Ok(out)
+    }
+
+    /// Process an already-consolidated delta.
+    pub fn apply_consolidated(
+        &self,
+        mv: &mut dyn ViewSink,
+        base: &mut dyn BaseAccess,
+        delta: &ConsolidatedDelta,
+    ) -> Result<BatchOutcome> {
+        let mut out = BatchOutcome {
+            input_ops: delta.input_ops,
+            consolidated_ops: delta.len(),
+            ..BatchOutcome::default()
+        };
+        let full = self.def.full_path();
+        let sel_len = self.def.sel_path.len();
+        let pred = self.def.cond.as_ref().map(|c| &c.pred);
+
+        // Phase 1: locate each delta (relevance test, once per
+        // consolidated delta) and collect candidate members.
+        let mut candidates: Vec<Oid> = Vec::new();
+        // Full repair of every member (derivability *and* witness).
+        let mut sweep = false;
+        // Cheaper select-path re-check of every member (one
+        // `path_from_root` each, no witness evaluation).
+        let mut verify_paths = false;
+        for e in &delta.edges {
+            // The location test of Algorithm 1, against the final
+            // state: path(ROOT, N1).label(N2) must prefix
+            // sel_path.cond_path.
+            let root_path = base.path_from_root(self.def.root, e.parent);
+            let l2 = base.label_of(e.child);
+            let matched = match (&root_path, l2) {
+                (Some(rp), Some(l2)) if rp.len() < full.len() => {
+                    let mut prefix = rp.clone();
+                    prefix.push(l2);
+                    full.strip_prefix(&prefix).is_some()
+                }
+                _ => false,
+            };
+            if !matched {
+                match e.op {
+                    EdgeOp::Delete => {
+                        // A deleted edge whose parent is no longer
+                        // reachable can hide a member loss (the batch
+                        // detached an ancestor too): re-verify
+                        // members. A parent *reachable* at a
+                        // non-matching final position needs nothing
+                        // extra: any member loss routed through it
+                        // also involves either an unreachable parent
+                        // (this sweep) or a re-attaching insert (the
+                        // path re-check below).
+                        if root_path.is_none() || l2.is_none() {
+                            sweep = true;
+                        }
+                    }
+                    EdgeOp::Insert => {
+                        // An insert that re-attaches a *pre-existing*
+                        // object at a non-matching (or unreachable)
+                        // position may have carried members out of the
+                        // view region — their select paths changed
+                        // even though every deleted edge's parent
+                        // still looks innocent. Re-check every
+                        // member's select path. Freshly created
+                        // objects cannot carry members.
+                        if !delta.created.contains(&e.child) {
+                            verify_paths = true;
+                        }
+                    }
+                }
+                continue;
+            }
+            out.relevant_deltas += 1;
+            let root_path = root_path.expect("matched implies located");
+            // Depth of N2 along the full path.
+            let k = root_path.len() + 1;
+            if sel_len >= k {
+                // The edge sits at or above select depth: candidates
+                // are the select-depth objects currently under N2
+                // (for deletes, the detached subtree is walked as it
+                // stands; members that left it imply a re-attaching
+                // insert or a cascading detachment, both handled
+                // above).
+                let sel_suffix = Path(self.def.sel_path.labels()[k..].to_vec());
+                candidates.extend(base.eval(e.child, &sel_suffix, None));
+            } else {
+                // The edge sits in the condition region: the affected
+                // member is the select-depth ancestor on the attached
+                // (parent) side.
+                let q = Path(root_path.labels()[sel_len..].to_vec());
+                let y = if q.is_empty() {
+                    Some(e.parent)
+                } else {
+                    base.ancestor(e.parent, &q)
+                };
+                candidates.extend(y);
+            }
+        }
+        for m in &delta.modifies {
+            // Structural views ignore modifies (membership-wise);
+            // content upkeep below still refreshes member copies.
+            let Some(cond) = &self.def.cond else { continue };
+            match base.path_from_root(self.def.root, m.oid) {
+                Some(rp) if rp == full => {}
+                _ => continue,
+            }
+            out.relevant_deltas += 1;
+            candidates.extend(base.ancestor(m.oid, &cond.path));
+        }
+        if sweep {
+            out.swept = true;
+            candidates.extend(mv.members());
+        }
+
+        // Phase 2: repair each candidate once against ground truth.
+        let mut seen: HashSet<Oid> = HashSet::new();
+        for y in candidates {
+            if !seen.insert(y) {
+                continue;
+            }
+            let derivable = base.path_from_root(self.def.root, y).as_ref() == Some(&self.def.sel_path);
+            let in_now = derivable
+                && match pred {
+                    None => true,
+                    Some(pr) => {
+                        let cp = &self.def.cond.as_ref().unwrap().path;
+                        !base.eval(y, cp, Some(pr)).is_empty()
+                    }
+                };
+            if in_now {
+                if !mv.contains(y) {
+                    if let Some(obj) = base.fetch(y) {
+                        mv.insert_member(&obj)?;
+                        out.inserted.push(y);
+                    }
+                }
+            } else if mv.contains(y) && mv.delete_member(y)? {
+                out.deleted.push(y);
+            }
+        }
+
+        // Phase 2b: select-path re-check. A re-attaching insert may
+        // have moved members to positions no delta locates; evict any
+        // member whose select path no longer holds. (Witness changes
+        // are fully covered by the located candidates, so no
+        // condition evaluation is needed here.)
+        if verify_paths && !sweep {
+            out.swept = true;
+            for y in mv.members() {
+                if seen.contains(&y) {
+                    continue; // already repaired against ground truth
+                }
+                let derivable =
+                    base.path_from_root(self.def.root, y).as_ref() == Some(&self.def.sel_path);
+                if !derivable && mv.delete_member(y)? {
+                    out.deleted.push(y);
+                }
+            }
+        }
+        out.inserted.sort_by_key(|o| o.name());
+        out.deleted.sort_by_key(|o| o.name());
+
+        // Phase 3: single content-upkeep pass (§3.2) — each touched
+        // member's stored copy is refreshed once per batch.
+        for &o in &delta.touched {
+            if seen.contains(&o) && out.inserted.contains(&o) {
+                continue; // freshly inserted: copy is already current
+            }
+            if mv.contains(o) {
+                if let Some(obj) = base.fetch(o) {
+                    if mv.refresh_member(&obj)? {
+                        out.refreshed += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

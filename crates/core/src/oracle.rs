@@ -1,0 +1,225 @@
+//! A reusable differential-testing oracle for view maintenance.
+//!
+//! Three independent routes to the post-update view state must agree:
+//!
+//! 1. **Sequential** — Algorithm 1, one [`Maintainer::apply`] per
+//!    update, each against the base state right after that update;
+//! 2. **Batched** — one [`MaintPlan::apply_batch`] over the whole
+//!    update run, against the final base state;
+//! 3. **Recompute** — materialize the definition from scratch on the
+//!    final base state.
+//!
+//! Each route's view is additionally validated with
+//! [`consistency::check`] (membership *and* delegate content against
+//! the base). Any disagreement is reported with enough context to
+//! replay: the update run, which routes diverged, and how.
+
+use crate::base::LocalBase;
+use crate::consistency;
+use crate::maintain::{BatchOutcome, MaintPlan, Maintainer};
+use crate::recompute::recompute;
+use crate::viewdef::SimpleViewDef;
+use gsdb::{DeltaBatch, Oid, Result, Store, Update};
+
+/// The outcome of one oracle run.
+#[derive(Clone, Debug, Default)]
+pub struct OracleVerdict {
+    /// Updates that applied cleanly and were maintained.
+    pub applied: usize,
+    /// Updates the store rejected (e.g. deleting an absent edge);
+    /// skipped identically on every route.
+    pub skipped: usize,
+    /// Final membership (from the recompute route).
+    pub members: Vec<Oid>,
+    /// The batched route's outcome (consolidation and repair counts).
+    pub batch: BatchOutcome,
+    /// Human-readable descriptions of every disagreement. Empty =
+    /// the three routes agree and all consistency checks pass.
+    pub failures: Vec<String>,
+}
+
+impl OracleVerdict {
+    /// True iff every route agreed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the three routes for `def` over `updates`, starting from
+/// `initial`, and compare. Never panics on disagreement — inspect
+/// [`OracleVerdict::failures`] (or use [`assert_equivalent`]).
+pub fn check_equivalence(
+    def: &SimpleViewDef,
+    initial: &Store,
+    updates: &[Update],
+) -> Result<OracleVerdict> {
+    let mut verdict = OracleVerdict::default();
+
+    // Both maintained views start from the same initial materialization.
+    let mut mv_seq = recompute(def, &mut LocalBase::new(initial))?;
+    let mut mv_batched = recompute(def, &mut LocalBase::new(initial))?;
+
+    // Route 1 (sequential) drives the store forward and collects the
+    // applied updates for route 2.
+    let maintainer = Maintainer::new(def.clone());
+    let mut store = initial.clone();
+    let mut batch = DeltaBatch::new();
+    for u in updates {
+        match store.apply(u.clone()) {
+            Ok(applied) => {
+                maintainer.apply(&mut mv_seq, &mut LocalBase::new(&store), &applied)?;
+                batch.push(applied);
+                verdict.applied += 1;
+            }
+            Err(_) => verdict.skipped += 1,
+        }
+    }
+
+    // Route 2 (batched) sees only the final state.
+    let plan = MaintPlan::new(def.clone());
+    verdict.batch = plan.apply_batch(&mut mv_batched, &mut LocalBase::new(&store), &batch)?;
+
+    // Route 3 (recompute).
+    let mv_full = recompute(def, &mut LocalBase::new(&store))?;
+    verdict.members = mv_full.members_base();
+
+    let seq = mv_seq.members_base();
+    let batched = mv_batched.members_base();
+    if seq != verdict.members {
+        verdict.failures.push(format!(
+            "sequential != recompute: {:?} vs {:?}",
+            seq, verdict.members
+        ));
+    }
+    if batched != verdict.members {
+        verdict.failures.push(format!(
+            "batched != recompute: {:?} vs {:?}",
+            batched, verdict.members
+        ));
+    }
+    for (name, mv) in [("sequential", &mv_seq), ("batched", &mv_batched), ("recompute", &mv_full)] {
+        for problem in consistency::check(def, &mut LocalBase::new(&store), mv) {
+            verdict.failures.push(format!("{name}: {problem}"));
+        }
+    }
+    Ok(verdict)
+}
+
+/// [`check_equivalence`], panicking with full context on disagreement.
+/// The panic message includes the definition and the update run so a
+/// failure can be replayed as a unit test.
+pub fn assert_equivalent(def: &SimpleViewDef, initial: &Store, updates: &[Update]) {
+    let verdict = check_equivalence(def, initial, updates).expect("oracle run failed");
+    if !verdict.ok() {
+        let ops: Vec<String> = updates.iter().map(|u| u.to_string()).collect();
+        panic!(
+            "maintenance routes diverged for `{def}`\nupdates: [{}]\nfailures:\n  {}",
+            ops.join(", "),
+            verdict.failures.join("\n  ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsdb::{samples, Object};
+    use gsview_query::{CmpOp, Pred};
+
+    fn oid(s: &str) -> Oid {
+        Oid::new(s)
+    }
+
+    fn yp_def() -> SimpleViewDef {
+        SimpleViewDef::new("YP", "ROOT", "professor")
+            .with_cond("age", Pred::new(CmpOp::Le, 45i64))
+    }
+
+    fn person_store() -> Store {
+        let mut s = Store::new();
+        samples::person_db(&mut s).unwrap();
+        s
+    }
+
+    #[test]
+    fn routes_agree_on_paper_examples() {
+        let mut store = person_store();
+        store.create(Object::atom("A2", "age", 40i64)).unwrap();
+        let updates = vec![
+            Update::insert("P2", "A2"),
+            Update::modify("A1", 80i64),
+            Update::delete("ROOT", "P1"),
+        ];
+        let v = check_equivalence(&yp_def(), &store, &updates).unwrap();
+        assert!(v.ok(), "{:?}", v.failures);
+        assert_eq!(v.members, vec![oid("P2")]);
+        assert_eq!(v.applied, 3);
+    }
+
+    #[test]
+    fn cancelling_batch_converges() {
+        // Insert then delete the same edge: the batch consolidates to
+        // nothing, sequential does real work — same final view.
+        let mut store = person_store();
+        store.create(Object::atom("A2", "age", 40i64)).unwrap();
+        let updates = vec![
+            Update::insert("P2", "A2"),
+            Update::delete("P2", "A2"),
+        ];
+        let v = check_equivalence(&yp_def(), &store, &updates).unwrap();
+        assert!(v.ok(), "{:?}", v.failures);
+        assert_eq!(v.batch.consolidated_ops, 0);
+        assert_eq!(v.members, vec![oid("P1")]);
+    }
+
+    #[test]
+    fn cascading_detach_triggers_sweep() {
+        // Detach the witness *and then* the member's own root edge: the
+        // inner delete cannot be located in the final state, forcing
+        // the member re-verification sweep.
+        let store = person_store();
+        let updates = vec![
+            Update::delete("P1", "A1"),
+            Update::delete("ROOT", "P1"),
+        ];
+        let v = check_equivalence(&yp_def(), &store, &updates).unwrap();
+        assert!(v.ok(), "{:?}", v.failures);
+        assert!(v.members.is_empty());
+        assert!(v.batch.swept);
+    }
+
+    #[test]
+    fn reparented_member_is_swept_out() {
+        // Found by the differential property tests: move a member (P3,
+        // the student of P1) out from under its professor — through
+        // positions that stay *reachable* the whole time. Every
+        // delete's parent has a root path in the final state, so only
+        // the at-or-above-select-depth delete rule catches the loss.
+        let mut store = person_store();
+        store.create(Object::empty_set("X", "student")).unwrap();
+        let def = SimpleViewDef::new("VS", "ROOT", "professor.student")
+            .with_cond("age", Pred::new(CmpOp::Gt, 0i64));
+        let updates = vec![
+            Update::delete("P1", "P3"), // P3 leaves its matching slot…
+            Update::insert("X", "P3"),  // …parked under a detached set…
+            Update::insert("ROOT", "X"), // …which then becomes reachable.
+        ];
+        let v = check_equivalence(&def, &store, &updates).unwrap();
+        assert!(v.ok(), "{:?}", v.failures);
+        assert!(v.batch.swept, "the delete at select depth must sweep");
+        assert!(v.members.is_empty());
+    }
+
+    #[test]
+    fn infeasible_updates_are_skipped_consistently() {
+        let store = person_store();
+        let updates = vec![
+            Update::delete("P1", "NOPE"),
+            Update::modify("A1", 30i64),
+        ];
+        let v = check_equivalence(&yp_def(), &store, &updates).unwrap();
+        assert!(v.ok(), "{:?}", v.failures);
+        assert_eq!(v.skipped, 1);
+        assert_eq!(v.applied, 1);
+    }
+}

@@ -28,6 +28,9 @@ pub trait ViewSink {
         let _ = obj;
         Ok(false)
     }
+    /// Current members' base OIDs, sorted by name (used by the batched
+    /// maintainer's re-verification sweep).
+    fn members(&self) -> Vec<Oid>;
 }
 
 impl ViewSink for MaterializedView {
@@ -47,6 +50,10 @@ impl ViewSink for MaterializedView {
 
     fn refresh_member(&mut self, obj: &Object) -> Result<bool> {
         self.refresh_delegate(obj)
+    }
+
+    fn members(&self) -> Vec<Oid> {
+        self.members_base()
     }
 }
 
@@ -91,6 +98,10 @@ impl ViewSink for MemberSet {
 
     fn delete_member(&mut self, base: Oid) -> Result<bool> {
         Ok(self.members.remove(&base))
+    }
+
+    fn members(&self) -> Vec<Oid> {
+        MemberSet::members(self)
     }
 }
 

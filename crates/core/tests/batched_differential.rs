@@ -1,0 +1,282 @@
+//! Property-based differential tests: over random bases and random
+//! update runs, incremental (Algorithm 1), batched
+//! ([`MaintPlan::apply_batch`]) and from-scratch recompute must land
+//! on identical views — for simple, multi-path, and wildcard
+//! definitions.
+//!
+//! Generation keeps the base a forest (one parent per object) so every
+//! route faces the paper's tree-shaped setting; runs reparent subtrees,
+//! detach and re-attach whole branches, and churn atom values.
+
+use gsview_core::{assert_equivalent, GeneralMaintainer, GeneralViewDef, LocalBase, MaintPlan, SimpleViewDef};
+use gsdb::{DeltaBatch, Object, Oid, Store, Update};
+use gsview_query::pathexpr::PathExpr;
+use gsview_query::{CmpOp, Pred};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn oid(s: &str) -> Oid {
+    Oid::new(s)
+}
+
+/// A professor/student base plus a few detached subtrees the run can
+/// attach anywhere: `F0` (a spare professor), `E0`/`E1` (spare
+/// students), `D0`..`D2` (spare age atoms).
+fn build_base(n_prof: usize, studs_per_prof: usize, ages: &[i64]) -> (Store, Vec<(Oid, Oid)>) {
+    let mut s = Store::new();
+    let mut edges = Vec::new();
+    let mut age_i = 0usize;
+    let mut next_age = |s: &mut Store, name: String| {
+        let v = ages[age_i % ages.len()];
+        age_i += 1;
+        s.create(Object::atom(name.as_str(), "age", v)).unwrap();
+        Oid::new(&name)
+    };
+    s.create(Object::empty_set("ROOT", "db")).unwrap();
+    for p in 0..n_prof {
+        let prof = format!("P{p}");
+        s.create(Object::empty_set(prof.as_str(), "professor")).unwrap();
+        s.insert_edge(oid("ROOT"), oid(&prof)).unwrap();
+        edges.push((oid("ROOT"), oid(&prof)));
+        let a = next_age(&mut s, format!("P{p}a"));
+        s.insert_edge(oid(&prof), a).unwrap();
+        edges.push((oid(&prof), a));
+        for t in 0..studs_per_prof {
+            let stud = format!("P{p}S{t}");
+            s.create(Object::empty_set(stud.as_str(), "student")).unwrap();
+            s.insert_edge(oid(&prof), oid(&stud)).unwrap();
+            edges.push((oid(&prof), oid(&stud)));
+            let a = next_age(&mut s, format!("P{p}S{t}a"));
+            s.insert_edge(oid(&stud), a).unwrap();
+            edges.push((oid(&stud), a));
+        }
+    }
+    // Detached spares.
+    s.create(Object::empty_set("F0", "professor")).unwrap();
+    let a = next_age(&mut s, "F0a".to_owned());
+    s.insert_edge(oid("F0"), a).unwrap();
+    edges.push((oid("F0"), a));
+    for e in 0..2 {
+        let stud = format!("E{e}");
+        s.create(Object::empty_set(stud.as_str(), "student")).unwrap();
+        let a = next_age(&mut s, format!("E{e}a"));
+        s.insert_edge(oid(&stud), a).unwrap();
+        edges.push((oid(&stud), a));
+    }
+    for d in 0..3 {
+        next_age(&mut s, format!("D{d}"));
+    }
+    (s, edges)
+}
+
+/// Raw op tuples → a concrete update run that keeps the base a forest:
+/// inserts only attach currently-parentless objects, deletes pick from
+/// the live edge set, modifies hit age atoms.
+fn realize_ops(
+    raw: &[(u8, usize, usize, i64)],
+    n_prof: usize,
+    studs_per_prof: usize,
+    initial_edges: &[(Oid, Oid)],
+) -> Vec<Update> {
+    let mut parents: Vec<Oid> = vec![oid("ROOT")];
+    let mut atoms: Vec<Oid> = Vec::new();
+    for p in 0..n_prof {
+        parents.push(oid(&format!("P{p}")));
+        atoms.push(oid(&format!("P{p}a")));
+        for t in 0..studs_per_prof {
+            parents.push(oid(&format!("P{p}S{t}")));
+            atoms.push(oid(&format!("P{p}S{t}a")));
+        }
+    }
+    parents.push(oid("F0"));
+    parents.push(oid("E0"));
+    parents.push(oid("E1"));
+    atoms.push(oid("F0a"));
+    atoms.push(oid("E0a"));
+    atoms.push(oid("E1a"));
+    let mut attachable: Vec<Oid> = vec![oid("F0"), oid("E0"), oid("E1")];
+    for d in 0..3 {
+        attachable.push(oid(&format!("D{d}")));
+    }
+
+    // Forest shadow: child → parent, plus the live edge list.
+    let mut parent_of: HashMap<Oid, Oid> = HashMap::new();
+    let mut edges: Vec<(Oid, Oid)> = initial_edges.to_vec();
+    for &(p, c) in initial_edges {
+        parent_of.insert(c, p);
+    }
+
+    let mut out = Vec::new();
+    for &(kind, a, b, v) in raw {
+        match kind % 3 {
+            0 => {
+                // Attach a parentless object somewhere.
+                let orphans: Vec<Oid> = attachable
+                    .iter()
+                    .chain(parents.iter())
+                    .chain(atoms.iter())
+                    .filter(|o| **o != oid("ROOT") && !parent_of.contains_key(o))
+                    .copied()
+                    .collect();
+                if orphans.is_empty() {
+                    continue;
+                }
+                let child = orphans[b % orphans.len()];
+                // Never attach below the child's own subtree (keeps the
+                // shadow a forest): exclude its descendants.
+                let mut blocked: HashSet<Oid> = HashSet::new();
+                blocked.insert(child);
+                loop {
+                    let grew = edges
+                        .iter()
+                        .filter(|(p, c)| blocked.contains(p) && !blocked.contains(c))
+                        .map(|&(_, c)| c)
+                        .collect::<Vec<_>>();
+                    if grew.is_empty() {
+                        break;
+                    }
+                    blocked.extend(grew);
+                }
+                let hosts: Vec<Oid> = parents
+                    .iter()
+                    .filter(|p| !blocked.contains(p))
+                    .copied()
+                    .collect();
+                if hosts.is_empty() {
+                    continue;
+                }
+                let parent = hosts[a % hosts.len()];
+                parent_of.insert(child, parent);
+                edges.push((parent, child));
+                out.push(Update::Insert { parent, child });
+            }
+            1 => {
+                // Delete a live edge.
+                if edges.is_empty() {
+                    continue;
+                }
+                let (parent, child) = edges.remove(a % edges.len());
+                parent_of.remove(&child);
+                out.push(Update::Delete { parent, child });
+            }
+            _ => {
+                if atoms.is_empty() {
+                    continue;
+                }
+                let target = atoms[a % atoms.len()];
+                out.push(Update::Modify {
+                    oid: target,
+                    new: gsdb::Atom::Int(v),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn raw_ops() -> impl Strategy<Value = Vec<(u8, usize, usize, i64)>> {
+    prop::collection::vec((0..6u8, 0..64usize, 0..64usize, 0..80i64), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Simple one-hop view with a condition (the paper's Example 2).
+    #[test]
+    fn simple_view_routes_agree(
+        (n_prof, studs) in (1..4usize, 0..3usize),
+        ages in prop::collection::vec(0..80i64, 1..6),
+        raw in raw_ops(),
+    ) {
+        let (store, edges) = build_base(n_prof, studs, &ages);
+        let updates = realize_ops(&raw, n_prof, studs, &edges);
+        let def = SimpleViewDef::new("V", "ROOT", "professor")
+            .with_cond("age", Pred::new(CmpOp::Le, 45i64));
+        assert_equivalent(&def, &store, &updates);
+    }
+
+    /// Multi-hop selection path with a condition below it.
+    #[test]
+    fn multi_path_view_routes_agree(
+        (n_prof, studs) in (1..4usize, 1..3usize),
+        ages in prop::collection::vec(0..80i64, 1..6),
+        raw in raw_ops(),
+    ) {
+        let (store, edges) = build_base(n_prof, studs, &ages);
+        let updates = realize_ops(&raw, n_prof, studs, &edges);
+        let def = SimpleViewDef::new("VS", "ROOT", "professor.student")
+            .with_cond("age", Pred::new(CmpOp::Gt, 20i64));
+        assert_equivalent(&def, &store, &updates);
+        // And the unconditioned variant (membership only on the path).
+        let bare = SimpleViewDef::new("VB", "ROOT", "professor.student");
+        assert_equivalent(&bare, &store, &updates);
+    }
+
+    /// Wildcard view (§6): GeneralMaintainer sequential vs batched vs
+    /// recompute on the final state.
+    #[test]
+    fn wildcard_view_routes_agree(
+        (n_prof, studs) in (1..4usize, 0..3usize),
+        ages in prop::collection::vec(0..80i64, 1..6),
+        raw in raw_ops(),
+    ) {
+        let (initial, edges) = build_base(n_prof, studs, &ages);
+        let updates = realize_ops(&raw, n_prof, studs, &edges);
+        let def = GeneralViewDef::new("W", "ROOT", PathExpr::parse("*.student").unwrap())
+            .with_cond(PathExpr::parse("age").unwrap(), Pred::new(CmpOp::Gt, 10i64));
+        let m = GeneralMaintainer::new(def);
+
+        let mut store = initial.clone();
+        let mut mv_seq = m.recompute(&store).unwrap();
+        let mut mv_batched = m.recompute(&store).unwrap();
+        let mut batch = DeltaBatch::new();
+        for u in &updates {
+            if let Ok(applied) = store.apply(u.clone()) {
+                m.apply(&mut mv_seq, &store, &applied).unwrap();
+                batch.push(applied);
+            }
+        }
+        m.apply_batch(&mut mv_batched, &store, &batch).unwrap();
+        let expected = m.recompute(&store).unwrap().members_base();
+        prop_assert_eq!(mv_seq.members_base(), expected.clone(), "sequential vs recompute");
+        prop_assert_eq!(mv_batched.members_base(), expected, "batched vs recompute");
+    }
+
+    /// Shuffled delivery: two interleavings of the same op set, applied
+    /// as batches, consolidate to the same view (the repair phase makes
+    /// the batch order-independent given the same final base).
+    #[test]
+    fn batch_result_depends_only_on_final_state(
+        (n_prof, studs) in (1..4usize, 0..3usize),
+        ages in prop::collection::vec(0..80i64, 1..5),
+        raw in raw_ops(),
+        split in 0..64usize,
+    ) {
+        let (initial, edges) = build_base(n_prof, studs, &ages);
+        let updates = realize_ops(&raw, n_prof, studs, &edges);
+        let def = SimpleViewDef::new("V", "ROOT", "professor")
+            .with_cond("age", Pred::new(CmpOp::Le, 45i64));
+        let plan = MaintPlan::new(def.clone());
+
+        // One big flush vs two flushes split at an arbitrary point.
+        let run = |cuts: &[usize]| {
+            let mut store = initial.clone();
+            let mut mv = gsview_core::recompute::recompute(
+                &def, &mut LocalBase::new(&store)).unwrap();
+            let mut start = 0usize;
+            for &cut in cuts.iter().chain(std::iter::once(&updates.len())) {
+                let mut batch = DeltaBatch::new();
+                for u in &updates[start..cut] {
+                    if let Ok(applied) = store.apply(u.clone()) {
+                        batch.push(applied);
+                    }
+                }
+                plan.apply_batch(&mut mv, &mut LocalBase::new(&store), &batch).unwrap();
+                start = cut;
+            }
+            mv.members_base()
+        };
+        let cut = split % (updates.len() + 1);
+        prop_assert_eq!(run(&[]), run(&[cut]));
+    }
+}

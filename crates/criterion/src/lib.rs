@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate vendors
+//! the API subset the `benches/` files use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], per-group
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_with_input`]
+//! / [`BenchmarkGroup::bench_function`], [`BenchmarkId`] and
+//! [`Bencher::iter`]. Instead of criterion's statistical machinery it
+//! runs a short warmup, then `sample_size` timed samples, and prints
+//! min/mean/max per iteration — enough to compare strategies and to
+//! keep `cargo bench` runnable offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A benchmark id: function name plus parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure that receives the input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&id.name);
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&id.name);
+        self
+    }
+
+    /// End the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            durations: Vec::new(),
+        }
+    }
+
+    /// Time `routine`, once per sample after one warmup call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warmup
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.durations.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.durations.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = self.durations.iter().min().unwrap();
+        let max = self.durations.iter().max().unwrap();
+        let mean = self.durations.iter().sum::<Duration>() / self.durations.len() as u32;
+        println!(
+            "{name:<40} min {:>12?}  mean {:>12?}  max {:>12?}  ({} samples)",
+            min,
+            mean,
+            max,
+            self.durations.len()
+        );
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_with_input(BenchmarkId::new("count", 7), &7usize, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * 2
+            })
+        });
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

@@ -6,7 +6,6 @@
 //! them.
 
 use crate::intern::{intern, Symbol};
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 
 /// An interned object label (e.g. `professor`, `age`, `view`).
@@ -52,19 +51,6 @@ impl From<&String> for Label {
 impl From<String> for Label {
     fn from(s: String) -> Self {
         Label::new(&s)
-    }
-}
-
-impl Serialize for Label {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.as_str())
-    }
-}
-
-impl<'de> Deserialize<'de> for Label {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Label::new(&s))
     }
 }
 

@@ -40,6 +40,7 @@
 
 pub mod builder;
 pub mod database;
+pub mod delta;
 pub mod display;
 mod error;
 pub mod gc;
@@ -58,6 +59,7 @@ pub mod txn;
 mod update;
 mod value;
 
+pub use delta::{ConsolidatedDelta, DeltaBatch, EdgeDelta, EdgeOp, ModifyDelta};
 pub use error::{GsdbError, Result};
 pub use label::Label;
 pub use object::Object;

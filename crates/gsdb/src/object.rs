@@ -5,11 +5,10 @@
 //! inferred.
 
 use crate::{Atom, Label, Oid, OidSet, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A GSDB object.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Object {
     /// Universally unique identifier.
     pub oid: Oid,

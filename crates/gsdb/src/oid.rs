@@ -10,7 +10,6 @@
 //! [`Oid::delegate`] and decomposed with [`Oid::split_delegate`].
 
 use crate::intern::{delegate_parts, intern, intern_delegate, Symbol};
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 
 /// A universally unique object identifier.
@@ -88,19 +87,6 @@ impl From<&String> for Oid {
 impl From<String> for Oid {
     fn from(s: String) -> Self {
         Oid::new(&s)
-    }
-}
-
-impl Serialize for Oid {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.name())
-    }
-}
-
-impl<'de> Deserialize<'de> for Oid {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Oid::new(&s))
     }
 }
 

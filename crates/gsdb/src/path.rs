@@ -19,12 +19,11 @@
 //! (paper §6).
 
 use crate::{Atom, Label, Oid, Store};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// A constant path: a sequence of labels.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Path(pub Vec<Label>);
 
 impl Path {

@@ -7,10 +7,9 @@
 //! interner state.
 
 use crate::{Object, Result, Store, StoreConfig};
-use serde::{Deserialize, Serialize};
 
 /// A serializable image of a store's objects.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
     /// Objects, sorted by OID name for deterministic output.
     pub objects: Vec<Object>,

@@ -46,7 +46,7 @@ impl Default for StoreConfig {
 }
 
 /// An in-memory GSDB object store.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Store {
     objects: HashMap<Oid, Object>,
     parent_index: Option<HashMap<Oid, OidSet>>,

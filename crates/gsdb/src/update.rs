@@ -12,11 +12,10 @@
 //! by themselves (a freshly created object is unreachable).
 
 use crate::{Atom, Object, Oid};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A requested update, before application.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Update {
     /// `insert(parent, child)`: add an edge.
     Insert {
@@ -109,7 +108,7 @@ impl fmt::Display for Update {
 
 /// An update that has been applied by a store, with the information a
 /// maintenance algorithm needs (notably the old value of a `modify`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AppliedUpdate {
     /// An edge was added.
     Insert {

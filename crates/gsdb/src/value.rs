@@ -5,7 +5,6 @@
 //! of other objects."
 
 use crate::{Label, Oid};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
@@ -16,7 +15,7 @@ use std::sync::Arc;
 /// `Tagged` covers domain-specific atomic types such as the paper's
 /// `dollar` type (`<S1, salary, dollar, $100,000>`): a unit label plus an
 /// integer magnitude.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Atom {
     /// Integer.
     Int(i64),
@@ -135,22 +134,6 @@ impl From<bool> for Atom {
 pub struct OidSet {
     items: Vec<Oid>,
     index: HashMap<Oid, usize>,
-}
-
-impl Serialize for OidSet {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_seq(self.items.iter())
-    }
-}
-
-impl<'de> Deserialize<'de> for OidSet {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        // Rebuilding the membership index here keeps every
-        // deserialized set fully functional (contains/eq/remove), not
-        // just ones restored through Snapshot.
-        let items = Vec::<Oid>::deserialize(deserializer)?;
-        Ok(items.into_iter().collect())
-    }
 }
 
 impl OidSet {
@@ -288,7 +271,7 @@ impl fmt::Display for OidSet {
 }
 
 /// The value field of an object: atomic or a set of OIDs.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// An atomic value.
     Atom(Atom),

@@ -484,6 +484,86 @@ mod tests {
     }
 
     #[test]
+    fn containment_empty_pattern() {
+        // ε ⊆ ε, and ε is contained in anything that accepts the
+        // empty path — but contains nothing besides ε itself.
+        let eps = PathExpr::empty();
+        assert!(PathExpr::contains(&eps, &eps));
+        assert!(PathExpr::contains(&pe("*"), &eps));
+        assert!(PathExpr::contains(&pe("*.*"), &eps));
+        assert!(!PathExpr::contains(&eps, &pe("a")));
+        assert!(!PathExpr::contains(&eps, &pe("?")));
+        assert!(!PathExpr::contains(&eps, &pe("*"))); // * also matches "a"
+        assert!(!PathExpr::contains(&pe("a"), &eps));
+        assert!(!PathExpr::contains(&pe("?"), &eps));
+    }
+
+    #[test]
+    fn containment_is_reflexive() {
+        for s in ["", "a", "?", "*", "a.b.c", "a.*.b", "?.*.?", "(a|b).*.(b|c)"] {
+            let e = pe(s);
+            assert!(PathExpr::contains(&e, &e), "{s} ⊆ {s} must hold");
+        }
+    }
+
+    #[test]
+    fn containment_wildcard_vs_literal() {
+        // ? covers every single literal, named or not.
+        assert!(PathExpr::contains(&pe("?"), &pe("a")));
+        assert!(PathExpr::contains(&pe("?"), &pe("(a|b)")));
+        assert!(!PathExpr::contains(&pe("a"), &pe("?")));
+        assert!(!PathExpr::contains(&pe("(a|b)"), &pe("?")));
+        // Fixed-arity chains: ?.? covers any two-label path, never a
+        // one- or three-label one.
+        assert!(PathExpr::contains(&pe("?.?"), &pe("a.b")));
+        assert!(!PathExpr::contains(&pe("?.?"), &pe("a")));
+        assert!(!PathExpr::contains(&pe("?.?"), &pe("a.b.c")));
+        assert!(PathExpr::contains(&pe("*"), &pe("?.?")));
+        // Mixed: a.? vs a.b vs ?.b — pairwise incomparable except
+        // where the literal agrees.
+        assert!(PathExpr::contains(&pe("a.?"), &pe("a.b")));
+        assert!(PathExpr::contains(&pe("?.b"), &pe("a.b")));
+        assert!(!PathExpr::contains(&pe("a.?"), &pe("?.b")));
+        assert!(!PathExpr::contains(&pe("?.b"), &pe("a.?")));
+        // A literal written as a singleton alternation is the same
+        // language.
+        assert!(PathExpr::contains(&pe("(a)"), &pe("a")));
+        assert!(PathExpr::contains(&pe("a"), &pe("(a)")));
+    }
+
+    #[test]
+    fn containment_cyclic_alphabets() {
+        // `*` makes the NFA cyclic; exercise containment where both
+        // sides loop over the same small alphabet {a, b}.
+        // Strings over {a,b} starting with a ⊆ strings starting with
+        // a or b.
+        assert!(PathExpr::contains(&pe("(a|b).*"), &pe("a.*")));
+        assert!(!PathExpr::contains(&pe("a.*"), &pe("(a|b).*")));
+        // Ending constraints: *.a ⊆ *.(a|b), not vice versa.
+        assert!(PathExpr::contains(&pe("*.(a|b)"), &pe("*.a")));
+        assert!(!PathExpr::contains(&pe("*.a"), &pe("*.(a|b)")));
+        // Starts-and-ends-with-a ⊆ contains-an-a (cycle on both sides
+        // of the anchor).
+        assert!(PathExpr::contains(&pe("*.a.*"), &pe("a.*.a")));
+        assert!(!PathExpr::contains(&pe("a.*.a"), &pe("*.a.*")));
+        // Starts-and-ends-with-a ⊆ starts-with-a.
+        assert!(PathExpr::contains(&pe("a.*"), &pe("a.*.a")));
+        assert!(!PathExpr::contains(&pe("a.*.a"), &pe("a.*")));
+        // Two anchors vs one: *.a.*.b.* (an a somewhere before a b)
+        // is strictly inside *.b.* (a b somewhere).
+        assert!(PathExpr::contains(&pe("*.b.*"), &pe("*.a.*.b.*")));
+        assert!(!PathExpr::contains(&pe("*.a.*.b.*"), &pe("*.b.*")));
+        // Same language, syntactically different loops: *.* ≡ *.
+        assert!(PathExpr::contains(&pe("*"), &pe("*.*")));
+        assert!(PathExpr::contains(&pe("*.*"), &pe("*")));
+        // The fresh-symbol trick must keep ?-loops honest even when
+        // the candidate path uses labels neither side mentions:
+        // ?.*.? (length ≥ 2) vs *.a.* — incomparable.
+        assert!(!PathExpr::contains(&pe("?.*.?"), &pe("*.a.*"))); // "a" alone
+        assert!(!PathExpr::contains(&pe("*.a.*"), &pe("?.*.?"))); // "x.y"
+    }
+
+    #[test]
     fn reach_expr_on_person_db() {
         let mut s = Store::new();
         samples::person_db(&mut s).unwrap();

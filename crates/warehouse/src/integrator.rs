@@ -5,13 +5,13 @@
 //! Two modes:
 //! * [`Integrator`] — synchronous polling of registered monitors
 //!   (deterministic, used by tests and benchmarks);
-//! * [`spawn_channel_integrator`] — a crossbeam-channel pipeline where
+//! * [`spawn_channel_integrator`] — a bounded-channel pipeline where
 //!   each monitor is pumped from its own thread, as a warehouse
 //!   deployment would run (used by the warehouse example).
 
 use crate::protocol::UpdateReport;
 use crate::source::Monitor;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 /// A synchronous integrator polling monitors in registration order.
@@ -46,6 +46,61 @@ impl Integrator {
     }
 }
 
+/// An integrator that buffers polled reports and releases them in
+/// batches, for warehouses that maintain views with
+/// [`Warehouse::handle_batch`](crate::Warehouse::handle_batch).
+///
+/// Batching trades staleness for work: the warehouse sees source
+/// changes only at flush time, but consolidation lets one batched
+/// maintenance pass replace up to `capacity` report-at-a-time passes.
+#[derive(Default)]
+pub struct BatchingIntegrator {
+    inner: Integrator,
+    buffer: Vec<UpdateReport>,
+    capacity: usize,
+}
+
+impl BatchingIntegrator {
+    /// A batching integrator that considers itself full at `capacity`
+    /// buffered reports (0 means "never full": flush manually).
+    pub fn new(capacity: usize) -> Self {
+        BatchingIntegrator {
+            inner: Integrator::new(),
+            buffer: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Register a source monitor.
+    pub fn register(&mut self, monitor: Monitor) {
+        self.inner.register(monitor);
+    }
+
+    /// Poll all monitors once into the buffer; returns how many
+    /// reports were added.
+    pub fn pump(&mut self) -> usize {
+        let polled = self.inner.poll();
+        let n = polled.len();
+        self.buffer.extend(polled);
+        n
+    }
+
+    /// Number of buffered reports.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True once the buffer has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.capacity > 0 && self.buffer.len() >= self.capacity
+    }
+
+    /// Drain the buffer, returning the batch in arrival order.
+    pub fn flush(&mut self) -> Vec<UpdateReport> {
+        std::mem::take(&mut self.buffer)
+    }
+}
+
 /// Spawn one pump thread per monitor, all feeding a bounded channel.
 /// Returns the receiving end and the thread handles; threads exit when
 /// `stop` is dropped... more precisely, each pump exits after
@@ -55,7 +110,7 @@ pub fn spawn_channel_integrator(
     monitors: Vec<Monitor>,
     rounds: usize,
 ) -> (Receiver<UpdateReport>, Vec<JoinHandle<()>>) {
-    let (tx, rx): (Sender<UpdateReport>, Receiver<UpdateReport>) = bounded(1024);
+    let (tx, rx): (SyncSender<UpdateReport>, Receiver<UpdateReport>) = sync_channel(1024);
     let mut handles = Vec::new();
     for m in monitors {
         let tx = tx.clone();

@@ -54,7 +54,7 @@ pub mod source;
 mod warehouse;
 
 pub use cache::{AuxCache, PathKnowledge};
-pub use integrator::{spawn_channel_integrator, Integrator};
+pub use integrator::{spawn_channel_integrator, BatchingIntegrator, Integrator};
 pub use protocol::{
     CostMeter, ObjectInfo, ReportLevel, RootPathInfo, SourceQuery, SourceReply, UpdateReport,
     WireSize,

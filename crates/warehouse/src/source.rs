@@ -14,7 +14,7 @@ use crate::protocol::{
     CostMeter, ObjectInfo, ReportLevel, RootPathInfo, SourceQuery, SourceReply, UpdateReport,
 };
 use gsdb::{path, AppliedUpdate, Oid, Result, Store, StoreConfig, Update};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 /// An autonomous data source: a GSDB plus a designated root object.
@@ -69,13 +69,13 @@ impl Source {
     /// Apply an update locally (the source is autonomous — this is its
     /// own workload, not a warehouse action).
     pub fn apply(&self, update: Update) -> Result<AppliedUpdate> {
-        self.store.lock().apply(update)
+        self.store.lock().unwrap().apply(update)
     }
 
     /// Run an arbitrary closure against the store (source-local
     /// setup; not available to the warehouse).
     pub fn with_store<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
-        f(&mut self.store.lock())
+        f(&mut self.store.lock().unwrap())
     }
 
     /// The monitor role for this source.
@@ -94,7 +94,7 @@ impl Source {
     }
 
     fn make_report(&self, update: AppliedUpdate, seq: u64) -> UpdateReport {
-        let store = self.store.lock();
+        let store = self.store.lock().unwrap();
         let mut report = UpdateReport {
             source: self.name.clone(),
             seq,
@@ -158,8 +158,8 @@ pub struct Monitor {
 impl Monitor {
     /// Collect reports for all updates applied since the last poll.
     pub fn poll(&self) -> Vec<UpdateReport> {
-        let applied = self.source.store.lock().drain_log();
-        let mut seq_guard = self.source.seq.lock();
+        let applied = self.source.store.lock().unwrap().drain_log();
+        let mut seq_guard = self.source.seq.lock().unwrap();
         applied
             .into_iter()
             .map(|u| {
@@ -187,7 +187,7 @@ pub struct Wrapper {
 impl Wrapper {
     /// Serve one query.
     pub fn serve(&self, q: &SourceQuery) -> SourceReply {
-        let store = self.source.store.lock();
+        let store = self.source.store.lock().unwrap();
         let reply = match q {
             SourceQuery::Fetch(o) => SourceReply::Object(store.get(*o).map(ObjectInfo::of)),
             SourceQuery::PathFromRoot { root, n } => {

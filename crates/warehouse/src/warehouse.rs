@@ -6,8 +6,8 @@ use crate::cache::{AuxCache, PathKnowledge};
 use crate::protocol::{CostMeter, UpdateReport};
 use crate::remote::RemoteBase;
 use crate::source::Wrapper;
-use gsdb::{AppliedUpdate, Label, Oid, Result};
-use gsview_core::{MaterializedView, Maintainer, Outcome, SimpleViewDef};
+use gsdb::{AppliedUpdate, DeltaBatch, Label, Oid, Result};
+use gsview_core::{BatchOutcome, MaintPlan, MaterializedView, Maintainer, Outcome, SimpleViewDef};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -203,6 +203,70 @@ impl Warehouse {
             wv.stats.inserted += outcome.inserted.len() as u64;
             wv.stats.deleted += outcome.deleted.len() as u64;
             outcomes.push((wv.def.view, outcome));
+        }
+        Ok(outcomes)
+    }
+
+    /// Handle a buffered run of update reports in one batched
+    /// maintenance pass per view.
+    ///
+    /// Reports are grouped by source; for each view the unscreened
+    /// reports' updates are collected into a [`DeltaBatch`] and applied
+    /// with [`MaintPlan::apply_batch`] against the source's *current*
+    /// state. Consolidation means churny runs (insert+delete of the
+    /// same edge, repeated modifies of one atom) cost far fewer
+    /// location tests and source queries than one-at-a-time
+    /// [`handle_report`](Warehouse::handle_report) calls.
+    pub fn handle_batch(
+        &mut self,
+        reports: &[UpdateReport],
+    ) -> Result<Vec<(Oid, BatchOutcome)>> {
+        let mut sources: Vec<String> = Vec::new();
+        for r in reports {
+            if !sources.contains(&r.source) {
+                sources.push(r.source.clone());
+            }
+        }
+        let mut outcomes = Vec::new();
+        for source in sources {
+            let wrapper = match self.wrappers.get(&source) {
+                Some(w) => w.clone(),
+                None => continue,
+            };
+            for wv in &mut self.views {
+                if wv.source != source {
+                    continue;
+                }
+                let mut batch = DeltaBatch::new();
+                for report in reports.iter().filter(|r| r.source == source) {
+                    wv.stats.reports += 1;
+                    if screened_out(wv, report) {
+                        wv.stats.screened_out += 1;
+                        continue;
+                    }
+                    if let Some(cache) = wv.cache.as_mut() {
+                        cache.apply_report(report, &wrapper);
+                    }
+                    batch.push(report.update.clone());
+                }
+                if batch.is_empty() {
+                    continue;
+                }
+                let outcome = {
+                    let mut base = RemoteBase::new(&wrapper);
+                    if let Some(cache) = wv.cache.as_ref() {
+                        base = base.with_cache(cache);
+                    }
+                    MaintPlan::new(wv.def.clone()).apply_batch(&mut wv.mv, &mut base, &batch)?
+                };
+                if let Some(cache) = wv.cache.as_mut() {
+                    cache.finalize_report();
+                }
+                wv.stats.relevant += outcome.relevant_deltas as u64;
+                wv.stats.inserted += outcome.inserted.len() as u64;
+                wv.stats.deleted += outcome.deleted.len() as u64;
+                outcomes.push((wv.def.view, outcome));
+            }
         }
         Ok(outcomes)
     }
@@ -443,6 +507,130 @@ mod tests {
             wh.view(oid("VJ")).unwrap().members_base(),
             vec![oid("P1"), oid("P2")]
         );
+        assert_eq!(wh.view(oid("YP")).unwrap().members_base(), vec![oid("P1")]);
+    }
+
+    #[test]
+    fn batch_flush_converges_at_every_reporting_level() {
+        // §5's three report levels must all land on the same view
+        // after one batched flush — richer reports only save queries.
+        let updates = || {
+            vec![
+                Update::modify("A1", 50i64),  // P1 leaves…
+                Update::modify("A1", 20i64),  // …and returns (cancels)
+                Update::delete("P1", "A1"),
+                Update::insert("P1", "A1"),   // cancels
+                Update::delete("ROOT", "P2"),
+                Update::modify("N2", "Sal"),  // name noise
+            ]
+        };
+        let mut memberships = Vec::new();
+        let mut query_counts = Vec::new();
+        for level in [
+            ReportLevel::OidsOnly,
+            ReportLevel::WithValues,
+            ReportLevel::WithPaths,
+        ] {
+            let src = person_source(level);
+            let mut wh = Warehouse::new();
+            wh.connect(&src);
+            wh.add_view("persons", yp_def(), ViewOptions::default())
+                .unwrap();
+            let mut integrator = crate::integrator::BatchingIntegrator::new(4);
+            integrator.register(src.monitor());
+            for u in updates() {
+                src.apply(u).unwrap();
+            }
+            integrator.pump();
+            assert!(integrator.is_full());
+            wh.meter("persons").unwrap().reset();
+            let reports = integrator.flush();
+            assert_eq!(reports.len(), 6);
+            wh.handle_batch(&reports).unwrap();
+            assert_eq!(integrator.buffered(), 0);
+            memberships.push(wh.view(oid("YP")).unwrap().members_base());
+            query_counts.push(wh.meter("persons").unwrap().queries());
+
+            // And it matches a direct recompute of the source.
+            let expected = src.with_store(|s| {
+                gsview_core::recompute::recompute_members(
+                    &yp_def(),
+                    &mut gsview_core::LocalBase::new(s),
+                )
+            });
+            assert_eq!(*memberships.last().unwrap(), expected);
+        }
+        assert!(memberships.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(*memberships.last().unwrap(), vec![oid("P1")]);
+    }
+
+    #[test]
+    fn batch_flush_matches_report_at_a_time() {
+        // The same report stream, flushed in one batch vs pumped one
+        // report at a time, produces identical views and stats that
+        // agree on net membership changes.
+        let updates = vec![
+            Update::modify("A1", 80i64),
+            Update::delete("ROOT", "P1"),
+            Update::insert("ROOT", "P1"),
+            Update::modify("A1", 30i64),
+            Update::modify("N2", "Jo"),
+        ];
+
+        let run = |batched: bool| {
+            let src = person_source(ReportLevel::WithValues);
+            let mut wh = Warehouse::new();
+            wh.connect(&src);
+            wh.add_view("persons", yp_def(), ViewOptions::default())
+                .unwrap();
+            for u in &updates {
+                src.apply(u.clone()).unwrap();
+            }
+            let reports = src.monitor().poll();
+            if batched {
+                wh.handle_batch(&reports).unwrap();
+            } else {
+                for r in &reports {
+                    wh.handle_report(r).unwrap();
+                }
+            }
+            (
+                wh.view(oid("YP")).unwrap().members_base(),
+                wh.view_stats(oid("YP")).unwrap().reports,
+            )
+        };
+        let (batched_members, batched_reports) = run(true);
+        let (seq_members, seq_reports) = run(false);
+        assert_eq!(batched_members, seq_members);
+        assert_eq!(batched_members, vec![oid("P1")]);
+        assert_eq!(batched_reports, seq_reports);
+    }
+
+    #[test]
+    fn batched_cancelling_churn_skips_the_source() {
+        // A fully cancelling batch consolidates to nothing: with label
+        // screening the flush costs zero source queries.
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view(
+            "persons",
+            yp_def(),
+            ViewOptions {
+                label_screening: true,
+                ..ViewOptions::default()
+            },
+        )
+        .unwrap();
+        src.apply(Update::delete("P1", "A1")).unwrap();
+        src.apply(Update::insert("P1", "A1")).unwrap();
+        let reports = src.monitor().poll();
+        wh.meter("persons").unwrap().reset();
+        let outcomes = wh.handle_batch(&reports).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].1.consolidated_ops, 0);
+        assert!(!outcomes[0].1.changed());
+        assert_eq!(wh.meter("persons").unwrap().queries(), 0);
         assert_eq!(wh.view(oid("YP")).unwrap().members_base(), vec![oid("P1")]);
     }
 

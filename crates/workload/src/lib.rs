@@ -26,5 +26,5 @@ pub mod web;
 
 pub use relations::{RelationsDb, RelationsSpec};
 pub use tree::{TreeDb, TreeSpec};
-pub use updates::{relations_churn, ChurnSpec, ScriptOp};
+pub use updates::{cancelling_churn, into_batches, relations_churn, ChurnSpec, ScriptOp};
 pub use web::{WebDb, WebSpec};

@@ -99,7 +99,7 @@ fn make_person(
     children.push(name_oid);
     if !r.gen_bool(spec.missing_age_probability) {
         let age_oid = Oid::new(&format!("p{me}.age"));
-        store.create(Object::atom(age_oid.name(), "age", r.gen_range(18..70)))?;
+        store.create(Object::atom(age_oid.name(), "age", r.gen_range(18..70i64)))?;
         ages.push(age_oid);
         children.push(age_oid);
     }

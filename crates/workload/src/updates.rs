@@ -168,6 +168,125 @@ pub fn relations_churn(db: &mut RelationsDb, spec: ChurnSpec) -> Vec<ScriptOp> {
     script
 }
 
+/// Generate a deliberately churny script in which a fraction of the
+/// structural operations immediately undo themselves and modifies come
+/// in runs against the same atom — fuel for
+/// [`DeltaBatch::consolidate`](gsdb::DeltaBatch::consolidate).
+///
+/// * an *insert* is, with probability `cancel_fraction`, followed by a
+///   delete of the same edge (the pair nets to nothing);
+/// * a *delete* is, with probability `cancel_fraction`, followed by a
+///   re-insert of the same edge (likewise);
+/// * a *modify* is issued `modify_run` times in a row against the same
+///   age atom (the run folds to a single surviving delta).
+///
+/// Weights and targeting come from `spec`; `spec.ops` counts logical
+/// operations before amplification.
+pub fn cancelling_churn(
+    db: &mut RelationsDb,
+    spec: ChurnSpec,
+    cancel_fraction: f64,
+    modify_run: usize,
+) -> Vec<ScriptOp> {
+    let mut r = rng(spec.seed ^ 0x5ca1_ab1e);
+    let mut script = Vec::new();
+    let mut alive: Vec<Vec<(Oid, Oid)>> = db
+        .tuples
+        .iter()
+        .zip(&db.ages)
+        .map(|(ts, ags)| ts.iter().copied().zip(ags.iter().copied()).collect())
+        .collect();
+    let mut next_id = 2_000_000 + db.spec.seed as usize;
+    let total_w = spec.modify_weight + spec.insert_weight + spec.delete_weight;
+    assert!(total_w > 0, "at least one op kind must be enabled");
+    let run = modify_run.max(1);
+
+    for _ in 0..spec.ops {
+        let ri = pick_relation(&mut r, db.relation_oids.len(), spec.target_bias);
+        let dice = r.gen_range(0..total_w);
+        if dice < spec.modify_weight {
+            if let Some(&(_, age)) = pick(&mut r, &alive[ri]) {
+                for _ in 0..run {
+                    script.push(ScriptOp::Apply(Update::Modify {
+                        oid: age,
+                        new: gsdb::Atom::Int(r.gen_range(0..spec.age_range)),
+                    }));
+                }
+                continue;
+            }
+        }
+        if dice < spec.modify_weight + spec.insert_weight || alive[ri].is_empty() {
+            let id = next_id;
+            next_id += 1;
+            let t = Oid::new(&format!("xt{id}"));
+            let a = Oid::new(&format!("xt{id}.age"));
+            script.push(ScriptOp::Create(Object::atom(
+                a.name(),
+                "age",
+                r.gen_range(0..spec.age_range),
+            )));
+            script.push(ScriptOp::Create(Object::set(t.name(), "tuple", &[a])));
+            script.push(ScriptOp::Apply(Update::Insert {
+                parent: db.relation_oids[ri],
+                child: t,
+            }));
+            if r.gen_bool(cancel_fraction.clamp(0.0, 1.0)) {
+                script.push(ScriptOp::Apply(Update::Delete {
+                    parent: db.relation_oids[ri],
+                    child: t,
+                }));
+            } else {
+                alive[ri].push((t, a));
+            }
+        } else {
+            let idx = r.gen_range(0..alive[ri].len());
+            let (t, a) = alive[ri][idx];
+            script.push(ScriptOp::Apply(Update::Delete {
+                parent: db.relation_oids[ri],
+                child: t,
+            }));
+            if r.gen_bool(cancel_fraction.clamp(0.0, 1.0)) {
+                script.push(ScriptOp::Apply(Update::Insert {
+                    parent: db.relation_oids[ri],
+                    child: t,
+                }));
+            } else {
+                alive[ri].swap_remove(idx);
+                let _ = a;
+            }
+        }
+    }
+    db.tuples = alive
+        .iter()
+        .map(|v| v.iter().map(|&(t, _)| t).collect())
+        .collect();
+    db.ages = alive
+        .iter()
+        .map(|v| v.iter().map(|&(_, a)| a).collect())
+        .collect();
+    script
+}
+
+/// Split a script into consecutive batches of at most `batch_size`
+/// operations, preserving order. `batch_size` of 0 yields one batch.
+pub fn into_batches(script: Vec<ScriptOp>, batch_size: usize) -> Vec<Vec<ScriptOp>> {
+    if batch_size == 0 {
+        return if script.is_empty() { Vec::new() } else { vec![script] };
+    }
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(batch_size);
+    for op in script {
+        cur.push(op);
+        if cur.len() == batch_size {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
 fn pick_relation(r: &mut StdRng, n: usize, bias: f64) -> usize {
     if n <= 1 || r.gen_bool(bias.clamp(0.0, 1.0)) {
         0
@@ -256,6 +375,58 @@ mod tests {
             }
         }
         assert!(on_r0 > on_rest * 3, "bias 0.9 should dominate: {on_r0} vs {on_rest}");
+    }
+
+    #[test]
+    fn cancelling_churn_replays_and_consolidates_smaller() {
+        let (mut store, mut db) =
+            generate(RelationsSpec::default(), StoreConfig::default()).unwrap();
+        let script = cancelling_churn(
+            &mut db,
+            ChurnSpec {
+                ops: 100,
+                ..ChurnSpec::default()
+            },
+            0.5,
+            4,
+        );
+        let mut batch = gsdb::DeltaBatch::new();
+        for op in &script {
+            batch.push(op.replay(&mut store).expect("script must be valid"));
+        }
+        let delta = batch.consolidate();
+        assert!(
+            delta.len() < delta.input_ops / 2,
+            "churn should mostly cancel: {} of {} survive",
+            delta.len(),
+            delta.input_ops
+        );
+        // Post-state metadata agrees with the store.
+        for (ri, tuples) in db.tuples.iter().enumerate() {
+            let mut expected: Vec<Oid> = tuples.clone();
+            expected.sort_by_key(|o| o.name());
+            let mut got = gsdb::path::reach(&store, db.root, &db.view_path(ri));
+            got.sort_by_key(|o| o.name());
+            assert_eq!(got, expected, "relation r{ri} out of sync");
+        }
+    }
+
+    #[test]
+    fn into_batches_partitions_in_order() {
+        let (_s, mut db) = generate(RelationsSpec::default(), StoreConfig::default()).unwrap();
+        let script = relations_churn(
+            &mut db,
+            ChurnSpec {
+                ops: 25,
+                ..ChurnSpec::default()
+            },
+        );
+        let flat: Vec<ScriptOp> = script.clone();
+        let batches = into_batches(script, 8);
+        assert!(batches.iter().all(|b| b.len() <= 8));
+        assert!(batches[..batches.len() - 1].iter().all(|b| b.len() == 8));
+        let rejoined: Vec<ScriptOp> = batches.into_iter().flatten().collect();
+        assert_eq!(rejoined, flat);
     }
 
     #[test]

@@ -65,12 +65,12 @@ fn main() {
                 let a = db.ages[rng.gen_range(0..db.ages.len())];
                 Update::Modify {
                     oid: a,
-                    new: Atom::Int(rng.gen_range(18..70)),
+                    new: Atom::Int(rng.gen_range(18..70i64)),
                 }
             }
             1 => {
                 let n = db.names[rng.gen_range(0..db.names.len())];
-                let name = ["John", "Sally", "Wei", "Priya"][rng.gen_range(0..4)];
+                let name = ["John", "Sally", "Wei", "Priya"][rng.gen_range(0..4usize)];
                 Update::Modify {
                     oid: n,
                     new: Atom::str(name),
