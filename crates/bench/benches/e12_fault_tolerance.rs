@@ -1,0 +1,21 @@
+//! Criterion companion to experiment E12: wall time of maintaining a
+//! view through a lossy report pipeline (detect gaps, degrade, resync)
+//! at increasing loss rates, with and without the aux cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_fault_tolerance");
+    g.sample_size(10);
+    for &(loss, cached) in &[(0.0f64, false), (0.10, false), (0.10, true)] {
+        g.bench_with_input(
+            BenchmarkId::new(if cached { "cached" } else { "plain" }, format!("{loss}")),
+            &(loss, cached),
+            |b, &(loss, cached)| b.iter(|| gsview_bench::e12::measure(loss, cached, 150, 100)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -73,9 +73,11 @@ pub use bulk::{view_unaffected, BulkUpdate};
 pub use catalog::{Catalog, CatalogError};
 pub use cluster::ViewCluster;
 pub use general::{CompoundMaintainer, DagMaintainer, GeneralMaintainer};
-pub use maintain::{BatchOutcome, MaintPlan, Maintainer, Outcome};
+pub use maintain::{sweep_members, BatchOutcome, MaintPlan, Maintainer, Outcome};
 pub use mview::{MaterializedView, ViewDelta};
-pub use oracle::{assert_equivalent, check_equivalence, OracleVerdict};
+pub use oracle::{
+    assert_equivalent, check_equivalence, diff_members, reference_members, OracleVerdict,
+};
 pub use partial::PartialView;
 pub use sink::{MemberSet, ViewSink};
 pub use viewdef::{CompoundViewDef, GeneralCond, GeneralViewDef, SimpleCond, SimpleViewDef};

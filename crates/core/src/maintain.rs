@@ -273,6 +273,48 @@ pub(crate) fn content_upkeep(
     Ok(())
 }
 
+/// Re-verify every current member against ground truth and evict the
+/// ones that no longer qualify: `Y` stays iff
+/// `path(ROOT, Y) = sel_path` and its condition witness (if any) still
+/// holds. Returns the evicted base OIDs.
+///
+/// This is the member re-verification sweep of [`MaintPlan`]'s repair
+/// phase, exposed for callers that maintain one update at a time but
+/// cannot guarantee Algorithm 1's §4.3 precondition (the base in the
+/// state *right after* the triggering update). A warehouse processing
+/// lagged update reports uses it when an update was dismissed as
+/// irrelevant only because its anchor object is no longer reachable —
+/// the one situation where the dismissal may hide a member loss whose
+/// evidence the source has already destroyed.
+///
+/// The sweep only evicts; it cannot discover missing members. That is
+/// sound for lag recovery because a gain always leaves evidence in the
+/// *current* state (the re-attaching insert report re-evaluates the
+/// carried subtree), whereas a loss can destroy its own evidence.
+pub fn sweep_members(
+    def: &SimpleViewDef,
+    mv: &mut dyn ViewSink,
+    base: &mut dyn BaseAccess,
+) -> Result<Vec<Oid>> {
+    let pred = def.cond.as_ref().map(|c| &c.pred);
+    let mut deleted = Vec::new();
+    for y in mv.members() {
+        let derivable = base.path_from_root(def.root, y).as_ref() == Some(&def.sel_path);
+        let in_now = derivable
+            && match pred {
+                None => true,
+                Some(pr) => {
+                    let cp = &def.cond.as_ref().expect("pred implies cond").path;
+                    !base.eval(y, cp, Some(pr)).is_empty()
+                }
+            };
+        if !in_now && mv.delete_member(y)? {
+            deleted.push(y);
+        }
+    }
+    Ok(deleted)
+}
+
 /// What one batched maintenance invocation did.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BatchOutcome {
@@ -320,6 +362,7 @@ impl BatchOutcome {
 /// raw update, so a delegate's value is copied (and, for callers that
 /// keep views swizzled, re-swizzled via
 /// [`MaintPlan::apply_batch_swizzled`]) at most once.
+#[must_use = "a MaintPlan does nothing until apply_batch runs it"]
 #[derive(Clone, Debug)]
 pub struct MaintPlan {
     def: SimpleViewDef,

@@ -45,6 +45,51 @@ impl OracleVerdict {
     }
 }
 
+/// The fault-free reference run: Algorithm 1, one update at a time,
+/// against the base state right after each update — the ground truth
+/// a recovered pipeline must match.
+///
+/// Updates the store rejects (e.g. deleting an absent edge) are
+/// skipped, identically to [`check_equivalence`] and the warehouse
+/// chaos harness, so both sides of a differential comparison see the
+/// same effective workload. The final view is consistency-checked;
+/// any violation is a bug in the oracle itself and panics.
+pub fn reference_members(
+    def: &SimpleViewDef,
+    initial: &Store,
+    updates: &[Update],
+) -> Result<Vec<Oid>> {
+    let mut mv = recompute(def, &mut LocalBase::new(initial))?;
+    let maintainer = Maintainer::new(def.clone());
+    let mut store = initial.clone();
+    for u in updates {
+        if let Ok(applied) = store.apply(u.clone()) {
+            maintainer.apply(&mut mv, &mut LocalBase::new(&store), &applied)?;
+        }
+    }
+    let problems = consistency::check(def, &mut LocalBase::new(&store), &mv);
+    assert!(
+        problems.is_empty(),
+        "reference run is inconsistent (oracle bug): {problems:?}"
+    );
+    Ok(mv.members_base())
+}
+
+/// Describe how the membership `got` diverges from `want`, or `None`
+/// if they agree. The description names both the missing and the
+/// spurious members, so a differential-test failure is actionable
+/// without re-running.
+pub fn diff_members(label: &str, got: &[Oid], want: &[Oid]) -> Option<String> {
+    if got == want {
+        return None;
+    }
+    let missing: Vec<&Oid> = want.iter().filter(|o| !got.contains(o)).collect();
+    let extra: Vec<&Oid> = got.iter().filter(|o| !want.contains(o)).collect();
+    Some(format!(
+        "{label}: membership diverged (missing {missing:?}, extra {extra:?}): {got:?} vs {want:?}"
+    ))
+}
+
 /// Run the three routes for `def` over `updates`, starting from
 /// `initial`, and compare. Never panics on disagreement — inspect
 /// [`OracleVerdict::failures`] (or use [`assert_equivalent`]).
@@ -85,18 +130,12 @@ pub fn check_equivalence(
 
     let seq = mv_seq.members_base();
     let batched = mv_batched.members_base();
-    if seq != verdict.members {
-        verdict.failures.push(format!(
-            "sequential != recompute: {:?} vs {:?}",
-            seq, verdict.members
-        ));
-    }
-    if batched != verdict.members {
-        verdict.failures.push(format!(
-            "batched != recompute: {:?} vs {:?}",
-            batched, verdict.members
-        ));
-    }
+    verdict
+        .failures
+        .extend(diff_members("sequential vs recompute", &seq, &verdict.members));
+    verdict
+        .failures
+        .extend(diff_members("batched vs recompute", &batched, &verdict.members));
     for (name, mv) in [("sequential", &mv_seq), ("batched", &mv_batched), ("recompute", &mv_full)] {
         for problem in consistency::check(def, &mut LocalBase::new(&store), mv) {
             verdict.failures.push(format!("{name}: {problem}"));
@@ -208,6 +247,31 @@ mod tests {
         assert!(v.ok(), "{:?}", v.failures);
         assert!(v.batch.swept, "the delete at select depth must sweep");
         assert!(v.members.is_empty());
+    }
+
+    #[test]
+    fn reference_members_matches_the_three_route_oracle() {
+        let mut store = person_store();
+        store.create(Object::atom("A2", "age", 40i64)).unwrap();
+        let updates = vec![
+            Update::insert("P2", "A2"),
+            Update::modify("A1", 80i64),
+            Update::delete("P1", "NOPE"), // skipped
+            Update::delete("ROOT", "P1"),
+        ];
+        let reference = reference_members(&yp_def(), &store, &updates).unwrap();
+        let v = check_equivalence(&yp_def(), &store, &updates).unwrap();
+        assert!(v.ok(), "{:?}", v.failures);
+        assert_eq!(reference, v.members);
+        assert_eq!(reference, vec![oid("P2")]);
+    }
+
+    #[test]
+    fn diff_members_names_missing_and_extra() {
+        assert_eq!(diff_members("x", &[oid("A")], &[oid("A")]), None);
+        let d = diff_members("route", &[oid("A"), oid("B")], &[oid("A"), oid("C")]).unwrap();
+        assert!(d.contains("route"), "{d}");
+        assert!(d.contains('C') && d.contains('B'), "{d}");
     }
 
     #[test]

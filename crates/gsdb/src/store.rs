@@ -204,6 +204,26 @@ impl Store {
         self.apply(Update::Delete { parent, child })
     }
 
+    /// Insert `child` into `parent`'s set without requiring `child` to
+    /// exist in this store. Replica stores (e.g. a warehouse-side
+    /// cache) hold copies of objects whose sets may reference children
+    /// outside the replicated region; those references stay dangling,
+    /// exactly as [`Store::create`] leaves them when a copied object
+    /// arrives with unknown children. Not logged — this is replica
+    /// bookkeeping, not a base update.
+    pub fn insert_edge_unchecked(&mut self, parent: Oid, child: Oid) -> Result<()> {
+        let pobj = self
+            .objects
+            .get_mut(&parent)
+            .ok_or(GsdbError::NoSuchObject(parent))?;
+        let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
+        set.insert(child);
+        if let Some(idx) = self.parent_index.as_mut() {
+            idx.entry(child).or_default().insert(parent);
+        }
+        Ok(())
+    }
+
     /// `modify(oid, oldv, newv)` — paper §4.1 update 3 (old value is
     /// captured from the store).
     pub fn modify_atom(&mut self, oid: Oid, new: impl Into<Atom>) -> Result<AppliedUpdate> {

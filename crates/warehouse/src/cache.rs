@@ -16,7 +16,7 @@
 //! without any queries.
 
 use crate::protocol::{SourceQuery, SourceReply, UpdateReport};
-use crate::source::Wrapper;
+use crate::remote::Channel;
 use gsdb::{path, AppliedUpdate, Label, Object, Oid, Path, Store, StoreConfig};
 use gsview_query::Pred;
 use std::collections::{HashMap, HashSet};
@@ -40,24 +40,29 @@ pub struct AuxCache {
 impl AuxCache {
     /// Build the cache by querying the source for every prefix level
     /// of `full` (one `Reach` query per level plus one root fetch).
-    pub fn build(root: Oid, full: Path, wrapper: &Wrapper) -> AuxCache {
+    ///
+    /// Queries that exhaust their retries leave the corresponding
+    /// region uncached; watch [`Channel::exhausted`] across the build —
+    /// an incomplete cache must not be trusted for
+    /// [`AuxCache::certainly_off_path`] answers.
+    pub fn build(root: Oid, full: Path, chan: &Channel) -> AuxCache {
         let mut store = Store::with_config(StoreConfig {
             parent_index: true,
             label_index: false,
             log_updates: false,
         });
-        if let SourceReply::Object(Some(info)) = wrapper.serve(&SourceQuery::Fetch(root)) {
+        if let Some(SourceReply::Object(Some(info))) = chan.serve(&SourceQuery::Fetch(root)) {
             store
                 .create(info.to_object())
                 .expect("fresh cache store accepts the root");
         }
         for depth in 1..=full.len() {
             let prefix = Path(full.labels()[..depth].to_vec());
-            let reply = wrapper.serve(&SourceQuery::Reach {
+            let reply = chan.serve(&SourceQuery::Reach {
                 n: root,
                 p: prefix,
             });
-            if let SourceReply::Objects(infos) = reply {
+            if let Some(SourceReply::Objects(infos)) = reply {
                 for info in infos {
                     if !store.contains(info.oid) {
                         store
@@ -105,9 +110,9 @@ impl AuxCache {
     }
 
     /// Maintain the cache from one update report. Missing labels or
-    /// subtree objects are fetched through `wrapper`, counting into
+    /// subtree objects are fetched through `chan`, counting into
     /// [`AuxCache::maintenance_queries`].
-    pub fn apply_report(&mut self, report: &UpdateReport, wrapper: &Wrapper) {
+    pub fn apply_report(&mut self, report: &UpdateReport, chan: &Channel) {
         match &report.update {
             AppliedUpdate::Modify { oid, new, .. } => {
                 if self.store.contains(*oid) {
@@ -118,31 +123,40 @@ impl AuxCache {
                 if !self.store.contains(*parent) {
                     return;
                 }
-                let Some(rooted) = path::path_between(&self.store, self.root, *parent) else {
-                    return;
-                };
-                let child_label = self.label_via(report, wrapper, *child);
-                let Some(cl) = child_label else { return };
-                if !self.extends(&rooted, cl) {
-                    return;
-                }
                 // Pull the child (and its relevant descendants) into
-                // the cached region.
-                let mut remaining = rooted.clone();
-                remaining.push(cl);
-                self.adopt(report, wrapper, *child, remaining);
-                let _ = self.store.insert_edge(*parent, *child);
+                // the cached region when it extends the view path from
+                // the parent's position.
+                if let Some(rooted) = path::path_between(&self.store, self.root, *parent) {
+                    if let Some(cl) = self.label_via(report, chan, *child) {
+                        if self.extends(&rooted, cl) {
+                            let mut remaining = rooted.clone();
+                            remaining.push(cl);
+                            self.adopt(report, chan, *child, remaining);
+                        }
+                    }
+                }
+                // Either way the parent's cached copy gains the edge:
+                // copies are served by [`AuxCache::try_fetch`], so a
+                // set copy must stay exact even when the child lies
+                // outside the region — it is kept as a dangling OID,
+                // exactly as `build` copies arrive.
+                let _ = self.store.insert_edge_unchecked(*parent, *child);
             }
             AppliedUpdate::Delete { parent, child } => {
-                if self.store.contains(*parent) && self.store.contains(*child) {
+                if !self.store.contains(*parent) {
+                    return;
+                }
+                if self.store.contains(*child) {
                     // Record the child's pre-delete root path so
                     // eval over the detached subtree stays answerable
                     // until finalize_report() collects it.
                     if let Some(p) = path::path_between(&self.store, self.root, *child) {
                         self.detached.insert(*child, p);
                     }
-                    let _ = self.store.delete_edge(*parent, *child);
                 }
+                // Drop the edge from the parent's copy whether or not
+                // the child is in the region (it may be dangling).
+                let _ = self.store.delete_edge(*parent, *child);
             }
             AppliedUpdate::Create { .. } | AppliedUpdate::Remove { .. } => {}
         }
@@ -150,27 +164,27 @@ impl AuxCache {
 
     /// Ensure `oid` (whose root path will be `rooted`) and all its
     /// descendants along `full` are cached.
-    fn adopt(&mut self, report: &UpdateReport, wrapper: &Wrapper, oid: Oid, rooted: Path) {
+    fn adopt(&mut self, report: &UpdateReport, chan: &Channel, oid: Oid, rooted: Path) {
         if self.store.contains(oid) {
             return;
         }
-        let Some(obj) = self.fetch_via(report, wrapper, oid) else {
+        let Some(obj) = self.fetch_via(report, chan, oid) else {
             return;
         };
         let children: Vec<Oid> = obj.children().to_vec();
         self.store.create(obj).expect("checked absent above");
         for c in children {
-            if let Some(cl) = self.label_via(report, wrapper, c) {
+            if let Some(cl) = self.label_via(report, chan, c) {
                 if self.extends(&rooted, cl) {
                     let mut next = rooted.clone();
                     next.push(cl);
-                    self.adopt(report, wrapper, c, next);
+                    self.adopt(report, chan, c, next);
                 }
             }
         }
     }
 
-    fn label_via(&mut self, report: &UpdateReport, wrapper: &Wrapper, oid: Oid) -> Option<Label> {
+    fn label_via(&mut self, report: &UpdateReport, chan: &Channel, oid: Oid) -> Option<Label> {
         if let Some(info) = report.info_of(oid) {
             return Some(info.label);
         }
@@ -178,19 +192,19 @@ impl AuxCache {
             return Some(l);
         }
         self.maintenance_queries += 1;
-        match wrapper.serve(&SourceQuery::LabelOf(oid)) {
-            SourceReply::LabelResult(l) => l,
+        match chan.serve(&SourceQuery::LabelOf(oid)) {
+            Some(SourceReply::LabelResult(l)) => l,
             _ => None,
         }
     }
 
-    fn fetch_via(&mut self, report: &UpdateReport, wrapper: &Wrapper, oid: Oid) -> Option<Object> {
+    fn fetch_via(&mut self, report: &UpdateReport, chan: &Channel, oid: Oid) -> Option<Object> {
         if let Some(info) = report.info_of(oid) {
             return Some(info.to_object());
         }
         self.maintenance_queries += 1;
-        match wrapper.serve(&SourceQuery::Fetch(oid)) {
-            SourceReply::Object(Some(info)) => Some(info.to_object()),
+        match chan.serve(&SourceQuery::Fetch(oid)) {
+            Some(SourceReply::Object(Some(info))) => Some(info.to_object()),
             _ => None,
         }
     }
@@ -281,7 +295,13 @@ impl AuxCache {
         self.store.label(n)
     }
 
-    /// Object copy from the cache.
+    /// Object copy from the cache. Copies are exact for the *whole*
+    /// value: [`AuxCache::apply_report`] mirrors every reported edge
+    /// that touches a cached parent — including edges whose far end
+    /// lies outside the cached region, kept as dangling OIDs just as
+    /// `build` copies arrive — so a cached set's child list matches
+    /// the source as of the last applied report, and an atom's value
+    /// is kept exact by modify upkeep.
     pub fn try_fetch(&self, n: Oid) -> Option<Object> {
         self.store.get(n).cloned()
     }
@@ -337,11 +357,15 @@ mod tests {
         src
     }
 
+    fn chan(src: &Source, meter: Arc<CostMeter>) -> Channel {
+        Channel::direct(src.wrapper(meter))
+    }
+
     #[test]
     fn build_caches_the_full_path_region() {
         // Example 10's cache: ROOT, professors, and their age atoms.
         let src = person_source(ReportLevel::WithValues);
-        let w = src.wrapper(Arc::new(CostMeter::new()));
+        let w = chan(&src, Arc::new(CostMeter::new()));
         let cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
         assert!(cache.covers(oid("ROOT")));
         assert!(cache.covers(oid("P1")));
@@ -356,7 +380,7 @@ mod tests {
     #[test]
     fn local_answers_from_cache() {
         let src = person_source(ReportLevel::WithValues);
-        let w = src.wrapper(Arc::new(CostMeter::new()));
+        let w = chan(&src, Arc::new(CostMeter::new()));
         let cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
         assert_eq!(
             cache.try_path_from_root(oid("A1")),
@@ -380,7 +404,7 @@ mod tests {
     fn modify_and_delete_maintain_cache_without_queries() {
         let src = person_source(ReportLevel::WithValues);
         let meter = Arc::new(CostMeter::new());
-        let w = src.wrapper(meter.clone());
+        let w = chan(&src, meter.clone());
         let mut cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
         meter.reset();
 
@@ -408,7 +432,7 @@ mod tests {
     fn insert_adopts_subtree_fetching_only_what_reports_lack() {
         let src = person_source(ReportLevel::WithValues);
         let meter = Arc::new(CostMeter::new());
-        let w = src.wrapper(meter.clone());
+        let w = chan(&src, meter.clone());
         let mut cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
         meter.reset();
 
@@ -441,7 +465,7 @@ mod tests {
     fn irrelevant_inserts_do_not_grow_cache() {
         let src = person_source(ReportLevel::WithValues);
         let meter = Arc::new(CostMeter::new());
-        let w = src.wrapper(meter.clone());
+        let w = chan(&src, meter.clone());
         let mut cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
         let before = cache.len();
         meter.reset();
@@ -458,6 +482,41 @@ mod tests {
         }
         assert_eq!(cache.len(), before);
         assert_eq!(meter.queries(), 0);
+    }
+
+    #[test]
+    fn cached_copies_stay_exact_under_off_region_edges() {
+        // An edge whose far end is outside the cached region must
+        // still be mirrored in the cached parent's copy: try_fetch
+        // serves whole-value copies (content upkeep relies on them).
+        let src = person_source(ReportLevel::WithValues);
+        let meter = Arc::new(CostMeter::new());
+        let w = chan(&src, meter.clone());
+        let mut cache = AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
+        meter.reset();
+
+        src.with_store(|s| s.create(gsdb::Object::atom("H1", "hobby", "go")))
+            .unwrap();
+        src.with_store(|s| {
+            s.drain_log();
+        });
+        src.apply(Update::insert("P1", "H1")).unwrap();
+        for r in src.monitor().poll() {
+            cache.apply_report(&r, &w);
+            cache.finalize_report();
+        }
+        let copy = cache.try_fetch(oid("P1")).unwrap();
+        assert!(copy.children().contains(&oid("H1")), "dangling child mirrored");
+        assert!(!cache.covers(oid("H1")), "off-region child not adopted");
+
+        src.apply(Update::delete("P1", "H1")).unwrap();
+        for r in src.monitor().poll() {
+            cache.apply_report(&r, &w);
+            cache.finalize_report();
+        }
+        let copy = cache.try_fetch(oid("P1")).unwrap();
+        assert!(!copy.children().contains(&oid("H1")), "dangling child dropped");
+        assert_eq!(meter.queries(), 0, "mirroring is query-free at L2");
     }
 
     #[test]

@@ -10,19 +10,28 @@
 //!   deployment would run (used by the warehouse example).
 
 use crate::protocol::UpdateReport;
-use crate::source::Monitor;
+use crate::source::{Monitor, ReportSource};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
-/// A synchronous integrator polling monitors in registration order.
+/// A synchronous integrator polling report sources in registration
+/// order.
 ///
 /// Reports from one source preserve their sequence order; across
 /// sources, the integrator round-robins polls, which matches the
 /// paper's assumption that each source reports its own updates in
 /// order while sources are mutually asynchronous.
+///
+/// Any [`ReportSource`] registers — a plain [`Monitor`] or a
+/// fault-injecting [`FaultyMonitor`](crate::chaos::FaultyMonitor); the
+/// integrator neither knows nor cares whether the stream is reliable.
+/// Gap and duplicate detection is the warehouse's job
+/// ([`Warehouse::handle_report`](crate::Warehouse::handle_report)),
+/// fed by the control-plane [`Integrator::checkpoints`] for tail-loss
+/// reconciliation.
 #[derive(Default)]
 pub struct Integrator {
-    monitors: Vec<Monitor>,
+    monitors: Vec<Box<dyn ReportSource>>,
 }
 
 impl Integrator {
@@ -31,18 +40,25 @@ impl Integrator {
         Self::default()
     }
 
-    /// Register a source monitor.
-    pub fn register(&mut self, monitor: Monitor) {
-        self.monitors.push(monitor);
+    /// Register a report source (a monitor or any decorator over one).
+    pub fn register(&mut self, source: impl ReportSource + 'static) {
+        self.monitors.push(Box::new(source));
     }
 
-    /// Poll all monitors once, returning the merged report batch.
+    /// Poll all sources once, returning the merged report batch.
     pub fn poll(&self) -> Vec<UpdateReport> {
         let mut out = Vec::new();
         for m in &self.monitors {
-            out.extend(m.poll());
+            out.extend(m.poll_reports());
         }
         out
+    }
+
+    /// Every source's control-plane checkpoint `(name, next_seq)`.
+    /// Feed to [`Warehouse::reconcile_checkpoints`](crate::Warehouse::reconcile_checkpoints)
+    /// to detect tail loss.
+    pub fn checkpoints(&self) -> Vec<(String, u64)> {
+        self.monitors.iter().map(|m| m.checkpoint()).collect()
     }
 }
 
@@ -71,9 +87,14 @@ impl BatchingIntegrator {
         }
     }
 
-    /// Register a source monitor.
-    pub fn register(&mut self, monitor: Monitor) {
-        self.inner.register(monitor);
+    /// Register a report source (a monitor or any decorator over one).
+    pub fn register(&mut self, source: impl ReportSource + 'static) {
+        self.inner.register(source);
+    }
+
+    /// Every registered source's control-plane checkpoint.
+    pub fn checkpoints(&self) -> Vec<(String, u64)> {
+        self.inner.checkpoints()
     }
 
     /// Poll all monitors once into the buffer; returns how many

@@ -18,6 +18,21 @@
 //! * the auxiliary structure cache along `sel_path.cond_path`
 //!   ([`AuxCache`], Example 10).
 //!
+//! ## Fault tolerance
+//!
+//! The paper assumes reports arrive exactly once and queries always
+//! answer; this crate does not. Reports carry per-source sequence
+//! numbers checked by a [`SeqTracker`]; queries travel over a retrying
+//! [`Channel`] (exponential backoff on a [`SimClock`], dead letters
+//! when retries run out); a view that missed a report degrades to an
+//! explicit [`Stale`](resync::ViewState::Stale) state and is healed by
+//! [`Warehouse::resync_view`] — snapshot-diff repair, escalating to
+//! full recompute, verified by the consistency checker. The [`chaos`]
+//! module injects deterministic, seeded faults
+//! ([`FaultyMonitor`](chaos::FaultyMonitor) /
+//! [`FaultyWrapper`](chaos::FaultyWrapper)) and proves post-recovery
+//! views equal a never-faulted run.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -47,18 +62,25 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod chaos;
 pub mod integrator;
 pub mod protocol;
 pub mod remote;
+pub mod resync;
 pub mod source;
 mod warehouse;
 
 pub use cache::{AuxCache, PathKnowledge};
+pub use chaos::{ChaosPolicy, ChaosReport, ChaosScenario, ChaosStats, FaultyMonitor, FaultyWrapper};
 pub use integrator::{spawn_channel_integrator, BatchingIntegrator, Integrator};
 pub use protocol::{
-    CostMeter, ObjectInfo, ReportLevel, RootPathInfo, SourceQuery, SourceReply, UpdateReport,
-    WireSize,
+    CostMeter, CostSnapshot, ObjectInfo, QueryFault, ReportLevel, RootPathInfo, SourceQuery,
+    SourceReply, UpdateReport, WireSize,
 };
-pub use remote::RemoteBase;
-pub use source::{Monitor, Source, Wrapper};
+pub use remote::{Channel, RemoteBase};
+pub use resync::{
+    DeadLetter, DeadLetterQueue, ResyncOutcome, RetryPolicy, SeqTracker, SeqVerdict, SimClock,
+    StaleCause, ViewState,
+};
+pub use source::{Monitor, QueryPort, ReportSource, Source, Wrapper};
 pub use warehouse::{ViewOptions, ViewStats, Warehouse};

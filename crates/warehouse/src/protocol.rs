@@ -89,6 +89,11 @@ pub struct RootPathInfo {
 }
 
 /// An update report from a source monitor.
+///
+/// Dropping a report unprocessed is a correctness event, not a leak:
+/// every view defined over the source silently diverges until the gap
+/// is detected and resynced. Hence `#[must_use]`.
+#[must_use = "a dropped update report silently corrupts every view over its source"]
 #[derive(Clone, Debug, PartialEq)]
 pub struct UpdateReport {
     /// Which source sent this.
@@ -113,6 +118,19 @@ impl UpdateReport {
     /// Level-3 lookup.
     pub fn path_of(&self, oid: Oid) -> Option<&RootPathInfo> {
         self.paths.iter().find(|p| p.target == oid)
+    }
+
+    /// The effective report level of this message: what the payload
+    /// actually carries, which may be lower than the source's
+    /// configured level if a fault downgraded the report mid-stream.
+    pub fn effective_level(&self) -> ReportLevel {
+        if !self.paths.is_empty() {
+            ReportLevel::WithPaths
+        } else if !self.info.is_empty() {
+            ReportLevel::WithValues
+        } else {
+            ReportLevel::OidsOnly
+        }
     }
 }
 
@@ -158,6 +176,10 @@ pub enum SourceQuery {
 }
 
 /// A source's reply.
+///
+/// Replies are paid for (a metered round trip); discarding one means
+/// the query was wasted, so constructors and carriers are `must_use`.
+#[must_use = "a source reply cost a metered round trip; inspect it"]
 #[derive(Clone, Debug, PartialEq)]
 pub enum SourceReply {
     /// Reply to `Fetch`.
@@ -173,6 +195,27 @@ pub enum SourceReply {
     Objects(Vec<ObjectInfo>),
     /// Reply to `LabelOf`.
     LabelResult(Option<Label>),
+}
+
+/// Why a source interaction failed. Real deployments see both flavors
+/// (a wrapper crash vs a slow network); the distinction matters for
+/// retry accounting — a timeout has already cost latency before the
+/// retry even starts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryFault {
+    /// The source did not answer within the deadline.
+    Timeout,
+    /// The source refused or the connection dropped.
+    Unavailable,
+}
+
+impl fmt::Display for QueryFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryFault::Timeout => write!(f, "timeout"),
+            QueryFault::Unavailable => write!(f, "unavailable"),
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -263,11 +306,50 @@ impl WireSize for SourceReply {
 /// Communication cost counters, shared between the warehouse side and
 /// the source wrapper (atomic: wrappers may be driven from pump
 /// threads).
+///
+/// Each connected source gets its **own** meter (the warehouse installs
+/// one per wrapper at connect time), so retry and fault traffic is
+/// attributable per source — a chaos experiment can tell which source's
+/// unreliability drove the extra round trips. [`CostMeter::snapshot`]
+/// captures all counters atomically-enough for before/after deltas via
+/// [`CostSnapshot::delta_since`].
 #[derive(Debug, Default)]
 pub struct CostMeter {
     queries: AtomicU64,
     messages: AtomicU64,
     bytes: AtomicU64,
+    retries: AtomicU64,
+    faults: AtomicU64,
+}
+
+/// A point-in-time copy of a [`CostMeter`]'s counters.
+#[must_use = "a snapshot is only useful compared against another"]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    /// Queries sent.
+    pub queries: u64,
+    /// Messages (reports + queries + replies).
+    pub messages: u64,
+    /// Estimated bytes.
+    pub bytes: u64,
+    /// Retried query attempts.
+    pub retries: u64,
+    /// Failed query attempts (timeouts + unavailability).
+    pub faults: u64,
+}
+
+impl CostSnapshot {
+    /// Counter growth since an earlier snapshot (saturating, so a
+    /// concurrent `reset()` yields zeros rather than wrapping).
+    pub fn delta_since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            queries: self.queries.saturating_sub(earlier.queries),
+            messages: self.messages.saturating_sub(earlier.messages),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            retries: self.retries.saturating_sub(earlier.retries),
+            faults: self.faults.saturating_sub(earlier.faults),
+        }
+    }
 }
 
 impl CostMeter {
@@ -290,6 +372,19 @@ impl CostMeter {
         self.bytes.fetch_add(r.wire_size() as u64, Ordering::Relaxed);
     }
 
+    /// Record a failed query attempt (the request went out and cost a
+    /// message, but no usable reply came back).
+    pub fn record_fault(&self, q: &SourceQuery, _fault: QueryFault) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(q.wire_size() as u64, Ordering::Relaxed);
+    }
+
+    /// Record one retry attempt about to be made after a fault.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Queries sent so far.
     pub fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
@@ -305,11 +400,34 @@ impl CostMeter {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Retried query attempts so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Failed query attempts so far.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Capture all counters.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            queries: self.queries(),
+            messages: self.messages(),
+            bytes: self.bytes(),
+            retries: self.retries(),
+            faults: self.faults(),
+        }
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.queries.store(0, Ordering::Relaxed);
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
     }
 }
 
@@ -364,6 +482,52 @@ mod tests {
         assert!(m.bytes() > 0);
         m.reset();
         assert_eq!(m.queries(), 0);
+    }
+
+    #[test]
+    fn meter_attributes_retries_and_faults() {
+        let m = CostMeter::new();
+        let q = SourceQuery::Fetch(Oid::new("P1"));
+        let before = m.snapshot();
+        m.record_fault(&q, QueryFault::Timeout);
+        m.record_retry();
+        m.record_query(&q, &SourceReply::Object(None));
+        let delta = m.snapshot().delta_since(&before);
+        assert_eq!(delta.faults, 1);
+        assert_eq!(delta.retries, 1);
+        assert_eq!(delta.queries, 1);
+        // The failed attempt still cost a message on the wire.
+        assert_eq!(delta.messages, 3);
+        m.reset();
+        assert_eq!(m.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn effective_level_tracks_payload() {
+        let update = AppliedUpdate::Insert {
+            parent: Oid::new("P2"),
+            child: Oid::new("A2"),
+        };
+        let mut r = UpdateReport {
+            source: "s".into(),
+            seq: 0,
+            update,
+            info: vec![],
+            paths: vec![],
+        };
+        assert_eq!(r.effective_level(), ReportLevel::OidsOnly);
+        r.info.push(ObjectInfo {
+            oid: Oid::new("A2"),
+            label: Label::new("age"),
+            value: Value::Atom(Atom::Int(40)),
+        });
+        assert_eq!(r.effective_level(), ReportLevel::WithValues);
+        r.paths.push(RootPathInfo {
+            target: Oid::new("P2"),
+            path: Path::parse("professor"),
+            oids: vec![Oid::new("ROOT"), Oid::new("P2")],
+        });
+        assert_eq!(r.effective_level(), ReportLevel::WithPaths);
     }
 
     #[test]

@@ -1,34 +1,156 @@
-//! [`RemoteBase`]: the warehouse-side realization of the
+//! [`Channel`] — the warehouse's retrying transport to one source —
+//! and [`RemoteBase`], the warehouse-side realization of the
 //! [`BaseAccess`] interface Algorithm 1 runs against (paper §5.1).
 //!
-//! Each function is answered from the cheapest available tier:
+//! Each `BaseAccess` function is answered from the cheapest available
+//! tier:
 //!
 //! 1. the triggering **update report** (levels 2/3 carry labels,
 //!    values, and root paths of the directly affected objects);
 //! 2. the **auxiliary cache** (§5.2), when one is attached;
-//! 3. a **query back to the source** through its wrapper — the
-//!    expensive case the paper's techniques aim to avoid.
+//! 3. a **query back to the source** through its channel — the
+//!    expensive case the paper's techniques aim to avoid, and (in a
+//!    fault-tolerant deployment) the only one that can *fail*.
 
 use crate::cache::AuxCache;
-use crate::protocol::{SourceQuery, SourceReply, UpdateReport};
-use crate::source::Wrapper;
+use crate::protocol::{CostMeter, SourceQuery, SourceReply, UpdateReport};
+use crate::resync::{DeadLetter, DeadLetterQueue, RetryPolicy, SimClock};
+use crate::source::{QueryPort, Wrapper};
 use gsdb::{Label, Object, Oid, Path};
 use gsview_core::BaseAccess;
 use gsview_query::Pred;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Base access over a source wrapper, consulting the triggering report
+/// The warehouse's connection to one source: a [`QueryPort`] plus the
+/// retry policy, simulated clock, per-source cost meter, and
+/// dead-letter queue that make querying survivable.
+///
+/// `serve` retries faulted queries with exponential backoff (advancing
+/// the shared [`SimClock`] instead of sleeping); a query that exhausts
+/// its retries is recorded as a [`DeadLetter`] and surfaces as `None`,
+/// which the warehouse treats as grounds to flag dependent views
+/// [`Stale`](crate::resync::ViewState::Stale) — never as an answer.
+#[derive(Clone)]
+pub struct Channel {
+    source: String,
+    port: Arc<dyn QueryPort>,
+    meter: Arc<CostMeter>,
+    retry: RetryPolicy,
+    clock: SimClock,
+    dead_letters: Arc<DeadLetterQueue>,
+    exhausted: Arc<AtomicU64>,
+}
+
+impl Channel {
+    /// A channel over an arbitrary port.
+    pub fn new(
+        source: impl Into<String>,
+        port: Arc<dyn QueryPort>,
+        meter: Arc<CostMeter>,
+        retry: RetryPolicy,
+        clock: SimClock,
+        dead_letters: Arc<DeadLetterQueue>,
+    ) -> Self {
+        Channel {
+            source: source.into(),
+            port,
+            meter,
+            retry,
+            clock,
+            dead_letters,
+            exhausted: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A channel straight over a (fault-free) wrapper: no retries ever
+    /// needed, fresh clock and dead-letter queue. Convenience for tests
+    /// and single-source tools.
+    pub fn direct(wrapper: Wrapper) -> Self {
+        let meter = wrapper.meter_handle();
+        Channel::new(
+            wrapper.source_name().to_owned(),
+            Arc::new(wrapper),
+            meter,
+            RetryPolicy::none(),
+            SimClock::new(),
+            Arc::new(DeadLetterQueue::new()),
+        )
+    }
+
+    /// The source this channel reaches.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The per-source cost meter (queries, retries, faults).
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The shared dead-letter queue.
+    pub fn dead_letters(&self) -> &DeadLetterQueue {
+        &self.dead_letters
+    }
+
+    /// Queries that exhausted their retries over this channel's
+    /// lifetime. Compare before/after a maintenance pass to learn
+    /// whether its result can be trusted.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Serve one query with retries. `None` means the query exhausted
+    /// its retry budget; it has been dead-lettered and the caller's
+    /// result is incomplete.
+    pub fn serve(&self, q: &SourceQuery) -> Option<SourceReply> {
+        let mut attempt = 0u32;
+        loop {
+            match self.port.query(q) {
+                Ok(reply) => return Some(reply),
+                Err(fault) => {
+                    if attempt >= self.retry.max_retries {
+                        self.exhausted.fetch_add(1, Ordering::Relaxed);
+                        self.dead_letters.push(DeadLetter {
+                            source: self.source.clone(),
+                            query: q.clone(),
+                            fault,
+                            attempts: attempt + 1,
+                            at_ms: self.clock.now_ms(),
+                        });
+                        return None;
+                    }
+                    self.meter.record_retry();
+                    self.clock.advance_ms(self.retry.backoff_ms(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Base access over a source channel, consulting the triggering report
 /// and an optional auxiliary cache first.
+///
+/// When a query exhausts its retries the method answers `None`/empty —
+/// the caller must watch [`Channel::exhausted`] to distinguish "no
+/// such object" from "the source stopped answering".
 pub struct RemoteBase<'a> {
-    wrapper: &'a Wrapper,
+    channel: &'a Channel,
     report: Option<&'a UpdateReport>,
     cache: Option<&'a AuxCache>,
 }
 
 impl<'a> RemoteBase<'a> {
     /// Access with neither report nor cache (pure querying).
-    pub fn new(wrapper: &'a Wrapper) -> Self {
+    pub fn new(channel: &'a Channel) -> Self {
         RemoteBase {
-            wrapper,
+            channel,
             report: None,
             cache: None,
         }
@@ -69,8 +191,8 @@ impl BaseAccess for RemoteBase<'_> {
             }
         }
         // Tier 3: query.
-        match self.wrapper.serve(&SourceQuery::PathFromRoot { root, n }) {
-            SourceReply::PathResult(p) => p,
+        match self.channel.serve(&SourceQuery::PathFromRoot { root, n }) {
+            Some(SourceReply::PathResult(p)) => p,
             _ => None,
         }
     }
@@ -98,18 +220,18 @@ impl BaseAccess for RemoteBase<'_> {
                 return Some(a);
             }
         }
-        match self.wrapper.serve(&SourceQuery::Ancestor { n, p: p.clone() }) {
-            SourceReply::AncestorResult(a) => a,
+        match self.channel.serve(&SourceQuery::Ancestor { n, p: p.clone() }) {
+            Some(SourceReply::AncestorResult(a)) => a,
             _ => None,
         }
     }
 
     fn ancestors_all(&mut self, n: Oid, p: &Path) -> Vec<Oid> {
         match self
-            .wrapper
+            .channel
             .serve(&SourceQuery::AncestorsAll { n, p: p.clone() })
         {
-            SourceReply::Ancestors(a) => a,
+            Some(SourceReply::Ancestors(a)) => a,
             _ => Vec::new(),
         }
     }
@@ -142,8 +264,8 @@ impl BaseAccess for RemoteBase<'_> {
         }
         // Tier 3: fetch n.p with values and test the condition locally
         // (Example 9).
-        match self.wrapper.serve(&SourceQuery::Reach { n, p: p.clone() }) {
-            SourceReply::Objects(infos) => infos
+        match self.channel.serve(&SourceQuery::Reach { n, p: p.clone() }) {
+            Some(SourceReply::Objects(infos)) => infos
                 .into_iter()
                 .filter(|i| match pred {
                     None => true,
@@ -166,8 +288,8 @@ impl BaseAccess for RemoteBase<'_> {
                 return Some(l);
             }
         }
-        match self.wrapper.serve(&SourceQuery::LabelOf(n)) {
-            SourceReply::LabelResult(l) => l,
+        match self.channel.serve(&SourceQuery::LabelOf(n)) {
+            Some(SourceReply::LabelResult(l)) => l,
             _ => None,
         }
     }
@@ -183,8 +305,8 @@ impl BaseAccess for RemoteBase<'_> {
                 return Some(o);
             }
         }
-        match self.wrapper.serve(&SourceQuery::Fetch(n)) {
-            SourceReply::Object(info) => info.map(|i| i.to_object()),
+        match self.channel.serve(&SourceQuery::Fetch(n)) {
+            Some(SourceReply::Object(info)) => info.map(|i| i.to_object()),
             _ => None,
         }
     }
@@ -193,7 +315,7 @@ impl BaseAccess for RemoteBase<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{CostMeter, ReportLevel};
+    use crate::protocol::{CostMeter, QueryFault, ReportLevel};
     use crate::source::Source;
     use gsdb::{samples, Update};
     use gsview_query::{CmpOp, Pred};
@@ -212,15 +334,19 @@ mod tests {
         src
     }
 
+    fn channel_for(src: &Source, meter: Arc<CostMeter>) -> Channel {
+        Channel::direct(src.wrapper(meter))
+    }
+
     #[test]
     fn report_tier_answers_without_queries_at_l3() {
         let src = person_source(ReportLevel::WithPaths);
         let meter = Arc::new(CostMeter::new());
-        let w = src.wrapper(meter.clone());
+        let chan = channel_for(&src, meter.clone());
         src.apply(Update::modify("A1", 50i64)).unwrap();
         let reports = src.monitor().poll();
         let report = &reports[0];
-        let mut rb = RemoteBase::new(&w).with_report(report);
+        let mut rb = RemoteBase::new(&chan).with_report(report);
         // path(ROOT, A1) from the report.
         assert_eq!(
             rb.path_from_root(oid("ROOT"), oid("A1")),
@@ -237,10 +363,10 @@ mod tests {
     fn query_tier_used_when_report_lacks_data() {
         let src = person_source(ReportLevel::OidsOnly);
         let meter = Arc::new(CostMeter::new());
-        let w = src.wrapper(meter.clone());
+        let chan = channel_for(&src, meter.clone());
         src.apply(Update::modify("A1", 50i64)).unwrap();
         let reports = src.monitor().poll();
-        let mut rb = RemoteBase::new(&w).with_report(&reports[0]);
+        let mut rb = RemoteBase::new(&chan).with_report(&reports[0]);
         assert_eq!(
             rb.path_from_root(oid("ROOT"), oid("A1")),
             Some(Path::parse("professor.age"))
@@ -252,8 +378,8 @@ mod tests {
     fn eval_tests_condition_locally() {
         let src = person_source(ReportLevel::OidsOnly);
         let meter = Arc::new(CostMeter::new());
-        let w = src.wrapper(meter.clone());
-        let mut rb = RemoteBase::new(&w);
+        let chan = channel_for(&src, meter.clone());
+        let mut rb = RemoteBase::new(&chan);
         let le45 = Pred::new(CmpOp::Le, 45i64);
         let result = rb.eval(oid("P1"), &Path::parse("age"), Some(&le45));
         assert_eq!(result, vec![oid("A1")]);
@@ -264,10 +390,10 @@ mod tests {
     fn cache_tier_avoids_queries() {
         let src = person_source(ReportLevel::WithValues);
         let meter = Arc::new(CostMeter::new());
-        let w = src.wrapper(meter.clone());
-        let cache = crate::cache::AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &w);
+        let chan = channel_for(&src, meter.clone());
+        let cache = crate::cache::AuxCache::build(oid("ROOT"), Path::parse("professor.age"), &chan);
         meter.reset();
-        let mut rb = RemoteBase::new(&w).with_cache(&cache);
+        let mut rb = RemoteBase::new(&chan).with_cache(&cache);
         let le45 = Pred::new(CmpOp::Le, 45i64);
         assert_eq!(
             rb.eval(oid("P1"), &Path::parse("age"), Some(&le45)),
@@ -279,5 +405,83 @@ mod tests {
         );
         assert_eq!(rb.ancestor(oid("A1"), &Path::parse("age")), Some(oid("P1")));
         assert_eq!(meter.queries(), 0, "cache answers everything");
+    }
+
+    /// A port that fails a fixed number of times before recovering.
+    struct Flaky {
+        inner: Wrapper,
+        failures: AtomicU64,
+    }
+
+    impl QueryPort for Flaky {
+        fn query(&self, q: &SourceQuery) -> Result<SourceReply, QueryFault> {
+            if self.failures.load(Ordering::Relaxed) > 0 {
+                self.failures.fetch_sub(1, Ordering::Relaxed);
+                return Err(QueryFault::Timeout);
+            }
+            Ok(self.inner.serve(q))
+        }
+    }
+
+    #[test]
+    fn channel_retries_through_transient_faults() {
+        let src = person_source(ReportLevel::OidsOnly);
+        let meter = Arc::new(CostMeter::new());
+        let port = Flaky {
+            inner: src.wrapper(meter.clone()),
+            failures: AtomicU64::new(2),
+        };
+        let chan = Channel::new(
+            "persons",
+            Arc::new(port),
+            meter.clone(),
+            RetryPolicy {
+                max_retries: 3,
+                base_backoff_ms: 10,
+                max_backoff_ms: 1_000,
+            },
+            SimClock::new(),
+            Arc::new(DeadLetterQueue::new()),
+        );
+        let reply = chan.serve(&SourceQuery::Fetch(oid("P1")));
+        assert!(matches!(reply, Some(SourceReply::Object(Some(_)))));
+        assert_eq!(meter.retries(), 2);
+        assert_eq!(chan.exhausted(), 0);
+        assert!(chan.dead_letters().is_empty());
+        // Backoff 10 + 20 advanced on the shared clock.
+        assert_eq!(chan.clock().now_ms(), 30);
+    }
+
+    #[test]
+    fn channel_dead_letters_exhausted_queries() {
+        let src = person_source(ReportLevel::OidsOnly);
+        let meter = Arc::new(CostMeter::new());
+        let port = Flaky {
+            inner: src.wrapper(meter.clone()),
+            failures: AtomicU64::new(100),
+        };
+        let chan = Channel::new(
+            "persons",
+            Arc::new(port),
+            meter.clone(),
+            RetryPolicy {
+                max_retries: 2,
+                base_backoff_ms: 5,
+                max_backoff_ms: 1_000,
+            },
+            SimClock::new(),
+            Arc::new(DeadLetterQueue::new()),
+        );
+        assert_eq!(chan.serve(&SourceQuery::Fetch(oid("P1"))), None);
+        assert_eq!(chan.exhausted(), 1);
+        let letters = chan.dead_letters().drain();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].attempts, 3, "1 try + 2 retries");
+        assert_eq!(letters[0].fault, QueryFault::Timeout);
+        assert_eq!(letters[0].source, "persons");
+        // And RemoteBase degrades to a non-answer, not a panic.
+        let mut rb = RemoteBase::new(&chan);
+        assert_eq!(rb.fetch(oid("P1")), None);
+        assert_eq!(chan.exhausted(), 2);
     }
 }

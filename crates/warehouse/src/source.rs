@@ -11,11 +11,40 @@
 //! and `Wrapper`, never the store itself.
 
 use crate::protocol::{
-    CostMeter, ObjectInfo, ReportLevel, RootPathInfo, SourceQuery, SourceReply, UpdateReport,
+    CostMeter, ObjectInfo, QueryFault, ReportLevel, RootPathInfo, SourceQuery, SourceReply,
+    UpdateReport,
 };
 use gsdb::{path, AppliedUpdate, Oid, Result, Store, StoreConfig, Update};
 use std::sync::Mutex;
 use std::sync::Arc;
+
+/// The warehouse side of the query protocol: anything that can be
+/// asked a [`SourceQuery`] and may fail to answer.
+///
+/// [`Wrapper`] implements this infallibly; the chaos decorator
+/// [`FaultyWrapper`](crate::chaos::FaultyWrapper) injects
+/// [`QueryFault`]s. The warehouse never talks to a port directly — it
+/// goes through a retrying [`Channel`](crate::remote::Channel).
+pub trait QueryPort: Send + Sync {
+    /// Attempt one query round trip.
+    fn query(&self, q: &SourceQuery) -> std::result::Result<SourceReply, QueryFault>;
+}
+
+/// The warehouse side of the report protocol: anything that yields
+/// update reports when polled, plus a fault-free control-plane
+/// checkpoint (source name and next sequence number) that the
+/// integrator uses to detect *tail* loss — a dropped report with no
+/// successor would otherwise go unnoticed forever.
+pub trait ReportSource {
+    /// Collect reports since the last poll.
+    #[must_use = "unprocessed reports silently corrupt the warehouse's views"]
+    fn poll_reports(&self) -> Vec<UpdateReport>;
+
+    /// `(source name, next sequence number)` — how many reports the
+    /// monitor has emitted so far. Control-plane metadata: cheap,
+    /// reliable, and never subject to chaos.
+    fn checkpoint(&self) -> (String, u64);
+}
 
 /// An autonomous data source: a GSDB plus a designated root object.
 #[derive(Clone)]
@@ -76,6 +105,13 @@ impl Source {
     /// setup; not available to the warehouse).
     pub fn with_store<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
         f(&mut self.store.lock().unwrap())
+    }
+
+    /// The sequence number the next report from this source will
+    /// carry. Used by the warehouse to baseline gap detection at
+    /// connect time.
+    pub fn next_seq(&self) -> u64 {
+        *self.seq.lock().unwrap()
     }
 
     /// The monitor role for this source.
@@ -157,6 +193,7 @@ pub struct Monitor {
 
 impl Monitor {
     /// Collect reports for all updates applied since the last poll.
+    #[must_use = "unprocessed reports silently corrupt the warehouse's views"]
     pub fn poll(&self) -> Vec<UpdateReport> {
         let applied = self.source.store.lock().unwrap().drain_log();
         let mut seq_guard = self.source.seq.lock().unwrap();
@@ -173,6 +210,16 @@ impl Monitor {
     /// The source's name.
     pub fn source_name(&self) -> &str {
         self.source.name()
+    }
+}
+
+impl ReportSource for Monitor {
+    fn poll_reports(&self) -> Vec<UpdateReport> {
+        self.poll()
+    }
+
+    fn checkpoint(&self) -> (String, u64) {
+        (self.source.name().to_owned(), self.source.next_seq())
     }
 }
 
@@ -216,9 +263,26 @@ impl Wrapper {
         &self.meter
     }
 
+    /// A shared handle to the meter (for channels that must record
+    /// retries and faults into the same per-source ledger).
+    pub fn meter_handle(&self) -> Arc<CostMeter> {
+        self.meter.clone()
+    }
+
     /// The source's root.
     pub fn root(&self) -> Oid {
         self.source.root()
+    }
+
+    /// The source's name.
+    pub fn source_name(&self) -> &str {
+        self.source.name()
+    }
+}
+
+impl QueryPort for Wrapper {
+    fn query(&self, q: &SourceQuery) -> std::result::Result<SourceReply, QueryFault> {
+        Ok(self.serve(q))
     }
 }
 

@@ -1,13 +1,29 @@
 //! The data warehouse (paper §5, Figure 6): stores materialized views
 //! over autonomous sources, maintains them from update reports, and
 //! queries back only when reports and caches cannot answer.
+//!
+//! Beyond the paper's architecture, this warehouse does not *trust*
+//! delivery: every report's sequence number is checked against a
+//! per-source [`SeqTracker`], queries travel over a retrying
+//! [`Channel`], and a view that missed a report (or whose maintenance
+//! lost a query to the dead-letter queue) degrades to an explicit
+//! [`Stale`](ViewState::Stale) state — still serving reads — until
+//! [`Warehouse::resync_view`] verifies it back to `Consistent`.
 
 use crate::cache::{AuxCache, PathKnowledge};
+use crate::chaos::ChaosPolicy;
 use crate::protocol::{CostMeter, UpdateReport};
-use crate::remote::RemoteBase;
-use crate::source::Wrapper;
-use gsdb::{AppliedUpdate, DeltaBatch, Label, Oid, Result};
-use gsview_core::{BatchOutcome, MaintPlan, MaterializedView, Maintainer, Outcome, SimpleViewDef};
+use crate::remote::{Channel, RemoteBase};
+use crate::resync::{
+    DeadLetterQueue, ResyncOutcome, RetryPolicy, SeqTracker, SeqVerdict, SimClock, StaleCause,
+    ViewState,
+};
+use crate::source::{QueryPort, Source};
+use gsdb::{AppliedUpdate, DeltaBatch, Label, Object, Oid, Result};
+use gsview_core::{
+    consistency, sweep_members, BaseAccess, BatchOutcome, MaintPlan, MaterializedView, Maintainer,
+    Outcome, SimpleViewDef,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -27,7 +43,8 @@ pub struct ViewOptions {
 /// Statistics for one warehouse view.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ViewStats {
-    /// Reports processed.
+    /// Reports processed (including duplicates and reports skipped
+    /// while the view was stale).
     pub reports: u64,
     /// Reports discarded by label screening or path knowledge, with no
     /// query to the source.
@@ -39,6 +56,18 @@ pub struct ViewStats {
     pub inserted: u64,
     /// Members deleted over the view's lifetime.
     pub deleted: u64,
+    /// Sequence gaps detected (each sent the view stale).
+    pub gaps_detected: u64,
+    /// Duplicate reports dropped before touching the view.
+    pub duplicates_dropped: u64,
+    /// In-order reports skipped because the view was already stale
+    /// (they will be subsumed by the next resync).
+    pub skipped_while_stale: u64,
+    /// Resyncs that restored the view to `Consistent`.
+    pub resyncs: u64,
+    /// Member re-verification sweeps forced by report lag (an update
+    /// dismissed only because its anchor was no longer reachable).
+    pub lag_sweeps: u64,
 }
 
 struct WarehouseView {
@@ -49,6 +78,14 @@ struct WarehouseView {
     cache: Option<AuxCache>,
     options: ViewOptions,
     stats: ViewStats,
+    state: ViewState,
+}
+
+/// One connected source: its retrying query channel plus the sequence
+/// tracker guarding its report stream.
+struct Connection {
+    channel: Channel,
+    tracker: SeqTracker,
 }
 
 /// A warehouse holding materialized views over one or more sources.
@@ -58,33 +95,93 @@ struct WarehouseView {
 /// paper's architecture where "only the warehouse (and not the data
 /// sources) knows the view definition".
 pub struct Warehouse {
-    wrappers: HashMap<String, Wrapper>,
-    meters: HashMap<String, Arc<CostMeter>>,
+    connections: HashMap<String, Connection>,
     views: Vec<WarehouseView>,
+    retry: RetryPolicy,
+    clock: SimClock,
+    dead_letters: Arc<DeadLetterQueue>,
 }
 
 impl Warehouse {
-    /// An empty warehouse.
+    /// An empty warehouse with the default retry policy.
     pub fn new() -> Self {
         Warehouse {
-            wrappers: HashMap::new(),
-            meters: HashMap::new(),
+            connections: HashMap::new(),
             views: Vec::new(),
+            retry: RetryPolicy::default(),
+            clock: SimClock::new(),
+            dead_letters: Arc::new(DeadLetterQueue::new()),
         }
     }
 
+    /// Set the retry policy used by subsequently connected sources.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The warehouse's simulated clock (total backoff latency paid).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Queries that exhausted their retries, across all sources.
+    pub fn dead_letters(&self) -> &DeadLetterQueue {
+        &self.dead_letters
+    }
+
     /// Connect a source by name, installing a cost meter on its
-    /// wrapper.
-    pub fn connect(&mut self, source: &crate::source::Source) {
+    /// wrapper and baselining gap detection at the source's current
+    /// sequence counter.
+    pub fn connect(&mut self, source: &Source) {
         let meter = Arc::new(CostMeter::new());
         let wrapper = source.wrapper(meter.clone());
-        self.meters.insert(source.name().to_owned(), meter);
-        self.wrappers.insert(source.name().to_owned(), wrapper);
+        self.connect_port(source.name(), Arc::new(wrapper), meter, source.next_seq());
+    }
+
+    /// Connect a source through a fault-injecting wrapper (chaos
+    /// experiments: queries fail or time out per `policy`).
+    pub fn connect_faulty(&mut self, source: &Source, policy: ChaosPolicy) {
+        let meter = Arc::new(CostMeter::new());
+        let wrapper = source.wrapper(meter.clone());
+        let port = crate::chaos::FaultyWrapper::new(wrapper, policy);
+        self.connect_port(source.name(), Arc::new(port), meter, source.next_seq());
+    }
+
+    /// Connect an arbitrary query port under `name`. `next_seq` is the
+    /// first report sequence number the warehouse should expect.
+    pub fn connect_port(
+        &mut self,
+        name: &str,
+        port: Arc<dyn QueryPort>,
+        meter: Arc<CostMeter>,
+        next_seq: u64,
+    ) {
+        let channel = Channel::new(
+            name,
+            port,
+            meter,
+            self.retry,
+            self.clock.clone(),
+            self.dead_letters.clone(),
+        );
+        self.connections.insert(
+            name.to_owned(),
+            Connection {
+                channel,
+                tracker: SeqTracker::with_baseline(next_seq),
+            },
+        );
     }
 
     /// The cost meter for a connected source.
     pub fn meter(&self, source: &str) -> Option<&CostMeter> {
-        self.meters.get(source).map(|m| m.as_ref())
+        self.connections.get(source).map(|c| c.channel.meter())
+    }
+
+    /// The retrying channel to a connected source.
+    pub fn channel(&self, source: &str) -> Option<&Channel> {
+        self.connections.get(source).map(|c| &c.channel)
     }
 
     /// Define a materialized view over a connected source and
@@ -95,16 +192,17 @@ impl Warehouse {
         def: SimpleViewDef,
         options: ViewOptions,
     ) -> Result<Oid> {
-        let wrapper = self
-            .wrappers
+        let channel = self
+            .connections
             .get(source)
             .unwrap_or_else(|| panic!("source {source} not connected"))
+            .channel
             .clone();
         let cache = options
             .use_aux_cache
-            .then(|| AuxCache::build(def.root, def.full_path(), &wrapper));
-        // Initial materialization through the wrapper.
-        let mut base = RemoteBase::new(&wrapper);
+            .then(|| AuxCache::build(def.root, def.full_path(), &channel));
+        // Initial materialization through the channel.
+        let mut base = RemoteBase::new(&channel);
         let mv = gsview_core::recompute::recompute(&def, &mut base)?;
         let view = def.view;
         self.views.push(WarehouseView {
@@ -115,13 +213,33 @@ impl Warehouse {
             cache,
             options,
             stats: ViewStats::default(),
+            state: ViewState::default(),
         });
         Ok(view)
     }
 
-    /// Access a view's materialized state.
+    /// Access a view's materialized state. Reads are served even while
+    /// the view is [`Stale`](ViewState::Stale) — check
+    /// [`Warehouse::view_state`] to know whether to trust them.
     pub fn view(&self, view: Oid) -> Option<&MaterializedView> {
         self.views.iter().find(|v| v.def.view == view).map(|v| &v.mv)
+    }
+
+    /// A view's health.
+    pub fn view_state(&self, view: Oid) -> Option<ViewState> {
+        self.views
+            .iter()
+            .find(|v| v.def.view == view)
+            .map(|v| v.state)
+    }
+
+    /// All views currently flagged stale.
+    pub fn stale_views(&self) -> Vec<Oid> {
+        self.views
+            .iter()
+            .filter(|v| v.state.is_stale())
+            .map(|v| v.def.view)
+            .collect()
     }
 
     /// A view's statistics.
@@ -148,26 +266,58 @@ impl Warehouse {
     /// processed against a source state that has already moved on,
     /// the view can drift; a refresh restores exactness).
     pub fn refresh_view(&mut self, view: Oid) -> Result<()> {
-        let Some(wv) = self.views.iter_mut().find(|v| v.def.view == view) else {
+        let Some(idx) = self.views.iter().position(|v| v.def.view == view) else {
             return Ok(());
         };
-        let wrapper = self
-            .wrappers
-            .get(&wv.source)
+        let channel = self
+            .connections
+            .get(&self.views[idx].source)
             .expect("view sources are connected")
+            .channel
             .clone();
-        let mut base = RemoteBase::new(&wrapper);
+        let wv = &mut self.views[idx];
+        let mut base = RemoteBase::new(&channel);
         gsview_core::recompute::refresh(&wv.def, &mut base, &mut wv.mv)?;
         Ok(())
     }
 
-    /// Handle one update report from a source monitor: maintain every
-    /// view defined over that source.
+    /// Handle one update report from a source monitor: check its
+    /// sequence number, then maintain every (healthy) view defined
+    /// over that source.
+    ///
+    /// * Duplicates are dropped before touching any view or cache
+    ///   (idempotency).
+    /// * A gap flags every view of the source [`Stale`](ViewState::Stale)
+    ///   — the lost reports will never arrive, so incremental
+    ///   maintenance cannot continue soundly; [`Warehouse::resync_view`]
+    ///   heals.
+    /// * Stale views skip maintenance entirely (cheap degraded mode;
+    ///   resync subsumes whatever the skipped reports would have done).
+    /// * A maintenance pass that loses a query to the dead-letter
+    ///   queue also sends the view stale: its result cannot be trusted.
     pub fn handle_report(&mut self, report: &UpdateReport) -> Result<Vec<(Oid, Outcome)>> {
-        let wrapper = match self.wrappers.get(&report.source) {
-            Some(w) => w.clone(),
-            None => return Ok(Vec::new()),
+        let Some(conn) = self.connections.get_mut(&report.source) else {
+            return Ok(Vec::new());
         };
+        let verdict = conn.tracker.observe(report.seq);
+        let channel = conn.channel.clone();
+
+        if matches!(verdict, SeqVerdict::Duplicate { .. }) {
+            for wv in self.views.iter_mut().filter(|v| v.source == report.source) {
+                wv.stats.reports += 1;
+                wv.stats.duplicates_dropped += 1;
+            }
+            return Ok(Vec::new());
+        }
+        if let SeqVerdict::Gap { expected, got } = verdict {
+            for wv in self.views.iter_mut().filter(|v| v.source == report.source) {
+                wv.stats.gaps_detected += 1;
+                if !wv.state.is_stale() {
+                    wv.state = ViewState::Stale(StaleCause::ReportGap { expected, got });
+                }
+            }
+        }
+
         let mut outcomes = Vec::new();
         for wv in &mut self.views {
             if wv.source != report.source {
@@ -175,20 +325,40 @@ impl Warehouse {
             }
             wv.stats.reports += 1;
 
-            // Local screening (no source queries).
-            if screened_out(wv, report) {
-                wv.stats.screened_out += 1;
+            if wv.state.is_stale() {
+                wv.stats.skipped_while_stale += 1;
                 continue;
             }
 
-            // Maintain the auxiliary cache first so it reflects the
-            // post-update state Algorithm 1 expects.
+            let faults_before = channel.exhausted();
+
+            // Maintain the auxiliary cache first — before screening,
+            // and before Algorithm 1 so it reflects the post-update
+            // state the algorithm expects. Screening only proves the
+            // *view* cannot change; a cached copy still can, and
+            // [`AuxCache::try_fetch`] serves exact whole-value copies.
             if let Some(cache) = wv.cache.as_mut() {
-                cache.apply_report(report, &wrapper);
+                cache.apply_report(report, &channel);
             }
 
-            let outcome = {
-                let mut base = RemoteBase::new(&wrapper).with_report(report);
+            // Local screening (no source queries). A screened report
+            // cannot change membership, but an edge into a member set
+            // or a modify of a member atom still changes its *value*
+            // (§3.2) — refresh it from local data, or fall through to
+            // full maintenance when no local copy is available.
+            if screened_out(wv, report) && screened_content_upkeep(wv, report)? {
+                wv.stats.screened_out += 1;
+                if let Some(cache) = wv.cache.as_mut() {
+                    cache.finalize_report();
+                }
+                if channel.exhausted() > faults_before {
+                    wv.state = ViewState::Stale(StaleCause::QueryFailure);
+                }
+                continue;
+            }
+
+            let mut outcome = {
+                let mut base = RemoteBase::new(&channel).with_report(report);
                 if let Some(cache) = wv.cache.as_ref() {
                     base = base.with_cache(cache);
                 }
@@ -196,6 +366,52 @@ impl Warehouse {
             };
             if let Some(cache) = wv.cache.as_mut() {
                 cache.finalize_report();
+            }
+            if channel.exhausted() > faults_before {
+                // A query inside this pass exhausted its retries: the
+                // outcome is built on missing data.
+                wv.state = ViewState::Stale(StaleCause::QueryFailure);
+                continue;
+            }
+            // §4.3 precondition guard. Algorithm 1 assumes the base is
+            // in the state right after the triggering update, but the
+            // source may have moved on since this report was emitted
+            // (the warehouse polls, queues and retries). A delete whose
+            // parent — or a condition-bearing modify whose object — is
+            // unreachable *now* may have been view-relevant *then*, and
+            // the source has already destroyed the evidence; re-verify
+            // the membership instead of trusting the dismissal. (Gains
+            // never need this: they always leave evidence in the
+            // current state for a later report to find.)
+            //
+            // A view with a healthy aux cache is exempt: the cache is
+            // maintained from the report stream itself, so its answers
+            // — including `certainly_off_path` rejections — describe
+            // the state right after each reported update. Dismissals
+            // are then report-time-sound and the guard (whose check
+            // costs a source query) would only re-confirm them.
+            if wv.cache.is_none() && !outcome.relevant && !wv.mv.is_empty() {
+                let mut base = RemoteBase::new(&channel);
+                let suspect = match &report.update {
+                    AppliedUpdate::Delete { parent, child } => {
+                        base.path_from_root(wv.def.root, *parent).is_none()
+                            || base.label_of(*child).is_none()
+                    }
+                    AppliedUpdate::Modify { oid, .. } => {
+                        wv.def.cond.is_some()
+                            && base.path_from_root(wv.def.root, *oid).is_none()
+                    }
+                    _ => false,
+                };
+                if suspect {
+                    wv.stats.lag_sweeps += 1;
+                    let swept = sweep_members(&wv.def, &mut wv.mv, &mut base)?;
+                    outcome.deleted.extend(swept);
+                    if channel.exhausted() > faults_before {
+                        wv.state = ViewState::Stale(StaleCause::QueryFailure);
+                        continue;
+                    }
+                }
             }
             if outcome.relevant {
                 wv.stats.relevant += 1;
@@ -210,7 +426,9 @@ impl Warehouse {
     /// Handle a buffered run of update reports in one batched
     /// maintenance pass per view.
     ///
-    /// Reports are grouped by source; for each view the unscreened
+    /// Reports are grouped by source and sequence-screened exactly as
+    /// in [`Warehouse::handle_report`] (duplicates dropped, gaps flag
+    /// the source's views stale); for each healthy view the surviving
     /// reports' updates are collected into a [`DeltaBatch`] and applied
     /// with [`MaintPlan::apply_batch`] against the source's *current*
     /// state. Consolidation means churny runs (insert+delete of the
@@ -229,31 +447,70 @@ impl Warehouse {
         }
         let mut outcomes = Vec::new();
         for source in sources {
-            let wrapper = match self.wrappers.get(&source) {
-                Some(w) => w.clone(),
-                None => continue,
+            let Some(conn) = self.connections.get_mut(&source) else {
+                continue;
             };
+            // Sequence screening, once per report (not per view).
+            let mut accepted: Vec<&UpdateReport> = Vec::new();
+            let mut dups = 0u64;
+            let mut gaps = 0u64;
+            let mut first_gap: Option<(u64, u64)> = None;
+            let mut total = 0u64;
+            for r in reports.iter().filter(|r| r.source == source) {
+                total += 1;
+                match conn.tracker.observe(r.seq) {
+                    SeqVerdict::InOrder => accepted.push(r),
+                    SeqVerdict::Duplicate { .. } => dups += 1,
+                    SeqVerdict::Gap { expected, got } => {
+                        gaps += 1;
+                        first_gap.get_or_insert((expected, got));
+                        accepted.push(r);
+                    }
+                }
+            }
+            let channel = conn.channel.clone();
             for wv in &mut self.views {
                 if wv.source != source {
                     continue;
                 }
+                wv.stats.reports += total;
+                wv.stats.duplicates_dropped += dups;
+                if let Some((expected, got)) = first_gap {
+                    wv.stats.gaps_detected += gaps;
+                    if !wv.state.is_stale() {
+                        wv.state = ViewState::Stale(StaleCause::ReportGap { expected, got });
+                    }
+                }
+                if wv.state.is_stale() {
+                    wv.stats.skipped_while_stale += accepted.len() as u64;
+                    continue;
+                }
+                let faults_before = channel.exhausted();
                 let mut batch = DeltaBatch::new();
-                for report in reports.iter().filter(|r| r.source == source) {
-                    wv.stats.reports += 1;
-                    if screened_out(wv, report) {
+                for report in &accepted {
+                    // Cache upkeep runs for every report — screening
+                    // only proves the view can't change, not the
+                    // cached copies (see handle_report).
+                    if let Some(cache) = wv.cache.as_mut() {
+                        cache.apply_report(report, &channel);
+                    }
+                    if screened_out(wv, report) && screened_content_upkeep(wv, report)? {
                         wv.stats.screened_out += 1;
                         continue;
-                    }
-                    if let Some(cache) = wv.cache.as_mut() {
-                        cache.apply_report(report, &wrapper);
                     }
                     batch.push(report.update.clone());
                 }
                 if batch.is_empty() {
+                    if let Some(cache) = wv.cache.as_mut() {
+                        cache.finalize_report();
+                    }
+                    if channel.exhausted() > faults_before {
+                        wv.state = ViewState::Stale(StaleCause::QueryFailure);
+                    }
                     continue;
                 }
                 let outcome = {
-                    let mut base = RemoteBase::new(&wrapper);
+                    let mut base = RemoteBase::new(&channel);
                     if let Some(cache) = wv.cache.as_ref() {
                         base = base.with_cache(cache);
                     }
@@ -261,6 +518,10 @@ impl Warehouse {
                 };
                 if let Some(cache) = wv.cache.as_mut() {
                     cache.finalize_report();
+                }
+                if channel.exhausted() > faults_before {
+                    wv.state = ViewState::Stale(StaleCause::QueryFailure);
+                    continue;
                 }
                 wv.stats.relevant += outcome.relevant_deltas as u64;
                 wv.stats.inserted += outcome.inserted.len() as u64;
@@ -270,12 +531,137 @@ impl Warehouse {
         }
         Ok(outcomes)
     }
+
+    /// Account for a source's control-plane checkpoint: the monitor has
+    /// emitted every sequence number below `next_seq`. Detects *tail*
+    /// loss — a dropped report with no delivered successor — which no
+    /// amount of stream watching can reveal. Returns the gap verdict if
+    /// reports turned out to be missing (the affected views are flagged
+    /// stale).
+    pub fn reconcile(&mut self, source: &str, next_seq: u64) -> Option<SeqVerdict> {
+        let conn = self.connections.get_mut(source)?;
+        let verdict = conn.tracker.reconcile(next_seq)?;
+        if let SeqVerdict::Gap { expected, got } = verdict {
+            for wv in self.views.iter_mut().filter(|v| v.source == source) {
+                wv.stats.gaps_detected += 1;
+                if !wv.state.is_stale() {
+                    wv.state = ViewState::Stale(StaleCause::ReportGap { expected, got });
+                }
+            }
+        }
+        Some(verdict)
+    }
+
+    /// [`Warehouse::reconcile`] against a whole set of checkpoints (as
+    /// returned by [`Integrator::checkpoints`](crate::Integrator::checkpoints)).
+    /// Returns how many sources turned out to have tail loss.
+    pub fn reconcile_checkpoints(
+        &mut self,
+        checkpoints: impl IntoIterator<Item = (String, u64)>,
+    ) -> usize {
+        checkpoints
+            .into_iter()
+            .filter(|(source, next_seq)| {
+                matches!(
+                    self.reconcile(source, *next_seq),
+                    Some(SeqVerdict::Gap { .. })
+                )
+            })
+            .count()
+    }
+
+    /// Heal one view: replay a source snapshot diff over the current
+    /// membership ([`recompute::refresh`](gsview_core::recompute::refresh)),
+    /// verify with the consistency checker, and escalate to the full
+    /// recompute baseline if the diff repair does not verify clean.
+    /// The auxiliary cache (stale since the view went degraded) is
+    /// rebuilt on success.
+    ///
+    /// Healing runs over the same faulty channel as maintenance, so a
+    /// resync can itself lose queries; in that case the view *stays*
+    /// stale (`healed == false`) and the caller retries — see the
+    /// bounded loop in [`chaos::run_scenario`](crate::chaos::run_scenario).
+    pub fn resync_view(&mut self, view: Oid) -> Result<ResyncOutcome> {
+        let Some(idx) = self.views.iter().position(|v| v.def.view == view) else {
+            return Ok(ResyncOutcome::default());
+        };
+        let channel = self
+            .connections
+            .get(&self.views[idx].source)
+            .expect("view sources are connected")
+            .channel
+            .clone();
+        let wv = &mut self.views[idx];
+        let mut outcome = ResyncOutcome::default();
+
+        // Stage 1: snapshot-diff repair.
+        let pre = channel.exhausted();
+        {
+            let mut base = RemoteBase::new(&channel);
+            let (ins, del) = gsview_core::recompute::refresh(&wv.def, &mut base, &mut wv.mv)?;
+            outcome.inserted = ins;
+            outcome.deleted = del;
+        }
+        let mut healed = channel.exhausted() == pre && verified(&channel, &wv.def, &wv.mv);
+
+        // Stage 2: escalate to the full-recompute baseline.
+        if !healed {
+            outcome.escalated = true;
+            let pre = channel.exhausted();
+            let mut base = RemoteBase::new(&channel);
+            wv.mv = gsview_core::recompute::recompute(&wv.def, &mut base)?;
+            healed = channel.exhausted() == pre && verified(&channel, &wv.def, &wv.mv);
+        }
+
+        // The cache went unmaintained while the view was stale: rebuild
+        // it, and refuse to heal onto an incomplete cache.
+        if healed && wv.options.use_aux_cache {
+            let pre = channel.exhausted();
+            let cache = AuxCache::build(wv.def.root, wv.def.full_path(), &channel);
+            if channel.exhausted() == pre {
+                wv.cache = Some(cache);
+            } else {
+                healed = false;
+            }
+        }
+
+        if healed {
+            if wv.state.is_stale() {
+                wv.stats.resyncs += 1;
+            }
+            wv.state = ViewState::Consistent;
+        } else if !wv.state.is_stale() {
+            wv.state = ViewState::Stale(StaleCause::QueryFailure);
+        }
+        outcome.healed = healed;
+        Ok(outcome)
+    }
+
+    /// Resync every stale view once. Views that fail to heal (the
+    /// source kept failing) remain stale; call again.
+    pub fn resync_stale(&mut self) -> Result<Vec<(Oid, ResyncOutcome)>> {
+        let stale = self.stale_views();
+        let mut out = Vec::new();
+        for view in stale {
+            out.push((view, self.resync_view(view)?));
+        }
+        Ok(out)
+    }
 }
 
 impl Default for Warehouse {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Consistency-check `mv` against the source over `channel`; a check
+/// that lost queries to the dead-letter queue is not a verification.
+fn verified(channel: &Channel, def: &SimpleViewDef, mv: &MaterializedView) -> bool {
+    let pre = channel.exhausted();
+    let mut base = RemoteBase::new(channel);
+    let clean = consistency::check(def, &mut base, mv).is_empty();
+    clean && channel.exhausted() == pre
 }
 
 /// Local screening (paper §5.1 scenario 2 + §5.2 path knowledge):
@@ -318,11 +704,57 @@ fn reported_label(report: &UpdateReport, oid: Oid) -> Option<Label> {
     report.info_of(oid).map(|i| i.label)
 }
 
+/// Content upkeep for a screened report, from local data only. A
+/// screened update cannot change *membership*, but an edge into a
+/// member set or a modify of a member atom still changes the member's
+/// value, and a delegate carries "the same value as the original
+/// object" (§3.2). Screening promises query-free handling, so the
+/// fresh copy must already be at the warehouse: the report's carried
+/// object values (L2+ reports describe both ends of an edge
+/// post-update), the modify's own new value, or the aux cache (kept
+/// exact by [`AuxCache::apply_report`]). Returns `false` when the
+/// affected object is a member but no local copy is available — the
+/// caller must then fall through to full maintenance instead of
+/// screening.
+fn screened_content_upkeep(wv: &mut WarehouseView, report: &UpdateReport) -> Result<bool> {
+    let affected = match &report.update {
+        AppliedUpdate::Insert { parent, .. } | AppliedUpdate::Delete { parent, .. } => *parent,
+        AppliedUpdate::Modify { oid, .. } => *oid,
+        AppliedUpdate::Create { .. } | AppliedUpdate::Remove { .. } => return Ok(true),
+    };
+    if !wv.mv.contains_base(affected) {
+        return Ok(true);
+    }
+    if let Some(info) = report.info_of(affected) {
+        wv.mv.refresh_delegate(&info.to_object())?;
+        return Ok(true);
+    }
+    if let AppliedUpdate::Modify { oid, new, .. } = &report.update {
+        // A level-1 modify carries no object info, but the update
+        // itself holds the new value; the label comes from the
+        // member's own delegate copy.
+        let label = wv
+            .mv
+            .delegate_of(*oid)
+            .and_then(|d| wv.mv.delegate(d))
+            .map(|d| d.label);
+        if let Some(label) = label {
+            wv.mv.refresh_delegate(&Object::atom(*oid, label, new.clone()))?;
+            return Ok(true);
+        }
+    }
+    if let Some(obj) = wv.cache.as_ref().and_then(|c| c.try_fetch(affected)) {
+        wv.mv.refresh_delegate(&obj)?;
+        return Ok(true);
+    }
+    Ok(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::ReportLevel;
-    use crate::source::Source;
+    use crate::source::{ReportSource, Source};
     use gsdb::{samples, Update};
     use gsview_query::{CmpOp, Pred};
 
@@ -398,6 +830,44 @@ mod tests {
         pump(&src, &mut wh);
         let stats = wh.view_stats(oid("YP")).unwrap();
         assert_eq!(stats.screened_out, 2);
+        assert_eq!(wh.meter("persons").unwrap().queries(), 0);
+    }
+
+    #[test]
+    fn screened_reports_still_refresh_member_content() {
+        // Screening proves membership cannot change — not that a
+        // member's *value* cannot (§3.2). An off-path edge into a
+        // member set must still refresh the delegate copy, and from
+        // the report alone (no source queries).
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view(
+            "persons",
+            yp_def(),
+            ViewOptions {
+                label_screening: true,
+                ..ViewOptions::default()
+            },
+        )
+        .unwrap();
+        wh.meter("persons").unwrap().reset();
+
+        src.with_store(|s| s.create(gsdb::Object::atom("H1", "hobby", "go")))
+            .unwrap();
+        src.with_store(|s| {
+            s.drain_log();
+        });
+        src.apply(Update::insert("P1", "H1")).unwrap();
+        pump(&src, &mut wh);
+        let stats = wh.view_stats(oid("YP")).unwrap();
+        assert_eq!(stats.screened_out, 1, "hobby edge screened for an age view");
+        let mv = wh.view(oid("YP")).unwrap();
+        let delegate = mv.delegate_of(oid("P1")).unwrap();
+        assert!(
+            mv.delegate(delegate).unwrap().children().contains(&oid("H1")),
+            "member copy refreshed from the screened report"
+        );
         assert_eq!(wh.meter("persons").unwrap().queries(), 0);
     }
 
@@ -661,5 +1131,142 @@ mod tests {
             });
             assert_eq!(wh.view(oid("YP")).unwrap().members_base(), expected);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn dropped_report_is_detected_and_resync_heals() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view("persons", yp_def(), ViewOptions::default())
+            .unwrap();
+        src.apply(Update::modify("A1", 80i64)).unwrap(); // P1 leaves
+        src.apply(Update::delete("ROOT", "P2")).unwrap();
+        let reports = src.monitor().poll();
+        // Lose the first report: the view never hears that P1 left.
+        wh.handle_report(&reports[1]).unwrap();
+
+        assert_eq!(
+            wh.stale_views(),
+            vec![oid("YP")],
+            "seq 1 arriving where 0 was expected must flag the view"
+        );
+        let stats = wh.view_stats(oid("YP")).unwrap();
+        assert_eq!(stats.gaps_detected, 1);
+        assert_eq!(stats.skipped_while_stale, 1);
+        // Degraded mode: reads still served (possibly stale content).
+        assert!(wh.view(oid("YP")).is_some());
+        assert!(wh.view_state(oid("YP")).unwrap().is_stale());
+
+        // Self-healing.
+        let outcome = wh.resync_view(oid("YP")).unwrap();
+        assert!(outcome.healed);
+        assert_eq!(outcome.deleted, 1, "diff repair removed the member P1");
+        assert!(!outcome.escalated);
+        assert_eq!(wh.view_state(oid("YP")).unwrap(), ViewState::Consistent);
+        assert!(wh.view(oid("YP")).unwrap().is_empty());
+        assert_eq!(wh.view_stats(oid("YP")).unwrap().resyncs, 1);
+    }
+
+    #[test]
+    fn duplicate_reports_are_idempotent() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view("persons", yp_def(), ViewOptions::default())
+            .unwrap();
+        src.apply(Update::delete("ROOT", "P1")).unwrap();
+        let reports = src.monitor().poll();
+        wh.handle_report(&reports[0]).unwrap();
+        assert!(wh.view(oid("YP")).unwrap().is_empty());
+        // The network delivers the same report twice more.
+        wh.handle_report(&reports[0]).unwrap();
+        wh.handle_report(&reports[0]).unwrap();
+        let stats = wh.view_stats(oid("YP")).unwrap();
+        assert_eq!(stats.duplicates_dropped, 2);
+        assert!(wh.stale_views().is_empty(), "duplicates are not gaps");
+        assert!(wh.view(oid("YP")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reconcile_detects_tail_loss() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view("persons", yp_def(), ViewOptions::default())
+            .unwrap();
+        // The last report of the stream is dropped: no successor will
+        // ever reveal the gap.
+        src.apply(Update::modify("A1", 80i64)).unwrap();
+        let _lost = src.monitor().poll();
+        assert!(wh.stale_views().is_empty(), "stream watching sees nothing");
+
+        // The control-plane checkpoint does.
+        let gaps = wh.reconcile_checkpoints([src.monitor().checkpoint()]);
+        assert_eq!(gaps, 1);
+        assert_eq!(wh.stale_views(), vec![oid("YP")]);
+        let outcome = wh.resync_view(oid("YP")).unwrap();
+        assert!(outcome.healed);
+        assert!(wh.view(oid("YP")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resync_rebuilds_the_aux_cache() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view(
+            "persons",
+            yp_def(),
+            ViewOptions {
+                use_aux_cache: true,
+                ..ViewOptions::default()
+            },
+        )
+        .unwrap();
+        // Lose a report that changes the cached region.
+        src.apply(Update::modify("A1", 80i64)).unwrap();
+        src.apply(Update::modify("N1", "Jon")).unwrap();
+        let reports = src.monitor().poll();
+        wh.handle_report(&reports[1]).unwrap(); // seq 0 lost
+        assert!(wh.view_state(oid("YP")).unwrap().is_stale());
+
+        assert!(wh.resync_view(oid("YP")).unwrap().healed);
+        // The rebuilt cache must answer from post-gap state: further
+        // maintenance stays fully local and correct.
+        wh.meter("persons").unwrap().reset();
+        src.apply(Update::modify("A1", 40i64)).unwrap(); // P1 returns
+        pump(&src, &mut wh);
+        assert_eq!(wh.view(oid("YP")).unwrap().members_base(), vec![oid("P1")]);
+        assert_eq!(wh.meter("persons").unwrap().queries(), 0);
+    }
+
+    #[test]
+    fn batch_with_gap_goes_stale_then_heals() {
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.add_view("persons", yp_def(), ViewOptions::default())
+            .unwrap();
+        src.apply(Update::modify("A1", 80i64)).unwrap();
+        src.apply(Update::delete("ROOT", "P2")).unwrap();
+        src.apply(Update::modify("A1", 30i64)).unwrap();
+        let mut reports = src.monitor().poll();
+        let _ = reports.remove(1); // lose the middle report
+        let outcomes = wh.handle_batch(&reports).unwrap();
+        assert!(outcomes.is_empty(), "gapped batch must not maintain");
+        assert_eq!(wh.stale_views(), vec![oid("YP")]);
+        assert!(wh.resync_view(oid("YP")).unwrap().healed);
+        let expected = src.with_store(|s| {
+            gsview_core::recompute::recompute_members(
+                &yp_def(),
+                &mut gsview_core::LocalBase::new(s),
+            )
+        });
+        assert_eq!(wh.view(oid("YP")).unwrap().members_base(), expected);
     }
 }

@@ -1,0 +1,309 @@
+//! Chaos differential properties: the warehouse pipeline must recover
+//! from *any* seeded fault scenario.
+//!
+//! Each case builds a random tree database and a random update stream
+//! (the same generator family as `incremental_correctness.rs`), draws
+//! a random [`ChaosPolicy`] — report drops, duplicates, delays,
+//! reorders, mid-stream L3 → L1 downgrades, query faults — and runs
+//! the stream through the chaos harness at **all three report
+//! levels**. The harness itself asserts the end state: post-recovery
+//! membership equals the fault-free sequential run and the
+//! consistency checker is clean. On top of that, these properties pin
+//! the mechanism:
+//!
+//! * every report loss is *detected* (a gap or a tail-loss reconcile),
+//!   never silently absorbed;
+//! * a view that went `Stale` converges back to `Consistent` within
+//!   the resync budget (the harness panics otherwise);
+//! * duplicate deliveries are idempotent: dropped by the sequence
+//!   tracker before they touch the cache, with no resync needed.
+//!
+//! Failures print the proptest-shim replay seed; `CHAOS_SEED` (set by
+//! the CI chaos matrix) offsets every policy seed so each matrix leg
+//! explores a disjoint fault universe while staying replayable.
+
+use gsview::gsdb::{graph, Atom, Object, Oid, Store, StoreConfig, Update};
+use gsview::query::{CmpOp, Pred};
+use gsview::views::SimpleViewDef;
+use gsview::warehouse::chaos::{assert_recovers, ChaosPolicy, ChaosScenario};
+use gsview::warehouse::{ReportLevel, RetryPolicy, ViewOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LABELS: &[&str] = &["a", "b", "c"];
+const LEVELS: [ReportLevel; 3] = [
+    ReportLevel::OidsOnly,
+    ReportLevel::WithValues,
+    ReportLevel::WithPaths,
+];
+
+/// The CI chaos matrix sets `CHAOS_SEED` to give each leg a disjoint
+/// but replayable fault universe; locally it defaults to 0.
+fn chaos_seed_offset() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Blueprint for a random tree: for each non-root node, its parent
+/// index (into earlier nodes), label index, and atom flag/value.
+#[derive(Clone, Debug)]
+struct TreeSpec {
+    nodes: Vec<(usize, usize, bool, i64)>,
+}
+
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = TreeSpec> {
+    prop::collection::vec(
+        (any::<u32>(), 0..LABELS.len(), any::<bool>(), 0..100i64),
+        3..max_nodes,
+    )
+    .prop_map(|raw| TreeSpec {
+        nodes: raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, l, atom, v))| ((p as usize) % (i + 1), l, atom, v))
+            .collect(),
+    })
+}
+
+fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<(u8, u64)>> {
+    prop::collection::vec((0..3u8, any::<u64>()), 2..max_ops)
+}
+
+/// Build the tree into a plain store (the harness makes its own
+/// logging copy). Returns (store, root, set OIDs, atom OIDs).
+fn build(spec: &TreeSpec) -> (Store, Oid, Vec<Oid>, Vec<Oid>) {
+    let mut store = Store::with_config(StoreConfig::default());
+    let root = Oid::new("croot");
+    store.create(Object::empty_set(root.name(), "root")).unwrap();
+    let mut sets = vec![root];
+    let mut atoms = Vec::new();
+    let mut all = vec![root];
+    for (i, &(parent, label, is_atom, v)) in spec.nodes.iter().enumerate() {
+        let l = LABELS[label];
+        let oid = Oid::new(&format!("cn{i}"));
+        if is_atom {
+            store.create(Object::atom(oid.name(), l, v)).unwrap();
+            atoms.push(oid);
+        } else {
+            store.create(Object::empty_set(oid.name(), l)).unwrap();
+            sets.push(oid);
+        }
+        let mut p = all[parent];
+        if store.get(p).map(|o| !o.is_set()).unwrap_or(true) {
+            p = root;
+        }
+        store.insert_edge(p, oid).unwrap();
+        all.push(oid);
+    }
+    (store, root, sets, atoms)
+}
+
+/// Plan one op seed into valid updates against a shadow of the
+/// evolving state, so the stream exercises real maintenance instead of
+/// being skipped. The shadow advances as the plan is built.
+fn plan_stream(
+    shadow: &mut Store,
+    root: Oid,
+    sets: &[Oid],
+    atoms: &[Oid],
+    ops: &[(u8, u64)],
+) -> Vec<Update> {
+    let mut stream = Vec::new();
+    let mut fresh = 0usize;
+    for &(kind, seed) in ops {
+        let planned: Vec<Update> = match kind {
+            0 if !atoms.is_empty() => {
+                let a = atoms[(seed as usize) % atoms.len()];
+                vec![Update::Modify {
+                    oid: a,
+                    new: Atom::Int((seed % 100) as i64),
+                }]
+            }
+            1 => {
+                let candidates: Vec<(Oid, Oid)> = sets
+                    .iter()
+                    .filter_map(|&s| {
+                        let kids = shadow.get(s)?.children();
+                        if kids.is_empty() {
+                            None
+                        } else {
+                            Some((s, kids[(seed as usize) % kids.len()]))
+                        }
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let (p, c) = candidates[(seed as usize) % candidates.len()];
+                vec![Update::Delete { parent: p, child: c }]
+            }
+            _ => {
+                let reachable: Vec<Oid> = graph::reachable(shadow, root)
+                    .into_iter()
+                    .filter(|&o| shadow.get(o).map(|x| x.is_set()).unwrap_or(false))
+                    .collect();
+                if reachable.is_empty() {
+                    continue;
+                }
+                let target = reachable[(seed as usize) % reachable.len()];
+                let l = LABELS[(seed as usize / 7) % LABELS.len()];
+                let oid = Oid::new(&format!("cf{fresh}"));
+                fresh += 1;
+                vec![
+                    Update::Create {
+                        object: Object::atom(oid.name(), l, (seed % 100) as i64),
+                    },
+                    Update::Insert {
+                        parent: target,
+                        child: oid,
+                    },
+                ]
+            }
+        };
+        for u in planned {
+            if shadow.apply(u.clone()).is_ok() {
+                stream.push(u);
+            }
+        }
+    }
+    stream
+}
+
+/// A view definition over the random tree, picked by seed: single- and
+/// two-hop select paths, with and without a condition.
+fn view_def(seed: u64) -> SimpleViewDef {
+    match seed % 3 {
+        0 => SimpleViewDef::new("CV", "croot", "a").with_cond("b", Pred::new(CmpOp::Gt, 50i64)),
+        1 => SimpleViewDef::new("CV", "croot", "a.b"),
+        _ => SimpleViewDef::new("CV", "croot", "b").with_cond("c", Pred::new(CmpOp::Le, 30i64)),
+    }
+}
+
+/// Draw a full-spectrum fault model from one seed. Probabilities stay
+/// moderate so bounded retries/resyncs converge with overwhelming
+/// probability; determinism makes the residual risk replayable.
+fn random_policy(seed: u64) -> ChaosPolicy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = |max: f64| (rng.gen::<u64>() % 1000) as f64 / 1000.0 * max;
+    ChaosPolicy {
+        seed,
+        drop_prob: p(0.4),
+        dup_prob: p(0.3),
+        delay_prob: p(0.3),
+        reorder_prob: p(0.3),
+        downgrade_prob: p(0.5),
+        query_fail_prob: p(0.15),
+        query_timeout_prob: p(0.1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The headline property: any workload × any fault mix × every
+    /// report level recovers to the fault-free run, losses are always
+    /// detected, and staleness always converges.
+    #[test]
+    fn any_fault_mix_recovers_at_every_level(
+        spec in tree_strategy(14),
+        ops in ops_strategy(10),
+        seed in any::<u64>(),
+        cache in any::<bool>(),
+    ) {
+        let (initial, root, sets, atoms) = build(&spec);
+        let mut shadow = initial.clone();
+        let updates = plan_stream(&mut shadow, root, &sets, &atoms, &ops);
+        let def = view_def(seed);
+        let policy = random_policy(seed ^ chaos_seed_offset());
+        for level in LEVELS {
+            let sc = ChaosScenario {
+                level,
+                policy,
+                options: ViewOptions { use_aux_cache: cache, ..ViewOptions::default() },
+                poll_every: 1 + (seed as usize % 3),
+                ..ChaosScenario::default()
+            };
+            let report = assert_recovers(&def, &initial, &updates, &sc);
+            // Loss is never silent: a dropped report must surface as a
+            // detected gap (mid-stream or via checkpoint reconcile).
+            if report.monitor_stats.dropped > 0 {
+                prop_assert!(
+                    report.gaps_detected > 0,
+                    "{} reports dropped at {level} but no gap detected ({:?})",
+                    report.monitor_stats.dropped,
+                    report.monitor_stats
+                );
+            }
+            // And a detected gap always healed through resync: the
+            // harness already guarantees no view is left stale, so a
+            // gap implies at least one successful resync.
+            if report.gaps_detected > 0 {
+                prop_assert!(
+                    report.resyncs > 0,
+                    "gaps detected at {level} but view never resynced"
+                );
+            }
+            prop_assert!(report.resync_rounds <= sc.max_resync_rounds);
+        }
+    }
+
+    /// Duplicate deliveries are idempotent: with a duplicate-only
+    /// fault model the tracker drops every second copy before it
+    /// touches the view or cache — no gaps, no staleness, no resync.
+    #[test]
+    fn duplicates_are_idempotent(
+        spec in tree_strategy(14),
+        ops in ops_strategy(10),
+        seed in any::<u64>(),
+    ) {
+        let (initial, root, sets, atoms) = build(&spec);
+        let mut shadow = initial.clone();
+        let updates = plan_stream(&mut shadow, root, &sets, &atoms, &ops);
+        let def = view_def(seed);
+        let policy = ChaosPolicy {
+            dup_prob: 0.6,
+            ..ChaosPolicy::seeded(seed ^ chaos_seed_offset())
+        };
+        for level in LEVELS {
+            let sc = ChaosScenario { level, policy, ..ChaosScenario::default() };
+            let report = assert_recovers(&def, &initial, &updates, &sc);
+            prop_assert_eq!(
+                report.duplicates_dropped, report.monitor_stats.duplicated,
+                "every duplicate delivery must be dropped by the tracker at {}", level
+            );
+            prop_assert_eq!(report.gaps_detected, 0);
+            prop_assert_eq!(report.resyncs, 0, "duplicates must not force a resync");
+        }
+    }
+
+    /// Pure report loss at a fixed rate: the view always converges and
+    /// retries are never involved (queries are reliable here), which
+    /// isolates the seq-tracker + resync path from the retry path.
+    #[test]
+    fn pure_loss_heals_without_retries(
+        spec in tree_strategy(14),
+        ops in ops_strategy(10),
+        seed in any::<u64>(),
+    ) {
+        let (initial, root, sets, atoms) = build(&spec);
+        let mut shadow = initial.clone();
+        let updates = plan_stream(&mut shadow, root, &sets, &atoms, &ops);
+        let def = view_def(seed);
+        let sc = ChaosScenario {
+            policy: ChaosPolicy::lossy(seed ^ chaos_seed_offset(), 0.3),
+            retry: RetryPolicy::none(),
+            poll_every: 1,
+            ..ChaosScenario::default()
+        };
+        let report = assert_recovers(&def, &initial, &updates, &sc);
+        if report.monitor_stats.dropped > 0 {
+            prop_assert!(report.gaps_detected > 0);
+        }
+        prop_assert_eq!(report.dead_letters, 0, "reliable queries must never dead-letter");
+        prop_assert_eq!(report.backoff_ms, 0, "no retries means no backoff latency");
+    }
+}
