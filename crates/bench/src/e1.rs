@@ -63,7 +63,7 @@ pub fn measure(tuples: usize, ops: usize, seed: u64) -> E1Row {
     };
 
     // Incremental run.
-    let (mut store, mut db) = relations::generate(spec, Default::default()).expect("generate");
+    let (mut store, mut db) = relations::generate(spec, gsdb::StoreConfig::default().counting()).expect("generate");
     let script = relations_churn(&mut db, churn);
     let def = view_def();
     let maintainer = Maintainer::new(def.clone());
@@ -84,7 +84,7 @@ pub fn measure(tuples: usize, ops: usize, seed: u64) -> E1Row {
     let inc_accesses = store.accesses() as f64 / n_updates as f64;
 
     // Recomputation run (same stream, fresh database).
-    let (mut store, mut db) = relations::generate(spec, Default::default()).expect("generate");
+    let (mut store, mut db) = relations::generate(spec, gsdb::StoreConfig::default().counting()).expect("generate");
     let script = relations_churn(&mut db, churn);
     let mut mv = recompute::recompute(&def, &mut LocalBase::new(&store)).expect("init");
     store.reset_accesses();

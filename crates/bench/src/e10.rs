@@ -48,7 +48,7 @@ pub fn measure(tuples: usize) -> Vec<E10Row> {
         age_range: 60,
         seed: 77,
     };
-    let (store, _db) = relations::generate(spec, Default::default()).expect("generate");
+    let (store, _db) = relations::generate(spec, gsdb::StoreConfig::default().counting()).expect("generate");
     let d = def();
     let age = Path::parse("age");
     let mut rows = Vec::new();
@@ -72,6 +72,7 @@ pub fn measure(tuples: usize) -> Vec<E10Row> {
     // follows the base OIDs in the delegate's value.
     let mv = recompute::recompute(&d, &mut LocalBase::new(&store)).expect("materialize");
     store.reset_accesses();
+    mv.store().set_count_accesses(true);
     mv.store().reset_accesses();
     let mut ages = 0usize;
     for m in mv.members_base() {
@@ -97,6 +98,7 @@ pub fn measure(tuples: usize) -> Vec<E10Row> {
     // Partial depth 1: children copied; fully local.
     let pv = PartialView::materialize(d, 1, &mut LocalBase::new(&store)).expect("partial");
     store.reset_accesses();
+    pv.store().set_count_accesses(true);
     pv.store().reset_accesses();
     let mut ages = 0usize;
     for m in pv.members() {

@@ -56,7 +56,7 @@ pub fn measure(batch_size: usize, tuples: usize, ops: usize, cancel_fraction: f6
         age_range: 60,
         seed: 112,
     };
-    let (store, mut db) = relations::generate(spec, Default::default()).expect("generate");
+    let (store, mut db) = relations::generate(spec, gsdb::StoreConfig::default().counting()).expect("generate");
     let script = cancelling_churn(&mut db, churn, cancel_fraction, 3);
     let def = view_def();
 

@@ -75,6 +75,7 @@ pub fn measure(loss: f64, cached: bool, tuples: usize, ops: usize) -> E12Row {
             parent_index: true,
             label_index: true,
             log_updates: true,
+            ..gsdb::StoreConfig::default()
         },
     )
     .expect("generate");

@@ -30,14 +30,15 @@ fn no_index() -> StoreConfig {
     StoreConfig {
         parent_index: false,
         label_index: false,
-        log_updates: false,
+        ..StoreConfig::default()
     }
+    .counting()
 }
 
 /// Measure `ancestor(leaf, suffix)` on a chain of the given length.
 pub fn measure_chain(len: usize) -> E2Row {
     let suffix = Path::parse("c.v");
-    let (s_idx, _, atom, _) = tree::chain(len, StoreConfig::default()).expect("chain");
+    let (s_idx, _, atom, _) = tree::chain(len, StoreConfig::default().counting()).expect("chain");
     s_idx.reset_accesses();
     let a = path::ancestor(&s_idx, atom, &suffix);
     let with_index = s_idx.accesses();
@@ -60,7 +61,7 @@ pub fn measure_chain(len: usize) -> E2Row {
 pub fn measure_bushy(depth: usize) -> E2Row {
     let spec = tree::TreeSpec { depth, fanout: 8 };
     let suffix = Path::parse("leaf");
-    let (s_idx, db) = tree::generate(spec, StoreConfig::default()).expect("tree");
+    let (s_idx, db) = tree::generate(spec, StoreConfig::default().counting()).expect("tree");
     let target = *db.leaves.last().expect("leaves");
     s_idx.reset_accesses();
     let a = path::ancestor(&s_idx, target, &suffix);

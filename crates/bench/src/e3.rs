@@ -45,7 +45,7 @@ pub struct E3Row {
 /// `(store, edges, leaves)` where `edges` are all `(parent, child)`
 /// chain edges and `leaves` the value atoms.
 fn chain_forest(width: usize, depth: usize, seed: u64) -> (Store, Vec<(Oid, Oid)>, Vec<Oid>) {
-    let mut store = Store::new();
+    let mut store = Store::counting();
     let mut r = rng(seed);
     let mut heads = Vec::with_capacity(width);
     let mut edges = Vec::new();

@@ -57,6 +57,7 @@ pub fn measure(level: ReportLevel, screening: bool, tuples: usize, ops: usize) -
             parent_index: true,
             label_index: true,
             log_updates: true,
+            ..gsdb::StoreConfig::default()
         },
     )
     .expect("generate");

@@ -42,6 +42,7 @@ pub fn measure(stream: &'static str, churn: ChurnSpec, cached: bool, tuples: usi
             parent_index: true,
             label_index: true,
             log_updates: true,
+            ..gsdb::StoreConfig::default()
         },
     )
     .expect("generate");

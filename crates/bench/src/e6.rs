@@ -56,7 +56,7 @@ pub fn measure_simple(persons: usize, ops: usize) -> E6Row {
             persons,
             ..PersonSpec::default()
         },
-        Default::default(),
+        gsdb::StoreConfig::default().counting(),
     )
     .expect("generate");
     let updates = stream(&db, ops, 41);
@@ -88,7 +88,7 @@ pub fn measure_wildcard(persons: usize, ops: usize) -> E6Row {
             persons,
             ..PersonSpec::default()
         },
-        Default::default(),
+        gsdb::StoreConfig::default().counting(),
     )
     .expect("generate");
     let updates = stream(&db, ops, 41);
@@ -122,7 +122,7 @@ pub fn agreement_check(persons: usize) -> bool {
             persons,
             ..PersonSpec::default()
         },
-        Default::default(),
+        gsdb::StoreConfig::default().counting(),
     )
     .expect("generate");
     let sdef = SimpleViewDef::new("VJ", "DIR", "professor")

@@ -34,7 +34,7 @@ pub struct E7Row {
 /// Build `tuples` tuples where consecutive groups of `share` tuples
 /// point at one shared age atom.
 fn shared_relations(tuples: usize, share: usize, seed: u64) -> (Store, Vec<Oid>, Vec<Oid>) {
-    let mut store = Store::new();
+    let mut store = Store::counting();
     let mut r = rng(seed);
     let mut tuple_oids = Vec::with_capacity(tuples);
     let mut age_oids = Vec::new();

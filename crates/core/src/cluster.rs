@@ -37,7 +37,7 @@ impl ViewCluster {
             store: Store::with_config(StoreConfig {
                 parent_index: true,
                 label_index: false,
-                log_updates: false,
+                ..StoreConfig::default()
             }),
             views: Vec::new(),
             membership: HashMap::new(),

@@ -218,6 +218,16 @@ impl GeneralMaintainer {
             return false;
         };
         let nfa = self.def.full_expr().nfa();
+        if let Some(d) = nfa.dense() {
+            let mut mask = d.start_mask();
+            for &l in root_path.labels() {
+                mask = d.step_mask(mask, l);
+                if mask == 0 {
+                    return false;
+                }
+            }
+            return d.step_mask(mask, l2) != 0;
+        }
         let mut states = nfa.start();
         for &l in root_path.labels() {
             states = nfa.step(&states, l);
@@ -389,16 +399,25 @@ impl GeneralMaintainer {
 /// All label paths from `root` to `n` in a DAG (upward enumeration via
 /// the parent index). Bounded by `limit` paths as a safety valve.
 pub fn paths_from_root_all(store: &Store, root: Oid, n: Oid, limit: usize) -> Vec<Path> {
+    const NO_PREV: usize = usize::MAX;
     let mut out = Vec::new();
-    // Stack of (current node, labels collected bottom-up).
-    let mut stack: Vec<(Oid, Vec<gsdb::Label>)> = vec![(n, Vec::new())];
-    while let Some((cur, labels)) = stack.pop() {
+    // Arena of (edge label, predecessor chain index); the stack carries
+    // (current node, chain index). Label prefixes are reconstructed by
+    // walking the chain instead of cloning a Vec per parent.
+    let mut nodes: Vec<(gsdb::Label, usize)> = Vec::new();
+    let mut stack: Vec<(Oid, usize)> = vec![(n, NO_PREV)];
+    while let Some((cur, chain)) = stack.pop() {
         if out.len() >= limit {
             break;
         }
         if cur == root {
-            let mut ls = labels.clone();
-            ls.reverse();
+            // The chain runs top-down from root's child to `n`.
+            let mut ls = Vec::new();
+            let mut j = chain;
+            while j != NO_PREV {
+                ls.push(nodes[j].0);
+                j = nodes[j].1;
+            }
             out.push(Path(ls));
             continue;
         }
@@ -407,9 +426,8 @@ pub fn paths_from_root_all(store: &Store, root: Oid, n: Oid, limit: usize) -> Ve
             continue;
         };
         for p in parents.iter() {
-            let mut next = labels.clone();
-            next.push(l);
-            stack.push((p, next));
+            nodes.push((l, chain));
+            stack.push((p, nodes.len() - 1));
         }
     }
     out.sort_by_key(|p| p.to_string());

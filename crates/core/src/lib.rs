@@ -60,6 +60,7 @@ pub mod general;
 mod maintain;
 mod mview;
 pub mod oracle;
+pub mod parallel;
 pub mod partial;
 pub mod recompute;
 mod sink;
@@ -76,8 +77,10 @@ pub use general::{CompoundMaintainer, DagMaintainer, GeneralMaintainer};
 pub use maintain::{sweep_members, BatchOutcome, MaintPlan, Maintainer, Outcome};
 pub use mview::{MaterializedView, ViewDelta};
 pub use oracle::{
-    assert_equivalent, check_equivalence, diff_members, reference_members, OracleVerdict,
+    assert_equivalent, assert_parallel_equivalent, check_equivalence,
+    check_parallel_equivalence, diff_members, reference_members, OracleVerdict,
 };
+pub use parallel::{ParallelMaintainer, PartitionStats};
 pub use partial::PartialView;
 pub use sink::{MemberSet, ViewSink};
 pub use viewdef::{CompoundViewDef, GeneralCond, GeneralViewDef, SimpleCond, SimpleViewDef};

@@ -34,7 +34,7 @@ pub enum ViewDelta {
 /// A materialized view: the view object plus its delegates, stored in
 /// their own GSDB (so the view can live at a different site from the
 /// base data).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MaterializedView {
     view: Oid,
     store: Store,
@@ -51,7 +51,7 @@ impl MaterializedView {
         let mut store = Store::with_config(StoreConfig {
             parent_index: true,
             label_index: false,
-            log_updates: false,
+            ..StoreConfig::default()
         });
         store
             .create(Object {

@@ -144,6 +144,80 @@ pub fn check_equivalence(
     Ok(verdict)
 }
 
+/// Multi-view differential oracle: for every definition, the
+/// **parallel** route ([`ParallelMaintainer::apply_batch`] with
+/// `threads` workers over partitioned deltas) must agree with the
+/// per-view sequential route, the per-view batched route, and full
+/// recomputation. One [`OracleVerdict`] per definition, in order.
+///
+/// This is the soundness check for the partition rules: a delta
+/// wrongly screened away from a view shows up here as a divergence
+/// between the parallel route and the other three.
+pub fn check_parallel_equivalence(
+    defs: &[SimpleViewDef],
+    initial: &Store,
+    updates: &[Update],
+    threads: usize,
+) -> Result<Vec<OracleVerdict>> {
+    use crate::parallel::ParallelMaintainer;
+
+    // The parallel route's views, maintained in one fan-out at the end.
+    let mut par_views: Vec<crate::MaterializedView> = defs
+        .iter()
+        .map(|d| recompute(d, &mut LocalBase::new(initial)))
+        .collect::<Result<_>>()?;
+
+    // Drive the store forward once; collect the applied batch.
+    let mut store = initial.clone();
+    let mut batch = DeltaBatch::new();
+    for u in updates {
+        if let Ok(applied) = store.apply(u.clone()) {
+            batch.push(applied);
+        }
+    }
+    let pm = ParallelMaintainer::new(defs.to_vec());
+    pm.apply_batch(&mut par_views, &store, &batch, threads)?;
+
+    // Per-view: the three-route oracle plus the parallel comparison.
+    let mut verdicts = Vec::with_capacity(defs.len());
+    for (def, par_mv) in defs.iter().zip(&par_views) {
+        let mut v = check_equivalence(def, initial, updates)?;
+        let par = par_mv.members_base();
+        v.failures.extend(diff_members(
+            &format!("parallel({threads}) vs recompute for `{}`", def.view),
+            &par,
+            &v.members,
+        ));
+        for problem in consistency::check(def, &mut LocalBase::new(&store), par_mv) {
+            v.failures.push(format!("parallel({threads}): {problem}"));
+        }
+        verdicts.push(v);
+    }
+    Ok(verdicts)
+}
+
+/// [`check_parallel_equivalence`], panicking with full replay context
+/// on the first disagreement.
+pub fn assert_parallel_equivalent(
+    defs: &[SimpleViewDef],
+    initial: &Store,
+    updates: &[Update],
+    threads: usize,
+) {
+    let verdicts =
+        check_parallel_equivalence(defs, initial, updates, threads).expect("oracle run failed");
+    for (def, v) in defs.iter().zip(&verdicts) {
+        if !v.ok() {
+            let ops: Vec<String> = updates.iter().map(|u| u.to_string()).collect();
+            panic!(
+                "parallel maintenance diverged for `{def}` at {threads} threads\nupdates: [{}]\nfailures:\n  {}",
+                ops.join(", "),
+                v.failures.join("\n  ")
+            );
+        }
+    }
+}
+
 /// [`check_equivalence`], panicking with full context on disagreement.
 /// The panic message includes the definition and the update run so a
 /// failure can be replayed as a unit test.

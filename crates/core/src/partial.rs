@@ -45,7 +45,7 @@ impl PartialView {
         let mut store = Store::with_config(StoreConfig {
             parent_index: true,
             label_index: false,
-            log_updates: false,
+            ..StoreConfig::default()
         });
         store.create(Object {
             oid: view,

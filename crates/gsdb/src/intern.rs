@@ -12,54 +12,149 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
 
 /// A handle to an interned string. Two symbols are equal iff their
 /// underlying strings are equal.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(pub(crate) u64);
 
-struct Interner {
-    map: HashMap<&'static str, Symbol>,
-    strings: Vec<&'static str>,
-    /// For symbols created via [`intern_delegate`], the (view, base) pair
-    /// they were constructed from. Stored structurally so that delegate
-    /// OIDs can be split without parsing (base OIDs may themselves
-    /// contain the separator character).
-    delegates: HashMap<Symbol, (Symbol, Symbol)>,
+/// Symbols per chunk of the lock-free resolve table.
+const CHUNK: usize = 4096;
+/// Maximum chunks: caps the interner at 16M distinct symbols.
+const CHUNKS: usize = 4096;
+
+/// The resolve side of the interner: an append-only chunked table that
+/// readers traverse without any lock. A chunk pointer is published
+/// (Release) only after the slot it covers has been written, and the
+/// symbol itself is handed out only after its slot is filled, so an
+/// Acquire load of the chunk pointer by a reader holding a valid
+/// `Symbol` always observes the slot's string. `resolve` is on the hot
+/// path of every name comparison and sort — under multi-threaded view
+/// maintenance a lock here serializes the whole fan-out.
+struct ResolveTable {
+    chunks: [AtomicPtr<[&'static str; CHUNK]>; CHUNKS],
+    len: AtomicU64,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-            delegates: HashMap::new(),
-        })
+impl ResolveTable {
+    fn get(&self, idx: u64) -> Option<&'static str> {
+        if idx >= self.len.load(Ordering::Acquire) {
+            return None;
+        }
+        let chunk = self.chunks[(idx as usize) / CHUNK].load(Ordering::Acquire);
+        if chunk.is_null() {
+            return None;
+        }
+        // Safety: non-null chunk pointers are leaked boxes, never freed,
+        // and `idx < len` guarantees the slot was initialized before
+        // `len` was published.
+        Some(unsafe { (*chunk)[(idx as usize) % CHUNK] })
+    }
+
+    /// Append under the writer mutex (callers hold `interner()`'s map
+    /// lock, so appends never race each other).
+    fn push(&self, s: &'static str) -> u64 {
+        let idx = self.len.load(Ordering::Relaxed);
+        let (ci, co) = ((idx as usize) / CHUNK, (idx as usize) % CHUNK);
+        assert!(ci < CHUNKS, "interner capacity exhausted");
+        let mut chunk = self.chunks[ci].load(Ordering::Acquire);
+        if chunk.is_null() {
+            chunk = Box::into_raw(Box::new([""; CHUNK]));
+            self.chunks[ci].store(chunk, Ordering::Release);
+        }
+        // Safety: single writer (map mutex held); readers can't see the
+        // slot until `len` moves past it.
+        unsafe { (*chunk)[co] = s };
+        self.len.store(idx + 1, Ordering::Release);
+        idx
+    }
+}
+
+/// Shard count for the string→symbol map. Interning existing names is
+/// hot under parallel maintenance (every `Oid::new`); sharding keeps
+/// threads working on different names off each other's locks.
+const SHARDS: usize = 64;
+
+struct Interner {
+    /// String→symbol, sharded by a string hash. Read-mostly.
+    shards: [RwLock<HashMap<&'static str, Symbol>>; SHARDS],
+    /// Serializes appends to the resolve table (miss path only).
+    append: Mutex<()>,
+    table: ResolveTable,
+    /// Delegate symbol → its (view, base) pair.
+    delegate_parts: RwLock<HashMap<Symbol, (Symbol, Symbol)>>,
+    /// (view, base) → delegate symbol: lets repeat delegate
+    /// construction skip the format+intern entirely.
+    delegate_pairs: RwLock<HashMap<(Symbol, Symbol), Symbol>>,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        append: Mutex::new(()),
+        table: ResolveTable {
+            chunks: [const { AtomicPtr::new(std::ptr::null_mut()) }; CHUNKS],
+            len: AtomicU64::new(0),
+        },
+        delegate_parts: RwLock::new(HashMap::new()),
+        delegate_pairs: RwLock::new(HashMap::new()),
     })
+}
+
+fn shard_of(s: &str) -> usize {
+    // FNV-1a over the bytes; only the shard index needs it, the maps
+    // use their own hasher.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in s.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    (h as usize) % SHARDS
 }
 
 /// Intern `s`, returning its symbol. Idempotent.
 pub fn intern(s: &str) -> Symbol {
-    let mut g = interner().lock().expect("interner poisoned");
-    if let Some(&sym) = g.map.get(s) {
+    let it = interner();
+    let shard = &it.shards[shard_of(s)];
+    if let Some(&sym) = shard.read().expect("interner poisoned").get(s) {
+        return sym;
+    }
+    // Miss: serialize appends, re-check under the shard write lock.
+    let _append = it.append.lock().expect("interner poisoned");
+    let mut g = shard.write().expect("interner poisoned");
+    if let Some(&sym) = g.get(s) {
         return sym;
     }
     let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-    let sym = Symbol(g.strings.len() as u64);
-    g.strings.push(leaked);
-    g.map.insert(leaked, sym);
+    let sym = Symbol(it.table.push(leaked));
+    g.insert(leaked, sym);
     sym
 }
 
 /// Intern the *semantic OID* of a delegate: the concatenation
 /// `"<view>.<base>"` (paper §3.2), remembering the pair structurally.
 pub fn intern_delegate(view: Symbol, base: Symbol) -> Symbol {
+    let it = interner();
+    if let Some(&sym) = it
+        .delegate_pairs
+        .read()
+        .expect("delegate map poisoned")
+        .get(&(view, base))
+    {
+        return sym;
+    }
     let name = format!("{}.{}", resolve(view), resolve(base));
     let sym = intern(&name);
-    let mut g = interner().lock().expect("interner poisoned");
-    g.delegates.insert(sym, (view, base));
+    it.delegate_parts
+        .write()
+        .expect("delegate map poisoned")
+        .insert(sym, (view, base));
+    it.delegate_pairs
+        .write()
+        .expect("delegate map poisoned")
+        .insert((view, base), sym);
     sym
 }
 
@@ -67,21 +162,20 @@ pub fn intern_delegate(view: Symbol, base: Symbol) -> Symbol {
 /// `(view, base)` pair.
 pub fn delegate_parts(sym: Symbol) -> Option<(Symbol, Symbol)> {
     interner()
-        .lock()
-        .expect("interner poisoned")
-        .delegates
+        .delegate_parts
+        .read()
+        .expect("delegate map poisoned")
         .get(&sym)
         .copied()
 }
 
-/// Resolve a symbol back to its string.
+/// Resolve a symbol back to its string. Lock-free: reads the
+/// append-only chunk table directly, so concurrent maintenance threads
+/// sorting by name never contend.
 pub fn resolve(sym: Symbol) -> &'static str {
     interner()
-        .lock()
-        .expect("interner poisoned")
-        .strings
-        .get(sym.0 as usize)
-        .copied()
+        .table
+        .get(sym.0)
         .expect("symbol from a different interner generation")
 }
 

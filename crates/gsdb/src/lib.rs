@@ -43,6 +43,7 @@ pub mod database;
 pub mod delta;
 pub mod display;
 mod error;
+pub mod fxhash;
 pub mod gc;
 pub mod graph;
 mod intern;
@@ -52,6 +53,7 @@ mod object;
 mod oid;
 pub mod path;
 pub mod samples;
+pub mod smallset;
 pub mod snapshot;
 pub mod stats;
 mod store;
@@ -67,6 +69,8 @@ pub use oid::Oid;
 pub use path::Path;
 pub use snapshot::Snapshot;
 pub use stats::{stats, StoreStats};
-pub use store::{Store, StoreConfig};
+pub use fxhash::{FastMap, FastSet, FxBuildHasher, FxHasher};
+pub use smallset::SmallSet;
+pub use store::{SlotSet, Store, StoreConfig};
 pub use update::{AppliedUpdate, Update};
 pub use value::{Atom, OidSet, Value};

@@ -171,52 +171,72 @@ pub fn path_between(store: &Store, n1: Oid, n2: Oid) -> Option<Path> {
     }
 }
 
+/// Sentinel for "no predecessor" in the search arenas below.
+const NO_PREV: usize = usize::MAX;
+
 /// Upward variant: depth-first search over parent chains from `n2`
 /// toward `n1`, collecting labels. On a tree there is a single chain
 /// (same cost as a straight walk); on a DAG the search backtracks
 /// across parents, so a path is found whenever one exists — it never
 /// commits to an arbitrary parent and misses the other route.
+///
+/// Search nodes live in an arena of `(object, cached label, index of
+/// the node below it)`; the label prefix is reconstructed by walking
+/// the predecessor chain, instead of cloning a `Vec<Label>` per step.
 fn path_upward(store: &Store, n1: Oid, n2: Oid) -> Option<Path> {
-    // Stack of (node, labels collected bottom-up). A visited set keeps
-    // the search linear and cycle-safe; the first path found is
-    // returned (shortest-ish, since parents are explored breadth-last).
-    let mut stack: Vec<(Oid, Vec<Label>)> = vec![(n2, Vec::new())];
+    let mut nodes: Vec<(Oid, Option<Label>, usize)> = vec![(n2, None, NO_PREV)];
+    let mut stack: Vec<usize> = vec![0];
     let mut visited = HashSet::new();
     visited.insert(n2);
-    while let Some((cur, labels_rev)) = stack.pop() {
+    while let Some(i) = stack.pop() {
+        let cur = nodes[i].0;
         let Some(l) = store.label(cur) else { continue };
-        let mut next_labels = labels_rev.clone();
-        next_labels.push(l);
+        nodes[i].1 = Some(l);
         let parents = store.parents(cur).expect("parent index checked by caller");
         for p in parents.iter() {
             if p == n1 {
-                let mut labels = next_labels.clone();
-                labels.reverse();
+                // The chain i → … → n2 is already top-down order.
+                let mut labels = Vec::new();
+                let mut j = i;
+                while j != NO_PREV {
+                    labels.push(nodes[j].1.expect("chain labels cached on pop"));
+                    j = nodes[j].2;
+                }
                 return Some(Path(labels));
             }
             if visited.insert(p) {
-                stack.push((p, next_labels.clone()));
+                nodes.push((p, None, i));
+                stack.push(nodes.len() - 1);
             }
         }
     }
     None
 }
 
-/// Downward variant: DFS from `n1` for `n2` (no inverse index).
+/// Downward variant: DFS from `n1` for `n2` (no inverse index). The
+/// arena holds `(edge label into node, predecessor index)`; the prefix
+/// is reconstructed from the chain on success.
 fn path_by_search(store: &Store, n1: Oid, n2: Oid) -> Option<Path> {
-    let mut stack: Vec<(Oid, Vec<Label>)> = vec![(n1, Vec::new())];
+    let mut nodes: Vec<(Label, usize)> = Vec::new();
+    let mut stack: Vec<(Oid, usize)> = vec![(n1, NO_PREV)];
     let mut visited = HashSet::new();
     visited.insert(n1);
-    while let Some((o, labels)) = stack.pop() {
+    while let Some((o, prev)) = stack.pop() {
         for &c in store.children(o) {
             let Some(cl) = store.label(c) else { continue };
-            let mut next = labels.clone();
-            next.push(cl);
             if c == n2 {
-                return Some(Path(next));
+                let mut labels = vec![cl];
+                let mut j = prev;
+                while j != NO_PREV {
+                    labels.push(nodes[j].0);
+                    j = nodes[j].1;
+                }
+                labels.reverse();
+                return Some(Path(labels));
             }
             if visited.insert(c) {
-                stack.push((c, next));
+                nodes.push((cl, prev));
+                stack.push((c, nodes.len() - 1));
             }
         }
     }
@@ -392,7 +412,7 @@ mod tests {
         let mut s = Store::with_config(StoreConfig {
             parent_index: false,
             label_index: false,
-            log_updates: false,
+            ..StoreConfig::default()
         });
         s.create_all([
             Object::set("ROOT", "person", &[oid("p1")]),
@@ -461,7 +481,7 @@ mod tests {
         let mut s = Store::with_config(StoreConfig {
             parent_index: false,
             label_index: false,
-            log_updates: false,
+            ..StoreConfig::default()
         });
         s.create_all([
             Object::set("R", "r", &[oid("u1"), oid("u2")]),
@@ -478,12 +498,15 @@ mod tests {
     fn parent_index_makes_ancestor_cheaper() {
         // The E2 claim in miniature: upward walk touches far fewer
         // objects than whole-store search.
-        let mut with_idx = Store::new();
-        let mut without_idx = Store::with_config(StoreConfig {
-            parent_index: false,
-            label_index: false,
-            log_updates: false,
-        });
+        let mut with_idx = Store::counting();
+        let mut without_idx = Store::with_config(
+            StoreConfig {
+                parent_index: false,
+                label_index: false,
+                ..StoreConfig::default()
+            }
+            .counting(),
+        );
         for s in [&mut with_idx, &mut without_idx] {
             let mut children = Vec::new();
             for i in 0..100 {
@@ -506,5 +529,70 @@ mod tests {
             cheap * 10 < costly,
             "expected >10x gap, got {cheap} vs {costly}"
         );
+    }
+
+    /// Clone-per-step upward search — the seed realization, kept here
+    /// as the reference the arena-based reconstruction is checked
+    /// against.
+    fn reference_path_upward(store: &Store, n1: Oid, n2: Oid) -> Option<Path> {
+        if n1 == n2 {
+            return Some(Path::empty());
+        }
+        let mut stack: Vec<(Oid, Vec<Label>)> = vec![(n2, Vec::new())];
+        let mut visited = HashSet::new();
+        visited.insert(n2);
+        while let Some((cur, labels_rev)) = stack.pop() {
+            let Some(l) = store.label(cur) else { continue };
+            let mut next_labels = labels_rev.clone();
+            next_labels.push(l);
+            for p in store.parents(cur).unwrap().iter() {
+                if p == n1 {
+                    let mut labels = next_labels.clone();
+                    labels.reverse();
+                    return Some(Path(labels));
+                }
+                if visited.insert(p) {
+                    stack.push((p, next_labels.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn reconstruction_unchanged_on_sample_database() {
+        // §2 sample database: every ordered pair must give the same
+        // path under the index-based reconstruction as under the
+        // clone-per-step reference, and the indexed and traversal
+        // realizations must agree with each other.
+        let mut s = Store::new();
+        crate::samples::person_db(&mut s).unwrap();
+        let mut no_idx = Store::with_config(StoreConfig {
+            parent_index: false,
+            label_index: false,
+            ..StoreConfig::default()
+        });
+        crate::samples::person_db(&mut no_idx).unwrap();
+        let oids = s.oids_sorted();
+        for &a in &oids {
+            for &b in &oids {
+                let got = path_between(&s, a, b);
+                let reference = reference_path_upward(&s, a, b);
+                assert_eq!(
+                    got,
+                    reference,
+                    "path({}, {}) changed",
+                    a.name(),
+                    b.name()
+                );
+                assert_eq!(
+                    path_between(&no_idx, a, b),
+                    reference,
+                    "traversal path({}, {}) disagrees",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
     }
 }

@@ -6,6 +6,16 @@
 //! [`Store::apply`] so that an update log can feed source monitors
 //! (paper §5) and maintenance algorithms (paper §4).
 //!
+//! ## Arena layout
+//!
+//! Objects live in a dense slab (`Vec<Option<Object>>`) addressed by a
+//! `u32` **slot id**; the `Oid → slot` map exists only at the API
+//! boundary, so the traversal hot path pays one fast-hash lookup per
+//! OID and then works with slab offsets. Removed slots go on a free
+//! list and are reused by later creates — object identity is the OID,
+//! so slot reuse never changes what callers observe, and GC /
+//! snapshot-restore round-trips keep `Oid → value` mappings stable.
+//!
 //! Two optional indexes accelerate the functions Algorithm 1 relies on:
 //!
 //! * the **parent index** — the paper's "inverse index such that from
@@ -14,15 +24,23 @@
 //!   the root;
 //! * the **label index** — label → objects, used by query planning.
 //!
-//! Every object read increments an access counter, giving experiments a
+//! Both indexes store **slot ids** in sorted inline small-sets
+//! ([`SmallSet`]), keyed by child OID (so replica stores may hold
+//! dangling child references) and by label respectively.
+//!
+//! Object reads can increment an access counter, giving experiments a
 //! machine-independent measure of "access to base data" — the cost the
-//! paper's §4.4 discussion is about.
+//! paper's §4.4 discussion is about. Counting is off by default
+//! (production reads skip even the counter bump); experiment harnesses
+//! opt in with [`StoreConfig::count_accesses`].
 
+use crate::fxhash::FastMap;
+use crate::smallset::SmallSet;
 use crate::{
-    AppliedUpdate, Atom, GsdbError, Label, Object, Oid, OidSet, Result, Update, Value,
+    AppliedUpdate, Atom, GsdbError, Label, Object, Oid, Result, Update, Value,
 };
-use std::cell::Cell;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Store configuration.
 #[derive(Clone, Copy, Debug)]
@@ -33,6 +51,9 @@ pub struct StoreConfig {
     pub label_index: bool,
     /// Record applied updates in the update log.
     pub log_updates: bool,
+    /// Count object reads (experiment instrumentation, paper §4.4).
+    /// Off by default so production reads pay nothing.
+    pub count_accesses: bool,
 }
 
 impl Default for StoreConfig {
@@ -41,58 +62,235 @@ impl Default for StoreConfig {
             parent_index: true,
             label_index: true,
             log_updates: false,
+            count_accesses: false,
         }
     }
 }
 
+impl StoreConfig {
+    /// This configuration with access counting enabled.
+    pub fn counting(mut self) -> Self {
+        self.count_accesses = true;
+        self
+    }
+}
+
+/// A borrowed set of objects from a store index (parent or label
+/// index). Holds slot ids internally; iteration and membership work in
+/// terms of [`Oid`]s, like the `OidSet` the seed layout returned.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotSet<'a> {
+    store: &'a Store,
+    slots: &'a [u32],
+}
+
+impl<'a> SlotSet<'a> {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff no members.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Membership test (binary search over sorted slot ids).
+    pub fn contains(&self, oid: Oid) -> bool {
+        match self.store.slot_of(oid) {
+            Some(s) => self.slots.binary_search(&s).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Iterate members as OIDs (ascending slot order).
+    pub fn iter(&self) -> impl Iterator<Item = Oid> + 'a {
+        let store = self.store;
+        self.slots.iter().map(move |&s| {
+            store.slots[s as usize]
+                .as_ref()
+                .expect("index references live slot")
+                .oid
+        })
+    }
+
+    /// The raw slot ids (sorted ascending).
+    pub fn slots(&self) -> &'a [u32] {
+        self.slots
+    }
+}
+
 /// An in-memory GSDB object store.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug)]
 pub struct Store {
-    objects: HashMap<Oid, Object>,
-    parent_index: Option<HashMap<Oid, OidSet>>,
-    label_index: Option<HashMap<Label, OidSet>>,
+    /// The slab. `None` entries are free slots awaiting reuse.
+    slots: Vec<Option<Object>>,
+    /// OID → slot, the only full-key hash on the read path.
+    slot_of: FastMap<Oid, u32>,
+    /// Free slots, reused LIFO by `Create`.
+    free: Vec<u32>,
+    /// child OID → sorted parent slots. Keyed by OID (not slot) so
+    /// replica stores may index edges to children they don't hold.
+    parent_index: Option<FastMap<Oid, SmallSet>>,
+    /// label → sorted member slots.
+    label_index: Option<FastMap<Label, SmallSet>>,
     log: Vec<AppliedUpdate>,
     log_enabled: bool,
-    accesses: Cell<u64>,
+    count_accesses: AtomicBool,
+    accesses: AtomicU64,
+    /// Cached result of `oids_sorted`, invalidated on create/remove.
+    sorted_cache: RwLock<Option<Vec<Oid>>>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store {
+            slots: Vec::new(),
+            slot_of: FastMap::default(),
+            free: Vec::new(),
+            parent_index: None,
+            label_index: None,
+            log: Vec::new(),
+            log_enabled: false,
+            count_accesses: AtomicBool::new(false),
+            accesses: AtomicU64::new(0),
+            sorted_cache: RwLock::new(None),
+        }
+    }
+}
+
+impl Clone for Store {
+    fn clone(&self) -> Self {
+        Store {
+            slots: self.slots.clone(),
+            slot_of: self.slot_of.clone(),
+            free: self.free.clone(),
+            parent_index: self.parent_index.clone(),
+            label_index: self.label_index.clone(),
+            log: self.log.clone(),
+            log_enabled: self.log_enabled,
+            count_accesses: AtomicBool::new(self.count_accesses.load(Ordering::Relaxed)),
+            accesses: AtomicU64::new(self.accesses.load(Ordering::Relaxed)),
+            sorted_cache: RwLock::new(self.sorted_cache.read().unwrap().clone()),
+        }
+    }
 }
 
 impl Store {
-    /// A store with the default configuration (both indexes, no log).
+    /// A store with the default configuration (both indexes, no log,
+    /// no access counting).
     pub fn new() -> Self {
         Self::with_config(StoreConfig::default())
+    }
+
+    /// A store with the default configuration plus access counting —
+    /// the experiment-harness constructor.
+    pub fn counting() -> Self {
+        Self::with_config(StoreConfig::default().counting())
     }
 
     /// A store with explicit configuration.
     pub fn with_config(cfg: StoreConfig) -> Self {
         Store {
-            objects: HashMap::new(),
-            parent_index: cfg.parent_index.then(HashMap::new),
-            label_index: cfg.label_index.then(HashMap::new),
-            log: Vec::new(),
+            parent_index: cfg.parent_index.then(FastMap::default),
+            label_index: cfg.label_index.then(FastMap::default),
             log_enabled: cfg.log_updates,
-            accesses: Cell::new(0),
+            count_accesses: AtomicBool::new(cfg.count_accesses),
+            ..Store::default()
+        }
+    }
+
+    /// Pre-size the slab and maps for `additional` more objects.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional.saturating_sub(self.free.len()));
+        self.slot_of.reserve(additional);
+        if let Some(idx) = self.parent_index.as_mut() {
+            idx.reserve(additional);
         }
     }
 
     /// Number of objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.slot_of.len()
     }
 
     /// True iff no objects.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.slot_of.is_empty()
     }
 
     /// True iff an object with this OID exists.
     pub fn contains(&self, oid: Oid) -> bool {
-        self.objects.contains_key(&oid)
+        self.slot_of.contains_key(&oid)
     }
+
+    #[inline]
+    fn bump(&self) {
+        if self.count_accesses.load(Ordering::Relaxed) {
+            self.accesses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Slot addressing
+    // ------------------------------------------------------------------
+
+    /// Slot id of an OID, if the object exists. Does not count an
+    /// access — pair with [`Store::object_at`] / [`Store::children_at`]
+    /// which do.
+    #[inline]
+    pub fn slot_of(&self, oid: Oid) -> Option<u32> {
+        self.slot_of.get(&oid).copied()
+    }
+
+    /// The object in a slot (counts the access). `None` for free slots.
+    #[inline]
+    pub fn object_at(&self, slot: u32) -> Option<&Object> {
+        self.bump();
+        self.slots.get(slot as usize).and_then(|s| s.as_ref())
+    }
+
+    /// OID of the object in a slot. Does not count an access.
+    #[inline]
+    pub fn oid_at(&self, slot: u32) -> Option<Oid> {
+        self.slots.get(slot as usize).and_then(|s| s.as_ref()).map(|o| o.oid)
+    }
+
+    /// Children of the object in a slot (counts the access, like
+    /// [`Store::children`]). Empty for atomic or free slots.
+    #[inline]
+    pub fn children_at(&self, slot: u32) -> &[Oid] {
+        self.bump();
+        self.slots
+            .get(slot as usize)
+            .and_then(|s| s.as_ref())
+            .map(|o| o.children())
+            .unwrap_or(&[])
+    }
+
+    /// Label of the object in a slot (counts the access, like
+    /// [`Store::label`]).
+    #[inline]
+    pub fn label_at(&self, slot: u32) -> Option<Label> {
+        self.bump();
+        self.slots.get(slot as usize).and_then(|s| s.as_ref()).map(|o| o.label)
+    }
+
+    /// Upper bound (exclusive) on slot ids currently in use; free slots
+    /// below this bound exist. Sizes per-slot scratch tables.
+    pub fn slot_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    // ------------------------------------------------------------------
+    // OID-keyed reads
+    // ------------------------------------------------------------------
 
     /// Look up an object, counting the access.
     pub fn get(&self, oid: Oid) -> Option<&Object> {
-        self.accesses.set(self.accesses.get() + 1);
-        self.objects.get(&oid)
+        self.bump();
+        let slot = *self.slot_of.get(&oid)?;
+        self.slots[slot as usize].as_ref()
     }
 
     /// Look up an object or fail.
@@ -107,9 +305,10 @@ impl Store {
 
     /// Children of a set object (empty slice for atomic or missing).
     pub fn children(&self, oid: Oid) -> &[Oid] {
-        self.accesses.set(self.accesses.get() + 1);
-        self.objects
+        self.bump();
+        self.slot_of
             .get(&oid)
+            .and_then(|&s| self.slots[s as usize].as_ref())
             .map(|o| o.children())
             .unwrap_or(&[])
     }
@@ -119,16 +318,25 @@ impl Store {
         self.get(oid).and_then(|o| o.atom_value())
     }
 
-    /// Iterate all objects (order unspecified). Does not count accesses.
+    /// Iterate all objects (slot order). Does not count accesses.
     pub fn iter(&self) -> impl Iterator<Item = &Object> {
-        self.objects.values()
+        self.slots.iter().filter_map(|s| s.as_ref())
     }
 
-    /// All OIDs, sorted by name (deterministic).
+    /// All OIDs, sorted by name (deterministic). Cached between calls;
+    /// creates and removes invalidate the cache.
     pub fn oids_sorted(&self) -> Vec<Oid> {
-        let mut v: Vec<Oid> = self.objects.keys().copied().collect();
+        if let Some(v) = self.sorted_cache.read().unwrap().as_ref() {
+            return v.clone();
+        }
+        let mut v: Vec<Oid> = self.slot_of.keys().copied().collect();
         v.sort_by_key(|o| o.name());
+        *self.sorted_cache.write().unwrap() = Some(v.clone());
         v
+    }
+
+    fn invalidate_sorted(&mut self) {
+        *self.sorted_cache.get_mut().unwrap() = None;
     }
 
     // ------------------------------------------------------------------
@@ -137,13 +345,26 @@ impl Store {
 
     /// Number of object reads since construction / last reset. This is
     /// the "access to base data" cost the paper's §4.4 analysis uses.
+    /// Always 0 unless [`StoreConfig::count_accesses`] was set.
     pub fn accesses(&self) -> u64 {
-        self.accesses.get()
+        self.accesses.load(Ordering::Relaxed)
     }
 
     /// Reset the access counter.
     pub fn reset_accesses(&self) {
-        self.accesses.set(0);
+        self.accesses.store(0, Ordering::Relaxed);
+    }
+
+    /// True iff reads are counted.
+    pub fn counts_accesses(&self) -> bool {
+        self.count_accesses.load(Ordering::Relaxed)
+    }
+
+    /// Turn access counting on or off after construction. Experiment
+    /// harnesses use this to instrument stores they don't build
+    /// themselves (e.g. a view's internal store).
+    pub fn set_count_accesses(&self, on: bool) {
+        self.count_accesses.store(on, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------
@@ -158,22 +379,20 @@ impl Store {
     /// Parents of an object, from the inverse index. `None` if the index
     /// is disabled (callers must then traverse — exactly the trade-off
     /// of paper §4.4).
-    pub fn parents(&self, oid: Oid) -> Option<&OidSet> {
-        self.accesses.set(self.accesses.get() + 1);
-        self.parent_index.as_ref().map(|idx| {
-            static EMPTY: std::sync::OnceLock<OidSet> = std::sync::OnceLock::new();
-            idx.get(&oid)
-                .unwrap_or_else(|| EMPTY.get_or_init(OidSet::new))
+    pub fn parents(&self, oid: Oid) -> Option<SlotSet<'_>> {
+        self.bump();
+        self.parent_index.as_ref().map(|idx| SlotSet {
+            store: self,
+            slots: idx.get(&oid).map(|s| s.as_slice()).unwrap_or(&[]),
         })
     }
 
     /// Objects with a given label, from the label index. `None` if the
     /// index is disabled.
-    pub fn with_label(&self, label: Label) -> Option<&OidSet> {
-        self.label_index.as_ref().map(|idx| {
-            static EMPTY: std::sync::OnceLock<OidSet> = std::sync::OnceLock::new();
-            idx.get(&label)
-                .unwrap_or_else(|| EMPTY.get_or_init(OidSet::new))
+    pub fn with_label(&self, label: Label) -> Option<SlotSet<'_>> {
+        self.label_index.as_ref().map(|idx| SlotSet {
+            store: self,
+            slots: idx.get(&label).map(|s| s.as_slice()).unwrap_or(&[]),
         })
     }
 
@@ -212,14 +431,15 @@ impl Store {
     /// arrives with unknown children. Not logged — this is replica
     /// bookkeeping, not a base update.
     pub fn insert_edge_unchecked(&mut self, parent: Oid, child: Oid) -> Result<()> {
-        let pobj = self
-            .objects
-            .get_mut(&parent)
+        let pslot = *self
+            .slot_of
+            .get(&parent)
             .ok_or(GsdbError::NoSuchObject(parent))?;
+        let pobj = self.slots[pslot as usize].as_mut().unwrap();
         let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
         set.insert(child);
         if let Some(idx) = self.parent_index.as_mut() {
-            idx.entry(child).or_default().insert(parent);
+            idx.entry(child).or_default().insert(pslot);
         }
         Ok(())
     }
@@ -238,41 +458,44 @@ impl Store {
     pub fn apply(&mut self, update: Update) -> Result<AppliedUpdate> {
         let applied = match update {
             Update::Insert { parent, child } => {
-                if !self.objects.contains_key(&child) {
+                if !self.slot_of.contains_key(&child) {
                     return Err(GsdbError::NoSuchObject(child));
                 }
-                let pobj = self
-                    .objects
-                    .get_mut(&parent)
+                let pslot = *self
+                    .slot_of
+                    .get(&parent)
                     .ok_or(GsdbError::NoSuchObject(parent))?;
+                let pobj = self.slots[pslot as usize].as_mut().unwrap();
                 let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
                 set.insert(child);
                 if let Some(idx) = self.parent_index.as_mut() {
-                    idx.entry(child).or_default().insert(parent);
+                    idx.entry(child).or_default().insert(pslot);
                 }
                 AppliedUpdate::Insert { parent, child }
             }
             Update::Delete { parent, child } => {
-                let pobj = self
-                    .objects
-                    .get_mut(&parent)
+                let pslot = *self
+                    .slot_of
+                    .get(&parent)
                     .ok_or(GsdbError::NoSuchObject(parent))?;
+                let pobj = self.slots[pslot as usize].as_mut().unwrap();
                 let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
                 if !set.remove(child) {
                     return Err(GsdbError::NotAChild { parent, child });
                 }
                 if let Some(idx) = self.parent_index.as_mut() {
                     if let Some(ps) = idx.get_mut(&child) {
-                        ps.remove(parent);
+                        ps.remove(pslot);
                     }
                 }
                 AppliedUpdate::Delete { parent, child }
             }
             Update::Modify { oid, new } => {
-                let obj = self
-                    .objects
-                    .get_mut(&oid)
+                let slot = *self
+                    .slot_of
+                    .get(&oid)
                     .ok_or(GsdbError::NoSuchObject(oid))?;
+                let obj = self.slots[slot as usize].as_mut().unwrap();
                 let old = match &mut obj.value {
                     Value::Atom(a) => std::mem::replace(a, new.clone()),
                     Value::Set(_) => return Err(GsdbError::NotAtomic(oid)),
@@ -280,41 +503,55 @@ impl Store {
                 AppliedUpdate::Modify { oid, old, new }
             }
             Update::Create { object } => {
-                if self.objects.contains_key(&object.oid) {
+                if self.slot_of.contains_key(&object.oid) {
                     return Err(GsdbError::DuplicateOid(object.oid));
                 }
                 let oid = object.oid;
+                // Reuse a freed slot if one exists; identity is the
+                // OID, so reuse is invisible to callers.
+                let slot = match self.free.pop() {
+                    Some(s) => s,
+                    None => {
+                        self.slots.push(None);
+                        (self.slots.len() - 1) as u32
+                    }
+                };
                 if let Some(idx) = self.label_index.as_mut() {
-                    idx.entry(object.label).or_default().insert(oid);
+                    idx.entry(object.label).or_default().insert(slot);
                 }
                 if let Some(idx) = self.parent_index.as_mut() {
                     // A created object may arrive with children already in
                     // its set value; index those edges.
                     for c in object.children() {
-                        idx.entry(*c).or_default().insert(oid);
+                        idx.entry(*c).or_default().insert(slot);
                     }
                 }
-                self.objects.insert(oid, object);
+                self.slots[slot as usize] = Some(object);
+                self.slot_of.insert(oid, slot);
+                self.invalidate_sorted();
                 AppliedUpdate::Create { oid }
             }
             Update::Remove { oid } => {
-                let obj = self
-                    .objects
+                let slot = self
+                    .slot_of
                     .remove(&oid)
                     .ok_or(GsdbError::NoSuchObject(oid))?;
+                let obj = self.slots[slot as usize].take().unwrap();
+                self.free.push(slot);
                 if let Some(idx) = self.label_index.as_mut() {
                     if let Some(s) = idx.get_mut(&obj.label) {
-                        s.remove(oid);
+                        s.remove(slot);
                     }
                 }
                 if let Some(idx) = self.parent_index.as_mut() {
                     for c in obj.children() {
                         if let Some(ps) = idx.get_mut(c) {
-                            ps.remove(oid);
+                            ps.remove(slot);
                         }
                     }
                     idx.remove(&oid);
                 }
+                self.invalidate_sorted();
                 AppliedUpdate::Remove { oid }
             }
         };
@@ -379,6 +616,84 @@ impl Store {
         })?;
         Ok(fresh_oid)
     }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests / proptests)
+    // ------------------------------------------------------------------
+
+    /// Check the arena + index invariants. Used by property tests to
+    /// verify free-list reuse never corrupts the store.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let live = self.slots.iter().filter(|s| s.is_some()).count();
+        if live != self.slot_of.len() {
+            return Err(format!(
+                "live slots {} != slot_of entries {}",
+                live,
+                self.slot_of.len()
+            ));
+        }
+        for (oid, &slot) in &self.slot_of {
+            match self.slots.get(slot as usize).and_then(|s| s.as_ref()) {
+                Some(o) if o.oid == *oid => {}
+                _ => return Err(format!("slot_of[{}] -> dead or mismatched slot", oid.name())),
+            }
+        }
+        for &f in &self.free {
+            if self.slots.get(f as usize).map(|s| s.is_some()).unwrap_or(true) {
+                return Err(format!("free slot {f} is live or out of bounds"));
+            }
+        }
+        if let Some(idx) = self.label_index.as_ref() {
+            for (label, set) in idx {
+                for slot in set.iter() {
+                    match self.slots.get(slot as usize).and_then(|s| s.as_ref()) {
+                        Some(o) if o.label == *label => {}
+                        _ => {
+                            return Err(format!(
+                                "label index [{}] references slot {slot} without that label",
+                                label.as_str()
+                            ))
+                        }
+                    }
+                }
+            }
+            for obj in self.iter() {
+                let slot = self.slot_of[&obj.oid];
+                if !idx.get(&obj.label).map(|s| s.contains(slot)).unwrap_or(false) {
+                    return Err(format!("label index missing {}", obj.oid.name()));
+                }
+            }
+        }
+        if let Some(idx) = self.parent_index.as_ref() {
+            for (child, set) in idx {
+                for pslot in set.iter() {
+                    match self.slots.get(pslot as usize).and_then(|s| s.as_ref()) {
+                        Some(p) if p.children().contains(child) => {}
+                        _ => {
+                            return Err(format!(
+                                "parent index [{}] references slot {pslot} lacking that edge",
+                                child.name()
+                            ))
+                        }
+                    }
+                }
+            }
+            for obj in self.iter() {
+                let slot = self.slot_of[&obj.oid];
+                for c in obj.children() {
+                    if !idx.get(c).map(|s| s.contains(slot)).unwrap_or(false) {
+                        return Err(format!(
+                            "parent index missing edge {} -> {}",
+                            obj.oid.name(),
+                            c.name()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -390,7 +705,7 @@ mod tests {
     }
 
     fn tiny_store() -> Store {
-        let mut s = Store::new();
+        let mut s = Store::counting();
         s.create_all([
             Object::set("ROOT", "person", &[oid("P1")]),
             Object::set("P1", "professor", &[oid("A1")]),
@@ -509,7 +824,7 @@ mod tests {
         let s = Store::with_config(StoreConfig {
             parent_index: false,
             label_index: false,
-            log_updates: false,
+            ..StoreConfig::default()
         });
         assert!(s.parents(oid("X")).is_none());
         assert!(s.with_label(Label::new("y")).is_none());
@@ -525,6 +840,14 @@ mod tests {
         assert_eq!(s.accesses(), 2);
         s.reset_accesses();
         assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn counting_disabled_by_default() {
+        let s = Store::new();
+        let _ = s.get(oid("anything"));
+        assert_eq!(s.accesses(), 0);
+        assert!(!s.counts_accesses());
     }
 
     #[test]
@@ -553,5 +876,59 @@ mod tests {
         s.create(Object::atom("c1", "x", 1i64)).unwrap();
         s.create(Object::set("p", "parent", &[oid("c1")])).unwrap();
         assert!(s.parents(oid("c1")).unwrap().contains(oid("p")));
+    }
+
+    #[test]
+    fn freed_slots_are_reused_and_oids_stay_stable() {
+        let mut s = Store::new();
+        s.create(Object::atom("A", "x", 1i64)).unwrap();
+        s.create(Object::atom("B", "x", 2i64)).unwrap();
+        let b_slot = s.slot_of(oid("B")).unwrap();
+        s.apply(Update::Remove { oid: oid("B") }).unwrap();
+        s.create(Object::atom("C", "y", 3i64)).unwrap();
+        // C takes B's slot, but lookups by OID are unaffected.
+        assert_eq!(s.slot_of(oid("C")), Some(b_slot));
+        assert!(s.slot_of(oid("B")).is_none());
+        assert_eq!(s.atom(oid("A")), Some(&Atom::Int(1)));
+        assert_eq!(s.atom(oid("C")), Some(&Atom::Int(3)));
+        assert_eq!(s.slot_bound(), 2);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn slot_reuse_does_not_alias_label_index() {
+        let mut s = Store::new();
+        s.create(Object::atom("A", "old", 1i64)).unwrap();
+        s.apply(Update::Remove { oid: oid("A") }).unwrap();
+        s.create(Object::atom("B", "new", 2i64)).unwrap();
+        // B reused A's slot; the "old" label set must not claim it.
+        assert!(s.with_label(Label::new("old")).unwrap().is_empty());
+        assert!(s.with_label(Label::new("new")).unwrap().contains(oid("B")));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn oids_sorted_cache_invalidation() {
+        let mut s = tiny_store();
+        let before = s.oids_sorted();
+        assert_eq!(before, s.oids_sorted()); // cached path
+        s.create(Object::atom("A0", "age", 1i64)).unwrap();
+        let after = s.oids_sorted();
+        assert_eq!(after.len(), before.len() + 1);
+        assert!(after.contains(&oid("A0")));
+        s.apply(Update::Remove { oid: oid("A0") }).unwrap();
+        assert_eq!(s.oids_sorted(), before);
+    }
+
+    #[test]
+    fn reserve_is_usable_and_harmless() {
+        let mut s = Store::new();
+        s.reserve(1000);
+        for i in 0..100 {
+            s.create(Object::atom(format!("o{i}").as_str(), "x", i as i64))
+                .unwrap();
+        }
+        assert_eq!(s.len(), 100);
+        s.check_invariants().unwrap();
     }
 }

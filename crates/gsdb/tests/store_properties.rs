@@ -2,9 +2,9 @@
 //! against `std::collections::HashSet`, store update/rollback
 //! round-trips, and notation/snapshot round-trips over random trees.
 
-use gsdb::{notation, txn, Object, Oid, OidSet, Snapshot, Store, StoreConfig, Update};
+use gsdb::{gc, notation, txn, Object, Oid, OidSet, Snapshot, Store, StoreConfig, Update};
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 fn oid_pool() -> Vec<Oid> {
     (0..12).map(|i| Oid::new(&format!("sp{i}"))).collect()
@@ -86,5 +86,88 @@ proptest! {
         let snap = Snapshot::capture(&store);
         let restored = snap.restore(StoreConfig::default()).unwrap();
         prop_assert_eq!(snap, Snapshot::capture(&restored));
+    }
+
+    /// OIDs are stable identities under the arena's slot reuse: any
+    /// interleaving of creates, attaches/detaches, removes, GC runs,
+    /// and snapshot round-trips keeps every surviving OID resolving to
+    /// its own value — never to whatever object later reused its slot
+    /// — and keeps the internal slab/index invariants intact.
+    #[test]
+    fn oids_stay_stable_under_interleaved_reuse(
+        ops in prop::collection::vec((0..7u8, 0..16usize, 0..100i64), 1..120),
+        salt in 0u32..1_000_000,
+    ) {
+        let mut store = Store::new();
+        let root = Oid::new(&format!("os{salt}root"));
+        store.create(Object::empty_set(root.name(), "r")).unwrap();
+
+        // The model: every live atom's expected value, plus whether it
+        // currently hangs off the root (GC keeps only those).
+        let mut values: HashMap<Oid, i64> = HashMap::new();
+        let mut attached: Vec<Oid> = Vec::new();
+        let mut detached: Vec<Oid> = Vec::new();
+        let mut fresh = 0usize;
+
+        for (kind, idx, v) in ops {
+            match kind {
+                0 => {
+                    // Create a new detached atom (reuses freed slots).
+                    let o = Oid::new(&format!("os{salt}a{fresh}"));
+                    fresh += 1;
+                    store.create(Object::atom(o.name(), "leaf", v)).unwrap();
+                    values.insert(o, v);
+                    detached.push(o);
+                }
+                1 if !detached.is_empty() => {
+                    let o = detached.swap_remove(idx % detached.len());
+                    store.insert_edge(root, o).unwrap();
+                    attached.push(o);
+                }
+                2 if !attached.is_empty() => {
+                    let o = attached.swap_remove(idx % attached.len());
+                    store.delete_edge(root, o).unwrap();
+                    detached.push(o);
+                }
+                3 if !values.is_empty() => {
+                    let all: Vec<Oid> = attached.iter().chain(detached.iter()).copied().collect();
+                    let o = all[idx % all.len()];
+                    store.apply(Update::Modify { oid: o, new: gsdb::Atom::Int(v) }).unwrap();
+                    values.insert(o, v);
+                }
+                4 if !detached.is_empty() => {
+                    // Remove an unreferenced object: frees its slot.
+                    let o = detached.swap_remove(idx % detached.len());
+                    store.apply(Update::Remove { oid: o }).unwrap();
+                    values.remove(&o);
+                }
+                5 => {
+                    // GC from the root: exactly the detached atoms go.
+                    let collected = gc::collect(&mut store, &[root]);
+                    for o in &collected {
+                        prop_assert!(detached.contains(o), "GC must only take garbage");
+                        values.remove(o);
+                    }
+                    prop_assert_eq!(collected.len(), detached.len());
+                    detached.clear();
+                }
+                6 => {
+                    // Snapshot round-trip: a fresh arena, same OIDs.
+                    let snap = Snapshot::capture(&store);
+                    store = snap.restore(StoreConfig::default()).unwrap();
+                }
+                _ => {}
+            }
+            if let Err(e) = store.check_invariants() {
+                panic!("arena invariant broken: {e}");
+            }
+        }
+
+        // Every surviving OID still resolves to its own value.
+        for (o, v) in &values {
+            prop_assert_eq!(store.atom(*o), Some(&gsdb::Atom::Int(*v)), "oid {} lost its value", o);
+        }
+        // And nothing extra survived: live count = model + root.
+        prop_assert_eq!(store.len(), values.len() + 1);
     }
 }

@@ -47,4 +47,4 @@ pub use cond::{CmpOp, Pred};
 pub use eval::{evaluate, evaluate_into, Answer, EvalError, EvalStats};
 pub use parser::{parse_query, parse_statement, parse_viewdef, ParseError};
 pub use plan::{evaluate_planned, SelStrategy};
-pub use pathexpr::{reach_expr, Elem, Nfa, PathExpr, TraversalStats};
+pub use pathexpr::{reach_expr, reach_expr_seed_layout, DenseNfa, Elem, Nfa, PathExpr, TraversalStats};

@@ -23,7 +23,7 @@
 //!   `p` of `e` (paper §2), computed as a product BFS of the database
 //!   graph and the NFA.
 
-use gsdb::{Label, Oid, Path, Store};
+use gsdb::{FastMap, FastSet, Label, Oid, Path, Store};
 use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt;
 
@@ -164,8 +164,32 @@ impl PathExpr {
         alphabet.insert(fresh);
         let a = inner.nfa();
         let b = other.nfa();
-        // BFS over (subset-of-a-states, subset-of-b-states) looking for
-        // a state where `a` accepts but `b` does not.
+        // Product BFS looking for a state where `a` accepts but `b`
+        // does not. With the dense engine, product states are a pair
+        // of u64 masks — no state-set vectors cloned per transition.
+        if let (Some(da), Some(db)) = (a.dense(), b.dense()) {
+            let start = (da.start_mask(), db.start_mask());
+            let mut seen: FastSet<(u64, u64)> = FastSet::default();
+            let mut q = VecDeque::new();
+            seen.insert(start);
+            q.push_back(start);
+            while let Some((sa, sb)) = q.pop_front() {
+                if da.is_accepting(sa) && !db.is_accepting(sb) {
+                    return false; // witness: a path in inner but not other
+                }
+                for &l in &alphabet {
+                    let na = da.step_mask(sa, l);
+                    if na == 0 {
+                        continue; // dead for inner ⇒ no counterexample there
+                    }
+                    let key = (na, db.step_mask(sb, l));
+                    if seen.insert(key) {
+                        q.push_back(key);
+                    }
+                }
+            }
+            return true;
+        }
         let start = (a.eclose(&[0]), b.eclose(&[0]));
         let mut seen: HashSet<(Vec<usize>, Vec<usize>)> = HashSet::new();
         let mut q = VecDeque::new();
@@ -258,6 +282,116 @@ pub struct Nfa {
     /// epsilon transitions: (from, to)
     eps: Vec<(usize, usize)>,
     accept: usize,
+    /// Dense bitset engine, present whenever the automaton fits in a
+    /// `u64` state-set (path expressions of ≤ 63 elements — i.e. all
+    /// realistic ones). The sparse `Vec<usize>` API below stays as the
+    /// fallback and as the reference realization.
+    dense: Option<DenseNfa>,
+}
+
+/// The dense evaluation engine: state sets are `u64` bitmasks and the
+/// transition function is a precomputed table over the expression's
+/// mentioned labels plus one "any other label" column. Stepping a
+/// state set is a few table lookups and ORs — no allocation, no
+/// epsilon-closure recomputation, no `Vec` cloning per node.
+#[derive(Clone, Debug)]
+pub struct DenseNfa {
+    /// mentioned label → column index; unmentioned labels use the
+    /// extra `other` column.
+    symbols: FastMap<Label, u32>,
+    /// columns per state: one per mentioned label + 1 for "other".
+    ncols: usize,
+    /// `delta[state * ncols + col]` = eps-closed successor mask.
+    delta: Vec<u64>,
+    start: u64,
+    accept_mask: u64,
+}
+
+impl DenseNfa {
+    fn build(trans: &[(usize, Trans, usize)], eps: &[(usize, usize)], accept: usize) -> Option<DenseNfa> {
+        let nstates = accept + 1;
+        if nstates > 64 {
+            return None;
+        }
+        // Borrow the sparse stepping machinery to fill the table.
+        let sparse = Nfa {
+            trans: trans.to_vec(),
+            eps: eps.to_vec(),
+            accept,
+            dense: None,
+        };
+        let mut labels: Vec<Label> = Vec::new();
+        for (_, tr, _) in trans {
+            match tr {
+                Trans::Label(l) => {
+                    if !labels.contains(l) {
+                        labels.push(*l);
+                    }
+                }
+                Trans::OneOf(ls) => {
+                    for l in ls {
+                        if !labels.contains(l) {
+                            labels.push(*l);
+                        }
+                    }
+                }
+                Trans::Any => {}
+            }
+        }
+        let ncols = labels.len() + 1;
+        let mut symbols = FastMap::default();
+        for (i, &l) in labels.iter().enumerate() {
+            symbols.insert(l, i as u32);
+        }
+        // A label no expression can mention (contains '\u{1}') stands
+        // in for the whole unmentioned-alphabet column.
+        let fresh = Label::new("\u{1}unmentioned\u{1}");
+        let mask_of = |states: &[usize]| states.iter().fold(0u64, |m, &s| m | (1u64 << s));
+        let mut delta = vec![0u64; nstates * ncols];
+        for s in 0..nstates {
+            for (i, &l) in labels.iter().enumerate() {
+                delta[s * ncols + i] = mask_of(&sparse.step(&[s], l));
+            }
+            delta[s * ncols + ncols - 1] = mask_of(&sparse.step(&[s], fresh));
+        }
+        Some(DenseNfa {
+            symbols,
+            ncols,
+            delta,
+            start: mask_of(&sparse.start()),
+            accept_mask: 1u64 << accept,
+        })
+    }
+
+    /// The eps-closed start state set as a bitmask.
+    #[inline]
+    pub fn start_mask(&self) -> u64 {
+        self.start
+    }
+
+    /// One consuming step on label `l` from an eps-closed mask; the
+    /// result is eps-closed. `0` means the automaton is dead.
+    #[inline]
+    pub fn step_mask(&self, mask: u64, l: Label) -> u64 {
+        let col = match self.symbols.get(&l) {
+            Some(&c) => c as usize,
+            None => self.ncols - 1,
+        };
+        let mut out = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
+            out |= self.delta[s * self.ncols + col];
+        }
+        out
+    }
+
+    /// Does the mask contain the accepting state?
+    #[inline]
+    pub fn is_accepting(&self, mask: u64) -> bool {
+        mask & self.accept_mask != 0
+    }
 }
 
 impl Nfa {
@@ -275,11 +409,19 @@ impl Nfa {
                 Elem::Alt(ls) => trans.push((i, Trans::OneOf(ls.clone()), i + 1)),
             }
         }
+        let accept = e.0.len();
+        let dense = DenseNfa::build(&trans, &eps, accept);
         Nfa {
             trans,
             eps,
-            accept: e.0.len(),
+            accept,
+            dense,
         }
+    }
+
+    /// The dense bitset engine, when the automaton fits in 64 states.
+    pub fn dense(&self) -> Option<&DenseNfa> {
+        self.dense.as_ref()
     }
 
     /// Epsilon closure of a state set; result sorted + deduped.
@@ -322,6 +464,16 @@ impl Nfa {
 
     /// Run the NFA over a label word.
     pub fn accepts(&self, word: &[Label]) -> bool {
+        if let Some(d) = self.dense() {
+            let mut cur = d.start_mask();
+            for &l in word {
+                cur = d.step_mask(cur, l);
+                if cur == 0 {
+                    return false;
+                }
+            }
+            return d.is_accepting(cur);
+        }
         let mut cur = self.start();
         for &l in word {
             cur = self.step(&cur, l);
@@ -357,6 +509,77 @@ pub fn reach_expr(
     filter: &dyn Fn(Oid) -> bool,
 ) -> (Vec<Oid>, TraversalStats) {
     let nfa = e.nfa();
+    if let Some(d) = nfa.dense() {
+        return reach_expr_dense(store, n, d, filter);
+    }
+    reach_expr_sparse(store, n, &nfa, filter)
+}
+
+/// Dense realization: product states are `(slot id, u64 mask)` pairs,
+/// memoized in a fast-hash set — per-(slot, state-set) visitation is
+/// computed at most once, and no state-set vectors are allocated.
+/// Access counting matches the sparse realization exactly (one per
+/// children fetch, one per child label read).
+fn reach_expr_dense(
+    store: &Store,
+    n: Oid,
+    d: &DenseNfa,
+    filter: &dyn Fn(Oid) -> bool,
+) -> (Vec<Oid>, TraversalStats) {
+    let mut stats = TraversalStats::default();
+    if !filter(n) {
+        return (Vec::new(), stats);
+    }
+    let start = d.start_mask();
+    let mut results: Vec<Oid> = Vec::new();
+    let Some(nslot) = store.slot_of(n) else {
+        // Starting object absent from the store: the traversal still
+        // visits it once (with no children), as the sparse realization
+        // does.
+        stats.states_visited = 1;
+        let _ = store.children(n);
+        if d.is_accepting(start) {
+            results.push(n);
+        }
+        return (results, stats);
+    };
+    let mut result_slots: FastSet<u32> = FastSet::default();
+    let mut seen: FastSet<(u32, u64)> = FastSet::default();
+    let mut q: VecDeque<(u32, u64)> = VecDeque::new();
+    seen.insert((nslot, start));
+    q.push_back((nslot, start));
+    while let Some((slot, mask)) = q.pop_front() {
+        stats.states_visited += 1;
+        if d.is_accepting(mask) && result_slots.insert(slot) {
+            results.push(store.oid_at(slot).expect("queued slot is live"));
+        }
+        for &c in store.children_at(slot) {
+            if !filter(c) {
+                continue;
+            }
+            let Some(cslot) = store.slot_of(c) else { continue };
+            let Some(cl) = store.label_at(cslot) else { continue };
+            let next = d.step_mask(mask, cl);
+            if next == 0 {
+                continue;
+            }
+            if seen.insert((cslot, next)) {
+                q.push_back((cslot, next));
+            }
+        }
+    }
+    results.sort_by_key(|o| o.name());
+    (results, stats)
+}
+
+/// Sparse fallback (state sets as sorted `Vec<usize>`) — also the seed
+/// layout E13 benchmarks against.
+fn reach_expr_sparse(
+    store: &Store,
+    n: Oid,
+    nfa: &Nfa,
+    filter: &dyn Fn(Oid) -> bool,
+) -> (Vec<Oid>, TraversalStats) {
     let mut stats = TraversalStats::default();
     let mut results: Vec<Oid> = Vec::new();
     let mut result_set: HashSet<Oid> = HashSet::new();
@@ -390,6 +613,18 @@ pub fn reach_expr(
     }
     results.sort_by_key(|o| o.name());
     (results, stats)
+}
+
+/// Run [`reach_expr`] with the sparse engine regardless of expression
+/// size — the pre-arena baseline realization, kept callable so E13 can
+/// measure the dense engine against it.
+pub fn reach_expr_seed_layout(
+    store: &Store,
+    n: Oid,
+    e: &PathExpr,
+    filter: &dyn Fn(Oid) -> bool,
+) -> (Vec<Oid>, TraversalStats) {
+    reach_expr_sparse(store, n, &e.nfa(), filter)
 }
 
 #[cfg(test)]
@@ -597,6 +832,57 @@ mod tests {
         // A1 is only under P1; A3 is under P3 which is also a direct
         // child of ROOT, so it remains reachable; A4 under P4.
         assert_eq!(ages, vec![Oid::new("A3"), Oid::new("A4")]);
+    }
+
+    #[test]
+    fn dense_engine_agrees_with_sparse() {
+        let mut s = Store::counting();
+        samples::person_db(&mut s).unwrap();
+        let root = Oid::new("ROOT");
+        let all = |_: Oid| true;
+        for expr in [
+            "", "professor", "professor.age", "*", "*.age", "professor.?",
+            "?.?", "(professor|student).*", "*.name", "professor.*.age",
+        ] {
+            let e = pe(expr);
+            assert!(e.nfa().dense().is_some(), "{expr} should compile dense");
+            s.reset_accesses();
+            let (dense, dstats) = reach_expr(&s, root, &e, &all);
+            let dense_cost = s.accesses();
+            s.reset_accesses();
+            let (sparse, sstats) = reach_expr_seed_layout(&s, root, &e, &all);
+            let sparse_cost = s.accesses();
+            assert_eq!(dense, sparse, "results differ for {expr}");
+            assert_eq!(dstats, sstats, "stats differ for {expr}");
+            assert_eq!(dense_cost, sparse_cost, "base accesses differ for {expr}");
+        }
+    }
+
+    #[test]
+    fn dense_engine_accepts_matches_sparse_on_words() {
+        for expr in ["", "a", "?", "*", "a.*.b", "(a|b).?", "*.a.*"] {
+            let e = pe(expr);
+            let nfa = e.nfa();
+            let d = nfa.dense().unwrap();
+            for word in ["", "a", "b", "z", "a.b", "a.z.b", "x.y.z", "a.a.a.b"] {
+                let p = path(word);
+                // dense accepts == sparse stepping by hand
+                let mut cur = nfa.start();
+                for &l in p.labels() {
+                    cur = nfa.step(&cur, l);
+                }
+                let sparse_ok = nfa.any_accepting(&cur);
+                let mut m = d.start_mask();
+                for &l in p.labels() {
+                    m = d.step_mask(m, l);
+                }
+                assert_eq!(
+                    d.is_accepting(m),
+                    sparse_ok,
+                    "{expr} on {word}"
+                );
+            }
+        }
     }
 
     #[test]

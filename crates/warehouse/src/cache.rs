@@ -50,6 +50,7 @@ impl AuxCache {
             parent_index: true,
             label_index: false,
             log_updates: false,
+            ..StoreConfig::default()
         });
         if let Some(SourceReply::Object(Some(info))) = chan.serve(&SourceQuery::Fetch(root)) {
             store

@@ -317,6 +317,7 @@ fn logging_copy(initial: &Store) -> Result<Store> {
         parent_index: true,
         label_index: true,
         log_updates: true,
+        ..StoreConfig::default()
     });
     s.create_all(initial.iter().cloned())?;
     s.drain_log();

@@ -63,6 +63,7 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod colocated;
 pub mod integrator;
 pub mod protocol;
 pub mod remote;
@@ -71,6 +72,7 @@ pub mod source;
 mod warehouse;
 
 pub use cache::{AuxCache, PathKnowledge};
+pub use colocated::ColocatedViews;
 pub use chaos::{ChaosPolicy, ChaosReport, ChaosScenario, ChaosStats, FaultyMonitor, FaultyWrapper};
 pub use integrator::{spawn_channel_integrator, BatchingIntegrator, Integrator};
 pub use protocol::{

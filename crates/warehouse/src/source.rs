@@ -79,6 +79,7 @@ impl Source {
                 parent_index: true,
                 label_index: true,
                 log_updates: true,
+                ..StoreConfig::default()
             }),
             level,
         )

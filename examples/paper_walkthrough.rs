@@ -100,7 +100,7 @@ fn main() {
     println!("after:\n{}", yp.render());
 
     heading("Figure 5 / Example 7: the relations database");
-    let mut rstore = Store::new();
+    let mut rstore = Store::counting();
     let rel = samples::relations_db(&mut rstore, 3, 2).expect("relations");
     print!("{}", display::render(&rstore, rel));
     let sel_def = SimpleViewDef::new("SEL", "REL", "r.tuple")

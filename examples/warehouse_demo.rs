@@ -27,6 +27,7 @@ fn make_source(name: &str, level: ReportLevel, seed: u64) -> (Source, Vec<gsview
             parent_index: true,
             label_index: true,
             log_updates: true,
+            ..StoreConfig::default()
         },
     )
     .expect("generate");

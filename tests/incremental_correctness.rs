@@ -273,6 +273,7 @@ fn warehouse_agrees_with_local_at_all_levels() {
                     parent_index: true,
                     label_index: true,
                     log_updates: true,
+                    ..StoreConfig::default()
                 },
             )
             .unwrap();

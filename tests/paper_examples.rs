@@ -150,7 +150,7 @@ fn examples_5_and_6_yp_maintenance() {
 /// accesses, and inserts into the other relation are screened out.
 #[test]
 fn example_7_relations_maintenance() {
-    let mut store = Store::new();
+    let mut store = Store::counting();
     samples::relations_db(&mut store, 50, 50).unwrap();
     let def = SimpleViewDef::new("SEL", "REL", "r.tuple")
         .with_cond("age", Pred::new(CmpOp::Gt, 30i64));

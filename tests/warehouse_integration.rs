@@ -28,6 +28,7 @@ fn rel_source(name: &str, level: ReportLevel, seed: u64) -> (Source, gsview::wor
             parent_index: true,
             label_index: true,
             log_updates: true,
+            ..StoreConfig::default()
         },
     )
     .unwrap();
