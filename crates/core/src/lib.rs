@@ -77,8 +77,9 @@ pub use general::{CompoundMaintainer, DagMaintainer, GeneralMaintainer};
 pub use maintain::{sweep_members, BatchOutcome, MaintPlan, Maintainer, Outcome};
 pub use mview::{MaterializedView, ViewDelta};
 pub use oracle::{
-    assert_equivalent, assert_parallel_equivalent, check_equivalence,
-    check_parallel_equivalence, diff_members, reference_members, OracleVerdict,
+    assert_equivalent, assert_parallel_equivalent, assert_snapshot_isolated, check_equivalence,
+    check_parallel_equivalence, check_snapshot_isolation, diff_members, reference_members,
+    IsolationReport, OracleVerdict,
 };
 pub use parallel::{ParallelMaintainer, PartitionStats};
 pub use partial::PartialView;

@@ -218,6 +218,178 @@ pub fn assert_parallel_equivalent(
     }
 }
 
+/// The outcome of one snapshot-isolation run.
+///
+/// Produced by [`check_snapshot_isolation`]: concurrent readers raced
+/// a writer that applied update batches and published an epoch per
+/// batch; every read recomputed the view from its snapshot and was
+/// compared against the legal state for that snapshot's epoch.
+#[derive(Clone, Debug, Default)]
+pub struct IsolationReport {
+    /// Epochs the writer published (one per batch).
+    pub epochs_published: u64,
+    /// Snapshot reads performed across all readers.
+    pub observations: usize,
+    /// Reads that overlapped the writer's critical section: the
+    /// snapshot's epoch was already superseded by the time the read
+    /// finished. These prove the race was actually exercised.
+    pub concurrent_observations: usize,
+    /// Human-readable descriptions of every isolation violation — a
+    /// read that observed a state matching *no* batch boundary. Empty
+    /// = every read saw exactly a pre- or post-batch state.
+    pub violations: Vec<String>,
+}
+
+impl IsolationReport {
+    /// True iff every read observed a legal (batch-boundary) state.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Snapshot-isolation oracle for the epoch read path (warehouse §5
+/// deployment): while a writer applies `batches` one after another to
+/// a live store — publishing one [`EpochHandle`](gsdb::EpochHandle)
+/// snapshot per committed batch, exactly as
+/// [`Source::apply_batch`](../../gsview_warehouse/source/struct.Source.html)
+/// does — `readers` concurrent threads repeatedly load the latest
+/// snapshot and recompute `def` from it. Every observation must equal
+/// the view at some batch boundary (the state after exactly `k`
+/// batches, for the `k` stamped on the snapshot); a read that sees a
+/// torn mid-batch state, or a state that disagrees with its own
+/// epoch stamp, is reported as a violation.
+///
+/// Updates the store rejects are skipped, identically on the legal-
+/// state precompute and the live run, matching [`check_equivalence`].
+/// Each reader performs at least `reads_per_reader` observations and
+/// keeps reading until the writer finishes, so the race window is
+/// covered end to end. Never panics on violation — inspect
+/// [`IsolationReport::violations`] (or use [`assert_snapshot_isolated`]).
+pub fn check_snapshot_isolation(
+    def: &SimpleViewDef,
+    initial: &Store,
+    batches: &[Vec<Update>],
+    readers: usize,
+    reads_per_reader: usize,
+) -> Result<IsolationReport> {
+    use gsdb::EpochHandle;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    // Legal states: the view after exactly k committed batches,
+    // k = 0 ..= batches.len(). Epoch k on a snapshot promises state k.
+    let mut legal: Vec<Vec<Oid>> = Vec::with_capacity(batches.len() + 1);
+    {
+        let mut scratch = initial.clone();
+        legal.push(recompute(def, &mut LocalBase::new(&scratch))?.members_base());
+        for batch in batches {
+            for u in batch {
+                let _ = scratch.apply(u.clone());
+            }
+            legal.push(recompute(def, &mut LocalBase::new(&scratch))?.members_base());
+        }
+    }
+
+    let handle = Arc::new(EpochHandle::new(initial.fork()));
+    let legal = Arc::new(legal);
+    let done = Arc::new(AtomicBool::new(false));
+    let violations = Arc::new(Mutex::new(Vec::<String>::new()));
+
+    let mut report = IsolationReport::default();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for r in 0..readers.max(1) {
+            let handle = Arc::clone(&handle);
+            let legal = Arc::clone(&legal);
+            let done = Arc::clone(&done);
+            let violations = Arc::clone(&violations);
+            joins.push(scope.spawn(move || {
+                let (mut reads, mut concurrent) = (0usize, 0usize);
+                loop {
+                    if reads >= reads_per_reader && done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let (epoch, snap) = handle.load_with_epoch();
+                    match recompute(def, &mut LocalBase::new(snap.as_ref())) {
+                        Ok(mv) => {
+                            let got = mv.members_base();
+                            let want = &legal[epoch as usize];
+                            if &got != want {
+                                violations.lock().unwrap().push(format!(
+                                    "reader {r}: epoch {epoch} snapshot recomputed to {got:?}, \
+                                     but the state after {epoch} batches is {want:?}"
+                                ));
+                            }
+                        }
+                        Err(e) => violations
+                            .lock()
+                            .unwrap()
+                            .push(format!("reader {r}: recompute failed on epoch {epoch}: {e}")),
+                    }
+                    reads += 1;
+                    // The writer moved on while we were reading: this
+                    // observation genuinely overlapped maintenance.
+                    if handle.epoch() != epoch {
+                        concurrent += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                (reads, concurrent)
+            }));
+        }
+
+        // The writer: mutate the live store, publish a fork per batch —
+        // the same commit discipline as the warehouse source.
+        let mut live = initial.clone();
+        for batch in batches {
+            for u in batch {
+                let _ = live.apply(u.clone());
+            }
+            report.epochs_published = handle.publish(live.fork());
+        }
+        done.store(true, Ordering::Release);
+
+        for j in joins {
+            let (reads, concurrent) = j.join().expect("isolation reader panicked");
+            report.observations += reads;
+            report.concurrent_observations += concurrent;
+        }
+    });
+    report.violations = Arc::try_unwrap(violations)
+        .expect("readers joined")
+        .into_inner()
+        .unwrap();
+    Ok(report)
+}
+
+/// [`check_snapshot_isolation`], panicking with full replay context on
+/// the first violation.
+pub fn assert_snapshot_isolated(
+    def: &SimpleViewDef,
+    initial: &Store,
+    batches: &[Vec<Update>],
+    readers: usize,
+    reads_per_reader: usize,
+) {
+    let report = check_snapshot_isolation(def, initial, batches, readers, reads_per_reader)
+        .expect("isolation oracle run failed");
+    if !report.ok() {
+        let runs: Vec<String> = batches
+            .iter()
+            .map(|b| {
+                let ops: Vec<String> = b.iter().map(|u| u.to_string()).collect();
+                format!("[{}]", ops.join(", "))
+            })
+            .collect();
+        panic!(
+            "snapshot isolation violated for `{def}` ({} readers)\nbatches: {}\nviolations:\n  {}",
+            readers,
+            runs.join(" "),
+            report.violations.join("\n  ")
+        );
+    }
+}
+
 /// [`check_equivalence`], panicking with full context on disagreement.
 /// The panic message includes the definition and the update run so a
 /// failure can be replayed as a unit test.
@@ -346,6 +518,41 @@ mod tests {
         let d = diff_members("route", &[oid("A"), oid("B")], &[oid("A"), oid("C")]).unwrap();
         assert!(d.contains("route"), "{d}");
         assert!(d.contains('C') && d.contains('B'), "{d}");
+    }
+
+    #[test]
+    fn snapshot_isolation_holds_on_paper_batches() {
+        let mut store = person_store();
+        store.create(Object::atom("A2", "age", 40i64)).unwrap();
+        let batches = vec![
+            vec![Update::insert("P2", "A2"), Update::modify("A1", 80i64)],
+            vec![Update::delete("ROOT", "P1")],
+            vec![Update::modify("A2", 90i64)],
+        ];
+        let report = check_snapshot_isolation(&yp_def(), &store, &batches, 3, 8).unwrap();
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.epochs_published, 3);
+        assert!(report.observations >= 3 * 8);
+    }
+
+    #[test]
+    fn snapshot_isolation_skips_infeasible_updates_consistently() {
+        let store = person_store();
+        let batches = vec![
+            vec![Update::delete("P1", "NOPE"), Update::modify("A1", 30i64)],
+            vec![Update::delete("NOPE", "P1")],
+        ];
+        assert_snapshot_isolated(&yp_def(), &store, &batches, 2, 4);
+    }
+
+    #[test]
+    fn isolation_with_no_batches_reads_only_the_initial_state() {
+        let store = person_store();
+        let report = check_snapshot_isolation(&yp_def(), &store, &[], 2, 3).unwrap();
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.epochs_published, 0);
+        assert_eq!(report.concurrent_observations, 0, "nothing ever superseded epoch 0");
+        assert!(report.observations >= 6);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod builder;
 pub mod database;
 pub mod delta;
 pub mod display;
+pub mod epoch;
 mod error;
 pub mod fxhash;
 pub mod gc;
@@ -62,6 +63,7 @@ mod update;
 mod value;
 
 pub use delta::{ConsolidatedDelta, DeltaBatch, EdgeDelta, EdgeOp, ModifyDelta};
+pub use epoch::EpochHandle;
 pub use error::{GsdbError, Result};
 pub use label::Label;
 pub use object::Object;

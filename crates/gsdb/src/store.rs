@@ -8,13 +8,31 @@
 //!
 //! ## Arena layout
 //!
-//! Objects live in a dense slab (`Vec<Option<Object>>`) addressed by a
-//! `u32` **slot id**; the `Oid → slot` map exists only at the API
-//! boundary, so the traversal hot path pays one fast-hash lookup per
-//! OID and then works with slab offsets. Removed slots go on a free
-//! list and are reused by later creates — object identity is the OID,
-//! so slot reuse never changes what callers observe, and GC /
-//! snapshot-restore round-trips keep `Oid → value` mappings stable.
+//! Objects live in a dense slab of fixed-size **copy-on-write pages**
+//! (`Vec<Arc<[Option<Object>; PAGE_SIZE]>>`-shaped, realized as
+//! `Vec<Arc<Vec<…>>>`) addressed by a `u32` **slot id**; the
+//! `Oid → slot` map exists only at the API boundary, so the traversal
+//! hot path pays one fast-hash lookup per OID and then works with slab
+//! offsets. Removed slots go on a free list and are reused by later
+//! creates — object identity is the OID, so slot reuse never changes
+//! what callers observe, and GC / snapshot-restore round-trips keep
+//! `Oid → value` mappings stable.
+//!
+//! ## Copy-on-write cloning and epoch forks
+//!
+//! Pages and the three lookup maps (`Oid → slot`, parent index, label
+//! index) sit behind `Arc`s, so [`Store::clone`] and [`Store::fork`]
+//! are cheap: they bump reference counts instead of deep-copying
+//! objects. The first mutation of a page (or a structural mutation of
+//! a map) after a clone pays the copy via `Arc::make_mut`, privately —
+//! the other side keeps observing the state it captured. This is what
+//! lets a source publish an immutable post-commit snapshot of itself
+//! into an [`EpochHandle`](crate::EpochHandle) on **every** committed
+//! update without O(n) copying: readers traverse the published fork
+//! while writers keep mutating the live store. Every successful
+//! [`Store::apply`] also bumps a monotonically increasing
+//! [`version`](Store::version), so commit protocols can skip
+//! republishing untouched state.
 //!
 //! Two optional indexes accelerate the functions Algorithm 1 relies on:
 //!
@@ -40,7 +58,37 @@ use crate::{
     AppliedUpdate, Atom, GsdbError, Label, Object, Oid, Result, Update, Value,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
+
+/// Slots per copy-on-write page (power of two: slot addressing is a
+/// shift and a mask). 256 objects bounds the clone cost a writer pays
+/// on the first touch of a shared page after an epoch fork.
+const PAGE_SHIFT: u32 = 8;
+/// Page capacity, in slots.
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// Mask extracting the within-page offset from a slot id.
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// One copy-on-write slab page, always `PAGE_SIZE` entries long.
+type Page = Vec<Option<Object>>;
+
+/// Shared read access to the slot behind `slot`, or `None` for free /
+/// out-of-range slots. A free function (not a method) so mutation
+/// paths can borrow `pages` disjointly from the index maps.
+#[inline]
+fn slot_ref(pages: &[Arc<Page>], slot: u32) -> Option<&Object> {
+    pages
+        .get((slot >> PAGE_SHIFT) as usize)
+        .and_then(|p| p[(slot & PAGE_MASK) as usize].as_ref())
+}
+
+/// Exclusive access to the slot behind `slot`, copying the page first
+/// if it is shared with a published epoch fork. Panics on
+/// out-of-range slots — mutation paths only address allocated slots.
+#[inline]
+fn slot_mut(pages: &mut [Arc<Page>], slot: u32) -> &mut Option<Object> {
+    &mut Arc::make_mut(&mut pages[(slot >> PAGE_SHIFT) as usize])[(slot & PAGE_MASK) as usize]
+}
 
 /// Store configuration.
 #[derive(Clone, Copy, Debug)]
@@ -107,8 +155,7 @@ impl<'a> SlotSet<'a> {
     pub fn iter(&self) -> impl Iterator<Item = Oid> + 'a {
         let store = self.store;
         self.slots.iter().map(move |&s| {
-            store.slots[s as usize]
-                .as_ref()
+            slot_ref(&store.pages, s)
                 .expect("index references live slot")
                 .oid
         })
@@ -123,35 +170,45 @@ impl<'a> SlotSet<'a> {
 /// An in-memory GSDB object store.
 #[derive(Debug)]
 pub struct Store {
-    /// The slab. `None` entries are free slots awaiting reuse.
-    slots: Vec<Option<Object>>,
+    /// The slab: copy-on-write pages. `None` entries are free slots
+    /// awaiting reuse (or the unallocated tail of the last page).
+    pages: Vec<Arc<Page>>,
+    /// Slots handed out so far (high-water mark, free slots included).
+    len_slots: usize,
     /// OID → slot, the only full-key hash on the read path.
-    slot_of: FastMap<Oid, u32>,
+    /// Copy-on-write: structurally mutated via `Arc::make_mut`.
+    slot_of: Arc<FastMap<Oid, u32>>,
     /// Free slots, reused LIFO by `Create`.
     free: Vec<u32>,
     /// child OID → sorted parent slots. Keyed by OID (not slot) so
     /// replica stores may index edges to children they don't hold.
-    parent_index: Option<FastMap<Oid, SmallSet>>,
+    parent_index: Option<Arc<FastMap<Oid, SmallSet>>>,
     /// label → sorted member slots.
-    label_index: Option<FastMap<Label, SmallSet>>,
+    label_index: Option<Arc<FastMap<Label, SmallSet>>>,
     log: Vec<AppliedUpdate>,
     log_enabled: bool,
+    /// Bumped on every successful mutation; lets commit protocols skip
+    /// republishing an untouched store.
+    version: u64,
     count_accesses: AtomicBool,
     accesses: AtomicU64,
     /// Cached result of `oids_sorted`, invalidated on create/remove.
-    sorted_cache: RwLock<Option<Vec<Oid>>>,
+    /// `Arc` inside so clones and forks share the cached vector.
+    sorted_cache: RwLock<Option<Arc<Vec<Oid>>>>,
 }
 
 impl Default for Store {
     fn default() -> Self {
         Store {
-            slots: Vec::new(),
-            slot_of: FastMap::default(),
+            pages: Vec::new(),
+            len_slots: 0,
+            slot_of: Arc::new(FastMap::default()),
             free: Vec::new(),
             parent_index: None,
             label_index: None,
             log: Vec::new(),
             log_enabled: false,
+            version: 0,
             count_accesses: AtomicBool::new(false),
             accesses: AtomicU64::new(0),
             sorted_cache: RwLock::new(None),
@@ -160,15 +217,27 @@ impl Default for Store {
 }
 
 impl Clone for Store {
+    /// A logically independent copy. Cheap: pages and index maps are
+    /// shared copy-on-write, so the cost is reference-count bumps plus
+    /// the free list and update log; either side pays the copy lazily
+    /// on its next mutation of a shared structure.
+    ///
+    /// The `sorted_cache` is carried over as-is: it depends only on
+    /// the OID set, which is identical at clone time, and every
+    /// OID-set mutation (`Create` / `Remove`) invalidates it — see
+    /// `oids_sorted_survives_mutation_interleavings` in
+    /// `tests/store_properties.rs` for the property pinning this.
     fn clone(&self) -> Self {
         Store {
-            slots: self.slots.clone(),
+            pages: self.pages.clone(),
+            len_slots: self.len_slots,
             slot_of: self.slot_of.clone(),
             free: self.free.clone(),
             parent_index: self.parent_index.clone(),
             label_index: self.label_index.clone(),
             log: self.log.clone(),
             log_enabled: self.log_enabled,
+            version: self.version,
             count_accesses: AtomicBool::new(self.count_accesses.load(Ordering::Relaxed)),
             accesses: AtomicU64::new(self.accesses.load(Ordering::Relaxed)),
             sorted_cache: RwLock::new(self.sorted_cache.read().unwrap().clone()),
@@ -192,8 +261,8 @@ impl Store {
     /// A store with explicit configuration.
     pub fn with_config(cfg: StoreConfig) -> Self {
         Store {
-            parent_index: cfg.parent_index.then(FastMap::default),
-            label_index: cfg.label_index.then(FastMap::default),
+            parent_index: cfg.parent_index.then(|| Arc::new(FastMap::default())),
+            label_index: cfg.label_index.then(|| Arc::new(FastMap::default())),
             log_enabled: cfg.log_updates,
             count_accesses: AtomicBool::new(cfg.count_accesses),
             ..Store::default()
@@ -202,11 +271,34 @@ impl Store {
 
     /// Pre-size the slab and maps for `additional` more objects.
     pub fn reserve(&mut self, additional: usize) {
-        self.slots.reserve(additional.saturating_sub(self.free.len()));
-        self.slot_of.reserve(additional);
+        self.pages
+            .reserve(additional.saturating_sub(self.free.len()) / PAGE_SIZE + 1);
+        Arc::make_mut(&mut self.slot_of).reserve(additional);
         if let Some(idx) = self.parent_index.as_mut() {
-            idx.reserve(additional);
+            Arc::make_mut(idx).reserve(additional);
         }
+    }
+
+    /// A read-only snapshot fork of this store: the same objects and
+    /// indexes, shared copy-on-write, with an **empty update log** and
+    /// logging disabled. This is the image a source publishes into an
+    /// [`EpochHandle`](crate::EpochHandle) at commit time — readers
+    /// traverse the fork while the live store keeps mutating (and
+    /// keeps accumulating its own log for the monitor). Cost:
+    /// reference-count bumps, independent of store size.
+    pub fn fork(&self) -> Store {
+        let mut fork = self.clone();
+        fork.log = Vec::new();
+        fork.log_enabled = false;
+        fork
+    }
+
+    /// Monotonic mutation counter: bumped by every successful
+    /// [`Store::apply`] and [`Store::insert_edge_unchecked`]. Equal
+    /// versions ⇒ identical object state (within one store lineage),
+    /// so commit protocols can skip republishing an untouched store.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of objects.
@@ -247,13 +339,13 @@ impl Store {
     #[inline]
     pub fn object_at(&self, slot: u32) -> Option<&Object> {
         self.bump();
-        self.slots.get(slot as usize).and_then(|s| s.as_ref())
+        slot_ref(&self.pages, slot)
     }
 
     /// OID of the object in a slot. Does not count an access.
     #[inline]
     pub fn oid_at(&self, slot: u32) -> Option<Oid> {
-        self.slots.get(slot as usize).and_then(|s| s.as_ref()).map(|o| o.oid)
+        slot_ref(&self.pages, slot).map(|o| o.oid)
     }
 
     /// Children of the object in a slot (counts the access, like
@@ -261,11 +353,7 @@ impl Store {
     #[inline]
     pub fn children_at(&self, slot: u32) -> &[Oid] {
         self.bump();
-        self.slots
-            .get(slot as usize)
-            .and_then(|s| s.as_ref())
-            .map(|o| o.children())
-            .unwrap_or(&[])
+        slot_ref(&self.pages, slot).map(|o| o.children()).unwrap_or(&[])
     }
 
     /// Label of the object in a slot (counts the access, like
@@ -273,13 +361,13 @@ impl Store {
     #[inline]
     pub fn label_at(&self, slot: u32) -> Option<Label> {
         self.bump();
-        self.slots.get(slot as usize).and_then(|s| s.as_ref()).map(|o| o.label)
+        slot_ref(&self.pages, slot).map(|o| o.label)
     }
 
     /// Upper bound (exclusive) on slot ids currently in use; free slots
     /// below this bound exist. Sizes per-slot scratch tables.
     pub fn slot_bound(&self) -> usize {
-        self.slots.len()
+        self.len_slots
     }
 
     // ------------------------------------------------------------------
@@ -290,7 +378,7 @@ impl Store {
     pub fn get(&self, oid: Oid) -> Option<&Object> {
         self.bump();
         let slot = *self.slot_of.get(&oid)?;
-        self.slots[slot as usize].as_ref()
+        slot_ref(&self.pages, slot)
     }
 
     /// Look up an object or fail.
@@ -308,7 +396,7 @@ impl Store {
         self.bump();
         self.slot_of
             .get(&oid)
-            .and_then(|&s| self.slots[s as usize].as_ref())
+            .and_then(|&s| slot_ref(&self.pages, s))
             .map(|o| o.children())
             .unwrap_or(&[])
     }
@@ -320,18 +408,21 @@ impl Store {
 
     /// Iterate all objects (slot order). Does not count accesses.
     pub fn iter(&self) -> impl Iterator<Item = &Object> {
-        self.slots.iter().filter_map(|s| s.as_ref())
+        self.pages
+            .iter()
+            .flat_map(|p| p.iter())
+            .filter_map(|s| s.as_ref())
     }
 
     /// All OIDs, sorted by name (deterministic). Cached between calls;
     /// creates and removes invalidate the cache.
     pub fn oids_sorted(&self) -> Vec<Oid> {
         if let Some(v) = self.sorted_cache.read().unwrap().as_ref() {
-            return v.clone();
+            return v.as_ref().clone();
         }
         let mut v: Vec<Oid> = self.slot_of.keys().copied().collect();
         v.sort_by_key(|o| o.name());
-        *self.sorted_cache.write().unwrap() = Some(v.clone());
+        *self.sorted_cache.write().unwrap() = Some(Arc::new(v.clone()));
         v
     }
 
@@ -435,12 +526,13 @@ impl Store {
             .slot_of
             .get(&parent)
             .ok_or(GsdbError::NoSuchObject(parent))?;
-        let pobj = self.slots[pslot as usize].as_mut().unwrap();
+        let pobj = slot_mut(&mut self.pages, pslot).as_mut().unwrap();
         let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
         set.insert(child);
         if let Some(idx) = self.parent_index.as_mut() {
-            idx.entry(child).or_default().insert(pslot);
+            Arc::make_mut(idx).entry(child).or_default().insert(pslot);
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -465,11 +557,11 @@ impl Store {
                     .slot_of
                     .get(&parent)
                     .ok_or(GsdbError::NoSuchObject(parent))?;
-                let pobj = self.slots[pslot as usize].as_mut().unwrap();
+                let pobj = slot_mut(&mut self.pages, pslot).as_mut().unwrap();
                 let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
                 set.insert(child);
                 if let Some(idx) = self.parent_index.as_mut() {
-                    idx.entry(child).or_default().insert(pslot);
+                    Arc::make_mut(idx).entry(child).or_default().insert(pslot);
                 }
                 AppliedUpdate::Insert { parent, child }
             }
@@ -478,13 +570,13 @@ impl Store {
                     .slot_of
                     .get(&parent)
                     .ok_or(GsdbError::NoSuchObject(parent))?;
-                let pobj = self.slots[pslot as usize].as_mut().unwrap();
+                let pobj = slot_mut(&mut self.pages, pslot).as_mut().unwrap();
                 let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
                 if !set.remove(child) {
                     return Err(GsdbError::NotAChild { parent, child });
                 }
                 if let Some(idx) = self.parent_index.as_mut() {
-                    if let Some(ps) = idx.get_mut(&child) {
+                    if let Some(ps) = Arc::make_mut(idx).get_mut(&child) {
                         ps.remove(pslot);
                     }
                 }
@@ -495,7 +587,7 @@ impl Store {
                     .slot_of
                     .get(&oid)
                     .ok_or(GsdbError::NoSuchObject(oid))?;
-                let obj = self.slots[slot as usize].as_mut().unwrap();
+                let obj = slot_mut(&mut self.pages, slot).as_mut().unwrap();
                 let old = match &mut obj.value {
                     Value::Atom(a) => std::mem::replace(a, new.clone()),
                     Value::Set(_) => return Err(GsdbError::NotAtomic(oid)),
@@ -512,44 +604,58 @@ impl Store {
                 let slot = match self.free.pop() {
                     Some(s) => s,
                     None => {
-                        self.slots.push(None);
-                        (self.slots.len() - 1) as u32
+                        let s = self.len_slots as u32;
+                        if (s >> PAGE_SHIFT) as usize == self.pages.len() {
+                            self.pages.push(Arc::new(vec![None; PAGE_SIZE]));
+                        }
+                        self.len_slots += 1;
+                        s
                     }
                 };
                 if let Some(idx) = self.label_index.as_mut() {
-                    idx.entry(object.label).or_default().insert(slot);
+                    Arc::make_mut(idx).entry(object.label).or_default().insert(slot);
                 }
                 if let Some(idx) = self.parent_index.as_mut() {
                     // A created object may arrive with children already in
                     // its set value; index those edges.
+                    let idx = Arc::make_mut(idx);
                     for c in object.children() {
                         idx.entry(*c).or_default().insert(slot);
                     }
                 }
-                self.slots[slot as usize] = Some(object);
-                self.slot_of.insert(oid, slot);
+                *slot_mut(&mut self.pages, slot) = Some(object);
+                Arc::make_mut(&mut self.slot_of).insert(oid, slot);
                 self.invalidate_sorted();
                 AppliedUpdate::Create { oid }
             }
             Update::Remove { oid } => {
-                let slot = self
-                    .slot_of
-                    .remove(&oid)
-                    .ok_or(GsdbError::NoSuchObject(oid))?;
-                let obj = self.slots[slot as usize].take().unwrap();
+                if !self.slot_of.contains_key(&oid) {
+                    return Err(GsdbError::NoSuchObject(oid));
+                }
+                let slot = Arc::make_mut(&mut self.slot_of).remove(&oid).unwrap();
+                let obj = slot_mut(&mut self.pages, slot).take().unwrap();
                 self.free.push(slot);
                 if let Some(idx) = self.label_index.as_mut() {
-                    if let Some(s) = idx.get_mut(&obj.label) {
+                    if let Some(s) = Arc::make_mut(idx).get_mut(&obj.label) {
                         s.remove(slot);
                     }
                 }
                 if let Some(idx) = self.parent_index.as_mut() {
+                    let idx = Arc::make_mut(idx);
                     for c in obj.children() {
                         if let Some(ps) = idx.get_mut(c) {
                             ps.remove(slot);
                         }
                     }
-                    idx.remove(&oid);
+                    // The entry for `oid` *as a child* records edges
+                    // into it, and Remove leaves those dangling in the
+                    // parents' sets (replica semantics) — so the entry
+                    // must survive, or a later re-Create of the same
+                    // OID resurrects the edges with an empty index.
+                    // Drop it only when no parent references remain.
+                    if idx.get(&oid).is_some_and(|ps| ps.is_empty()) {
+                        idx.remove(&oid);
+                    }
                 }
                 self.invalidate_sorted();
                 AppliedUpdate::Remove { oid }
@@ -558,6 +664,7 @@ impl Store {
         if self.log_enabled {
             self.log.push(applied.clone());
         }
+        self.version += 1;
         Ok(applied)
     }
 
@@ -625,7 +732,7 @@ impl Store {
     /// verify free-list reuse never corrupts the store.
     #[doc(hidden)]
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
-        let live = self.slots.iter().filter(|s| s.is_some()).count();
+        let live = self.iter().count();
         if live != self.slot_of.len() {
             return Err(format!(
                 "live slots {} != slot_of entries {}",
@@ -633,21 +740,37 @@ impl Store {
                 self.slot_of.len()
             ));
         }
-        for (oid, &slot) in &self.slot_of {
-            match self.slots.get(slot as usize).and_then(|s| s.as_ref()) {
+        // Every allocated slot is either live or on the free list.
+        if live + self.free.len() != self.len_slots {
+            return Err(format!(
+                "live {} + free {} != allocated slots {}",
+                live,
+                self.free.len(),
+                self.len_slots
+            ));
+        }
+        if self.len_slots > self.pages.len() * PAGE_SIZE {
+            return Err(format!(
+                "slot high-water mark {} exceeds page capacity {}",
+                self.len_slots,
+                self.pages.len() * PAGE_SIZE
+            ));
+        }
+        for (oid, &slot) in self.slot_of.iter() {
+            match slot_ref(&self.pages, slot) {
                 Some(o) if o.oid == *oid => {}
                 _ => return Err(format!("slot_of[{}] -> dead or mismatched slot", oid.name())),
             }
         }
         for &f in &self.free {
-            if self.slots.get(f as usize).map(|s| s.is_some()).unwrap_or(true) {
+            if (f as usize) >= self.len_slots || slot_ref(&self.pages, f).is_some() {
                 return Err(format!("free slot {f} is live or out of bounds"));
             }
         }
-        if let Some(idx) = self.label_index.as_ref() {
+        if let Some(idx) = self.label_index.as_deref() {
             for (label, set) in idx {
                 for slot in set.iter() {
-                    match self.slots.get(slot as usize).and_then(|s| s.as_ref()) {
+                    match slot_ref(&self.pages, slot) {
                         Some(o) if o.label == *label => {}
                         _ => {
                             return Err(format!(
@@ -665,10 +788,10 @@ impl Store {
                 }
             }
         }
-        if let Some(idx) = self.parent_index.as_ref() {
+        if let Some(idx) = self.parent_index.as_deref() {
             for (child, set) in idx {
                 for pslot in set.iter() {
-                    match self.slots.get(pslot as usize).and_then(|s| s.as_ref()) {
+                    match slot_ref(&self.pages, pslot) {
                         Some(p) if p.children().contains(child) => {}
                         _ => {
                             return Err(format!(
@@ -908,6 +1031,30 @@ mod tests {
     }
 
     #[test]
+    fn recreated_oid_keeps_its_dangling_edges_indexed() {
+        // Found by `oids_sorted_survives_mutation_interleavings`:
+        // Remove leaves edges into the removed object dangling in the
+        // parents' sets, so the parent-index entry for the removed OID
+        // must survive — a later Create of the same OID makes those
+        // edges live again, and the index has to agree.
+        let mut s = Store::new();
+        s.create(Object::empty_set("R", "root")).unwrap();
+        s.create(Object::atom("A", "age", 1i64)).unwrap();
+        s.insert_edge(oid("R"), oid("A")).unwrap();
+        s.apply(Update::Remove { oid: oid("A") }).unwrap();
+        // R still lists A (dangling). Re-create A: the edge is live.
+        s.create(Object::atom("A", "age", 2i64)).unwrap();
+        assert!(s.parents(oid("A")).unwrap().contains(oid("R")));
+        s.check_invariants().unwrap();
+        // Once the last referencing parent drops the edge, the entry
+        // is gone for good.
+        s.delete_edge(oid("R"), oid("A")).unwrap();
+        s.apply(Update::Remove { oid: oid("A") }).unwrap();
+        assert!(s.parents(oid("A")).unwrap().is_empty());
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
     fn oids_sorted_cache_invalidation() {
         let mut s = tiny_store();
         let before = s.oids_sorted();
@@ -918,6 +1065,85 @@ mod tests {
         assert!(after.contains(&oid("A0")));
         s.apply(Update::Remove { oid: oid("A0") }).unwrap();
         assert_eq!(s.oids_sorted(), before);
+    }
+
+    #[test]
+    fn fork_is_isolated_from_later_writes() {
+        let mut s = Store::with_config(StoreConfig {
+            log_updates: true,
+            ..StoreConfig::default()
+        });
+        s.create(Object::atom("A", "age", 45i64)).unwrap();
+        let fork = s.fork();
+        assert!(fork.log().is_empty(), "forks never carry the live log");
+
+        // Mutate every structure the fork shares: page (modify),
+        // slot_of + indexes (create/remove), edges (insert/delete).
+        s.modify_atom(oid("A"), 46i64).unwrap();
+        s.create(Object::set("S", "set", &[oid("A")])).unwrap();
+        s.delete_edge(oid("S"), oid("A")).unwrap();
+        s.apply(Update::Remove { oid: oid("A") }).unwrap();
+
+        // The fork still observes the capture-time state.
+        assert_eq!(fork.atom(oid("A")), Some(&Atom::Int(45)));
+        assert_eq!(fork.len(), 1);
+        assert!(!fork.contains(oid("S")));
+        assert!(fork.with_label(Label::new("age")).unwrap().contains(oid("A")));
+        fork.check_invariants().unwrap();
+        s.check_invariants().unwrap();
+
+        // And the live store moved on.
+        assert!(!s.contains(oid("A")));
+        assert!(s.contains(oid("S")));
+    }
+
+    #[test]
+    fn cloned_store_mutates_independently_both_ways() {
+        let mut a = tiny_store();
+        let mut b = a.clone();
+        a.modify_atom(oid("A1"), 1i64).unwrap();
+        b.modify_atom(oid("A1"), 2i64).unwrap();
+        b.create(Object::atom("B1", "age", 3i64)).unwrap();
+        assert_eq!(a.atom(oid("A1")), Some(&Atom::Int(1)));
+        assert_eq!(b.atom(oid("A1")), Some(&Atom::Int(2)));
+        assert!(!a.contains(oid("B1")));
+        a.check_invariants().unwrap();
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn version_counts_successful_mutations_only() {
+        let mut s = tiny_store();
+        let v0 = s.version();
+        s.modify_atom(oid("A1"), 46i64).unwrap();
+        assert_eq!(s.version(), v0 + 1);
+        s.modify_atom(oid("NOPE"), 1i64).unwrap_err();
+        assert_eq!(s.version(), v0 + 1, "failed updates do not bump");
+        s.insert_edge_unchecked(oid("P1"), oid("GHOST")).unwrap();
+        assert_eq!(s.version(), v0 + 2);
+        let _ = s.oids_sorted();
+        assert_eq!(s.version(), v0 + 2, "reads do not bump");
+    }
+
+    #[test]
+    fn slabs_span_multiple_pages() {
+        let mut s = Store::new();
+        let n = PAGE_SIZE * 2 + 17;
+        for i in 0..n {
+            s.create(Object::atom(format!("o{i}").as_str(), "x", i as i64))
+                .unwrap();
+        }
+        assert_eq!(s.len(), n);
+        assert_eq!(s.slot_bound(), n);
+        assert_eq!(s.iter().count(), n);
+        // Spot-check an object on each page.
+        for i in [0, PAGE_SIZE, 2 * PAGE_SIZE + 16] {
+            assert_eq!(
+                s.atom(Oid::new(&format!("o{i}"))),
+                Some(&Atom::Int(i as i64))
+            );
+        }
+        s.check_invariants().unwrap();
     }
 
     #[test]

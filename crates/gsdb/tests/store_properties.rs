@@ -170,4 +170,84 @@ proptest! {
         // And nothing extra survived: live count = model + root.
         prop_assert_eq!(store.len(), values.len() + 1);
     }
+
+    /// The `oids_sorted` cache stays correct under every mutation kind
+    /// interleaved with `clone` and `fork` (which copy a *valid* cache
+    /// — sound because the cache depends only on the OID set, and
+    /// every Create/Remove invalidates it). The cache is deliberately
+    /// re-populated before each op, so a mutating path that forgets to
+    /// invalidate serves a stale list and fails here.
+    #[test]
+    fn oids_sorted_survives_mutation_interleavings(
+        ops in prop::collection::vec((0..8u8, 0..16usize, 0..100i64), 1..120),
+        salt in 0u32..1_000_000,
+    ) {
+        let mut store = Store::new();
+        let root = Oid::new(&format!("sc{salt}root"));
+        store.create(Object::empty_set(root.name(), "r")).unwrap();
+
+        let mut model: HashSet<Oid> = HashSet::new();
+        model.insert(root);
+        let mut fresh = 0usize;
+
+        for (kind, idx, v) in ops {
+            // Populate the cache *before* mutating: a missed
+            // invalidation now returns this stale list afterwards.
+            let _ = store.oids_sorted();
+            let pool: Vec<Oid> = {
+                let mut p: Vec<Oid> = model.iter().copied().filter(|o| *o != root).collect();
+                p.sort_by_key(|o| o.name());
+                p
+            };
+            match kind {
+                0 => {
+                    let o = Oid::new(&format!("sc{salt}a{fresh}"));
+                    fresh += 1;
+                    store.create(Object::atom(o.name(), "leaf", v)).unwrap();
+                    model.insert(o);
+                }
+                1 if !pool.is_empty() => {
+                    // Remove tolerates dangling parent references, so
+                    // any non-root object is removable at any time.
+                    let o = pool[idx % pool.len()];
+                    store.apply(Update::Remove { oid: o }).unwrap();
+                    model.remove(&o);
+                }
+                2 if !pool.is_empty() => {
+                    // Edge churn never changes the OID set.
+                    let o = pool[idx % pool.len()];
+                    let _ = store.apply(Update::Insert { parent: root, child: o });
+                }
+                3 if !pool.is_empty() => {
+                    let o = pool[idx % pool.len()];
+                    let _ = store.apply(Update::Delete { parent: root, child: o });
+                }
+                4 if !pool.is_empty() => {
+                    let o = pool[idx % pool.len()];
+                    let _ = store.apply(Update::Modify { oid: o, new: gsdb::Atom::Int(v) });
+                }
+                5 => {
+                    // Replica bookkeeping: the child may even be a
+                    // dangling OID — the OID set must not change.
+                    let ghost = Oid::new(&format!("sc{salt}ghost{idx}"));
+                    store.insert_edge_unchecked(root, ghost).unwrap();
+                }
+                6 => {
+                    // Clone carries the (valid) cache along.
+                    store = store.clone();
+                }
+                7 => {
+                    // Fork = the epoch-publish path's COW snapshot.
+                    store = store.fork();
+                }
+                _ => {}
+            }
+            let mut want: Vec<Oid> = model.iter().copied().collect();
+            want.sort_by_key(|o| o.name());
+            prop_assert_eq!(store.oids_sorted(), want, "stale or wrong sorted cache");
+            if let Err(e) = store.check_invariants() {
+                panic!("store invariant broken: {e}");
+            }
+        }
+    }
 }

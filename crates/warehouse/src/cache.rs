@@ -14,6 +14,12 @@
 //! paths that can never occur ... at the source", e.g. *student objects
 //! never have a salary child*, which lets the warehouse discard reports
 //! without any queries.
+//!
+//! Cache rebuilds and completeness fetches go through the warehouse's
+//! [`Channel`], whose wrapper serves them from the source's latest
+//! **published epoch** — a cache refill therefore sees one immutable
+//! batch-boundary snapshot of the source and never contends with
+//! in-flight maintenance for the store mutex.
 
 use crate::protocol::{SourceQuery, SourceReply, UpdateReport};
 use crate::remote::Channel;

@@ -7,9 +7,14 @@
 //! on top of a [`Source`]: it holds a portfolio of materialized views,
 //! absorbs the same [`UpdateReport`]s a warehouse would consume (so a
 //! source can feed both), and on [`flush`](ColocatedViews::flush)
-//! locks the source store **once** and maintains every view in a
-//! single [`ParallelMaintainer`] fan-out — per-view delta partitioning
-//! plus multi-threaded batched maintenance.
+//! maintains every view in a single [`ParallelMaintainer`] fan-out —
+//! per-view delta partitioning plus multi-threaded batched
+//! maintenance — against the source's latest **published epoch**
+//! ([`Source::snapshot`]), not the locked live store. The whole
+//! fan-out runs without holding the source mutex, so source-local
+//! writers and wrapper readers proceed while views are maintained;
+//! the snapshot is immutable, which is exactly the contract the
+//! maintainer workers already required.
 //!
 //! Reports are buffered between flushes, so a flush also benefits from
 //! batch consolidation: an edge inserted and deleted between two
@@ -59,16 +64,19 @@ impl ColocatedViews {
         self.pending.len()
     }
 
-    /// Maintain every view over the buffered reports: one lock
-    /// acquisition on the source store, one consolidation, one
-    /// parallel fan-out. Returns the per-view outcomes, in definition
-    /// order.
+    /// Maintain every view over the buffered reports: one epoch
+    /// snapshot load, one consolidation, one parallel fan-out — the
+    /// source store mutex is never taken, so updates and queries flow
+    /// while maintenance runs. The snapshot already reflects every
+    /// absorbed report (reports are emitted at or after commit, and
+    /// commits publish), so maintenance sees the post-batch base state
+    /// exactly as it did when it locked the live store. Returns the
+    /// per-view outcomes, in definition order.
     pub fn flush(&mut self, source: &Source) -> Result<Vec<BatchOutcome>> {
         let batch = DeltaBatch::from_ops(self.pending.drain());
-        let pm = &self.pm;
-        let views = &mut self.views;
-        let threads = self.threads;
-        source.with_store(|s| pm.apply_batch(views, s, &batch, threads))
+        let store = source.snapshot();
+        self.pm
+            .apply_batch(&mut self.views, &store, &batch, self.threads)
     }
 
     /// The materialized views, in definition order.

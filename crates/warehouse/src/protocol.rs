@@ -310,9 +310,19 @@ impl WireSize for SourceReply {
 /// Each connected source gets its **own** meter (the warehouse installs
 /// one per wrapper at connect time), so retry and fault traffic is
 /// attributable per source — a chaos experiment can tell which source's
-/// unreliability drove the extra round trips. [`CostMeter::snapshot`]
-/// captures all counters atomically-enough for before/after deltas via
-/// [`CostSnapshot::delta_since`].
+/// unreliability drove the extra round trips.
+///
+/// [`CostMeter::snapshot`] captures all counters **consistently**: a
+/// seqlock-style generation check (writers bump `gen` on entry and
+/// exit of each multi-counter record; the reader retries until it
+/// observes a quiet generation) guarantees the returned
+/// [`CostSnapshot`] corresponds to a state between two whole record
+/// operations. Without it, a snapshot taken mid-`record_query` could
+/// report `queries` and `messages` that disagree (e.g. one query but
+/// zero of its two messages), which showed up as mutually inconsistent
+/// columns in E12/E13 output. [`CostMeter::reset`] zeroes all counters
+/// under the same write protocol, so a concurrent snapshot sees either
+/// all counters pre-reset or all zero.
 #[derive(Debug, Default)]
 pub struct CostMeter {
     queries: AtomicU64,
@@ -320,6 +330,13 @@ pub struct CostMeter {
     bytes: AtomicU64,
     retries: AtomicU64,
     faults: AtomicU64,
+    /// Seqlock generation: bumped once on entry and once on exit of
+    /// every multi-counter write section.
+    gen: AtomicU64,
+    /// Writers currently inside a write section. `gen` alone cannot
+    /// flag "a writer entered before our first generation read and is
+    /// still writing" — this can.
+    writers: AtomicU64,
 }
 
 /// A point-in-time copy of a [`CostMeter`]'s counters.
@@ -358,31 +375,53 @@ impl CostMeter {
         Self::default()
     }
 
+    /// Enter a multi-counter write section.
+    #[inline]
+    fn begin_write(&self) {
+        self.writers.fetch_add(1, Ordering::SeqCst);
+        self.gen.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Leave a multi-counter write section.
+    #[inline]
+    fn end_write(&self) {
+        self.gen.fetch_add(1, Ordering::SeqCst);
+        self.writers.fetch_sub(1, Ordering::SeqCst);
+    }
+
     /// Record a query/reply round trip.
     pub fn record_query(&self, q: &SourceQuery, r: &SourceReply) {
+        self.begin_write();
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.messages.fetch_add(2, Ordering::Relaxed);
         self.bytes
             .fetch_add((q.wire_size() + r.wire_size()) as u64, Ordering::Relaxed);
+        self.end_write();
     }
 
     /// Record a pushed update report.
     pub fn record_report(&self, r: &UpdateReport) {
+        self.begin_write();
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(r.wire_size() as u64, Ordering::Relaxed);
+        self.end_write();
     }
 
     /// Record a failed query attempt (the request went out and cost a
     /// message, but no usable reply came back).
     pub fn record_fault(&self, q: &SourceQuery, _fault: QueryFault) {
+        self.begin_write();
         self.faults.fetch_add(1, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(q.wire_size() as u64, Ordering::Relaxed);
+        self.end_write();
     }
 
     /// Record one retry attempt about to be made after a fault.
     pub fn record_retry(&self) {
+        self.begin_write();
         self.retries.fetch_add(1, Ordering::Relaxed);
+        self.end_write();
     }
 
     /// Queries sent so far.
@@ -410,24 +449,46 @@ impl CostMeter {
         self.faults.load(Ordering::Relaxed)
     }
 
-    /// Capture all counters.
+    /// Capture all counters as one consistent state: the snapshot
+    /// corresponds to the meter between two whole record operations,
+    /// never mid-record. Retries (briefly) while writers are inside a
+    /// write section; write sections are a handful of instructions, so
+    /// the loop terminates promptly even under contention.
     pub fn snapshot(&self) -> CostSnapshot {
-        CostSnapshot {
-            queries: self.queries(),
-            messages: self.messages(),
-            bytes: self.bytes(),
-            retries: self.retries(),
-            faults: self.faults(),
+        loop {
+            let g1 = self.gen.load(Ordering::SeqCst);
+            if self.writers.load(Ordering::SeqCst) != 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            let snap = CostSnapshot {
+                queries: self.queries.load(Ordering::Relaxed),
+                messages: self.messages.load(Ordering::Relaxed),
+                bytes: self.bytes.load(Ordering::Relaxed),
+                retries: self.retries.load(Ordering::Relaxed),
+                faults: self.faults.load(Ordering::Relaxed),
+            };
+            // Unchanged generation + no active writers ⇒ no write
+            // section overlapped the reads above.
+            if self.gen.load(Ordering::SeqCst) == g1
+                && self.writers.load(Ordering::SeqCst) == 0
+            {
+                return snap;
+            }
         }
     }
 
-    /// Reset all counters.
+    /// Reset all counters atomically (as one write section): a
+    /// concurrent [`CostMeter::snapshot`] observes either the whole
+    /// pre-reset state or all zeros, never a mix.
     pub fn reset(&self) {
+        self.begin_write();
         self.queries.store(0, Ordering::Relaxed);
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.faults.store(0, Ordering::Relaxed);
+        self.end_write();
     }
 }
 
@@ -500,6 +561,71 @@ mod tests {
         assert_eq!(delta.messages, 3);
         m.reset();
         assert_eq!(m.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_is_never_torn_under_concurrent_recording() {
+        // Every record_query adds exactly (1 query, 2 messages, B
+        // bytes) as one write section, so EVERY consistent snapshot
+        // satisfies messages == 2*queries and bytes == B*queries. A
+        // snapshot taken mid-record (the seed behavior) violates this.
+        let m = CostMeter::new();
+        let q = SourceQuery::Fetch(Oid::new("P1"));
+        let r = SourceReply::Object(None);
+        let per_query_bytes = (q.wire_size() + r.wire_size()) as u64;
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 2_000;
+        std::thread::scope(|s| {
+            for _ in 0..WRITERS {
+                s.spawn(|| {
+                    for _ in 0..PER_WRITER {
+                        m.record_query(&q, &r);
+                    }
+                });
+            }
+            s.spawn(|| {
+                loop {
+                    let snap = m.snapshot();
+                    assert_eq!(
+                        snap.messages,
+                        2 * snap.queries,
+                        "torn snapshot: {snap:?}"
+                    );
+                    assert_eq!(
+                        snap.bytes,
+                        per_query_bytes * snap.queries,
+                        "torn snapshot: {snap:?}"
+                    );
+                    if snap.queries == WRITERS as u64 * PER_WRITER {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(m.queries(), WRITERS as u64 * PER_WRITER);
+    }
+
+    #[test]
+    fn reset_is_atomic_with_respect_to_snapshots() {
+        let m = CostMeter::new();
+        let q = SourceQuery::Fetch(Oid::new("P1"));
+        let r = SourceReply::Object(None);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..1_000 {
+                    m.record_query(&q, &r);
+                    m.reset();
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..1_000 {
+                    let snap = m.snapshot();
+                    // All-or-nothing: a half-reset state would break this.
+                    assert_eq!(snap.messages, 2 * snap.queries, "torn reset: {snap:?}");
+                }
+            });
+        });
     }
 
     #[test]

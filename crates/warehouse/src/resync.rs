@@ -18,6 +18,13 @@
 //!   `Stale` until a resync restores `Consistent`;
 //! * [`ResyncOutcome`] — what one healing pass did (snapshot-diff
 //!   repair, or escalation to the full-recompute baseline).
+//!
+//! Every query a healing pass issues travels the `Channel → Wrapper`
+//! query port, and [`Wrapper::serve`](crate::source::Wrapper::serve)
+//! answers from the source's latest **published epoch** — so a resync
+//! snapshot-diff reads one immutable batch-boundary state end to end,
+//! without ever taking the source's store mutex, even while the source
+//! is mid-commit on the next batch.
 
 use crate::protocol::{QueryFault, SourceQuery};
 use std::fmt;

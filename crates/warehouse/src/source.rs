@@ -9,14 +9,38 @@
 //! source and obtain answers evaluated at the current source state" —
 //! accordingly the only handles the warehouse ever gets are `Monitor`
 //! and `Wrapper`, never the store itself.
+//!
+//! ## The epoch read path
+//!
+//! Writers — [`Source::apply`], [`Source::apply_batch`],
+//! [`Source::with_store`] — mutate the live store under one mutex and,
+//! at commit, publish an immutable copy-on-write [`Store::fork`] into
+//! an [`EpochHandle`]. Readers — [`Wrapper::serve`], and through it
+//! every warehouse query, resync snapshot-diff, and cache rebuild —
+//! call [`Source::snapshot`] and evaluate against the latest published
+//! epoch: they **never take the store mutex**, so queries arriving
+//! while a maintenance pass or a long source-local batch holds the
+//! lock complete immediately against the pre-batch state. Each read
+//! observes exactly one committed epoch, never a torn intermediate
+//! (verified differentially by `gsview-core`'s
+//! `check_snapshot_isolation`).
+//!
+//! The store and the report sequence counter live under a **single**
+//! mutex ([`SourceInner`]), and [`Monitor::poll`] drains the log,
+//! assigns sequence numbers, and builds reports in one critical
+//! section. With the two separate locks the seed shipped, two racing
+//! pollers could drain disjoint log suffixes and then acquire the seq
+//! lock in the opposite order, emitting reports whose sequence order
+//! disagreed with store commit order — tripping `SeqTracker` gap
+//! detection on a perfectly healthy source.
 
 use crate::protocol::{
     CostMeter, ObjectInfo, QueryFault, ReportLevel, RootPathInfo, SourceQuery, SourceReply,
     UpdateReport,
 };
-use gsdb::{path, AppliedUpdate, Oid, Result, Store, StoreConfig, Update};
-use std::sync::Mutex;
+use gsdb::{path, AppliedUpdate, EpochHandle, Oid, Result, Store, StoreConfig, Update};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// The warehouse side of the query protocol: anything that can be
 /// asked a [`SourceQuery`] and may fail to answer.
@@ -46,14 +70,25 @@ pub trait ReportSource {
     fn checkpoint(&self) -> (String, u64);
 }
 
+/// The mutable half of a source: the live store and the report
+/// sequence counter, under **one** mutex so sequence assignment can
+/// never disagree with store commit order.
+struct SourceInner {
+    store: Store,
+    seq: u64,
+}
+
 /// An autonomous data source: a GSDB plus a designated root object.
 #[derive(Clone)]
 pub struct Source {
     name: String,
     root: Oid,
-    store: Arc<Mutex<Store>>,
+    inner: Arc<Mutex<SourceInner>>,
     level: ReportLevel,
-    seq: Arc<Mutex<u64>>,
+    /// The committed-epoch read path: every committed update/batch
+    /// publishes a fresh [`Store::fork`] here; readers load it instead
+    /// of locking `inner`.
+    epochs: Arc<EpochHandle>,
 }
 
 impl Source {
@@ -61,12 +96,13 @@ impl Source {
     /// accumulated during setup is discarded — monitoring starts now.
     pub fn new(name: &str, root: Oid, mut store: Store, level: ReportLevel) -> Self {
         store.drain_log();
+        let epochs = Arc::new(EpochHandle::new(store.fork()));
         Source {
             name: name.to_owned(),
             root,
-            store: Arc::new(Mutex::new(store)),
+            inner: Arc::new(Mutex::new(SourceInner { store, seq: 0 })),
             level,
-            seq: Arc::new(Mutex::new(0)),
+            epochs,
         }
     }
 
@@ -97,22 +133,85 @@ impl Source {
     }
 
     /// Apply an update locally (the source is autonomous — this is its
-    /// own workload, not a warehouse action).
+    /// own workload, not a warehouse action). The post-update state is
+    /// published as a new epoch at commit.
     pub fn apply(&self, update: Update) -> Result<AppliedUpdate> {
-        self.store.lock().unwrap().apply(update)
+        let mut inner = self.inner.lock().unwrap();
+        let applied = inner.store.apply(update)?;
+        self.epochs.publish(inner.store.fork());
+        Ok(applied)
     }
 
-    /// Run an arbitrary closure against the store (source-local
-    /// setup; not available to the warehouse).
+    /// Apply a run of updates as one commit: the intermediate states
+    /// are never published, only the final one — concurrent readers
+    /// observe either the pre-batch or the post-batch epoch, nothing
+    /// in between. On the first failing update the batch stops; the
+    /// applied prefix stays committed (matching what a sequential
+    /// [`Source::apply`] loop would have left behind) and is published.
+    pub fn apply_batch(
+        &self,
+        updates: impl IntoIterator<Item = Update>,
+    ) -> Result<Vec<AppliedUpdate>> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut applied = Vec::new();
+        let mut failure = None;
+        for u in updates {
+            match inner.store.apply(u) {
+                Ok(a) => applied.push(a),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if !applied.is_empty() {
+            self.epochs.publish(inner.store.fork());
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
+    }
+
+    /// Run an arbitrary closure against the live store (source-local
+    /// setup; not available to the warehouse). If the closure mutated
+    /// the store (detected via [`Store::version`]), the new state is
+    /// published as one epoch when the closure returns — a multi-update
+    /// closure is one commit, like [`Source::apply_batch`].
     pub fn with_store<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
-        f(&mut self.store.lock().unwrap())
+        let mut inner = self.inner.lock().unwrap();
+        let before = inner.store.version();
+        let out = f(&mut inner.store);
+        if inner.store.version() != before {
+            self.epochs.publish(inner.store.fork());
+        }
+        out
+    }
+
+    /// The latest committed epoch of this source's state. This is the
+    /// read path: it never takes the store mutex, so it completes even
+    /// while a writer or a maintenance flush holds the lock.
+    pub fn snapshot(&self) -> Arc<Store> {
+        self.epochs.load()
+    }
+
+    /// The epoch number of the current snapshot (number of commits
+    /// published so far).
+    pub fn epoch(&self) -> u64 {
+        self.epochs.epoch()
+    }
+
+    /// A shared handle to the epoch publication point — for harnesses
+    /// that want `(epoch, snapshot)` pairs read consistently.
+    pub fn epoch_handle(&self) -> Arc<EpochHandle> {
+        self.epochs.clone()
     }
 
     /// The sequence number the next report from this source will
     /// carry. Used by the warehouse to baseline gap detection at
     /// connect time.
     pub fn next_seq(&self) -> u64 {
-        *self.seq.lock().unwrap()
+        self.inner.lock().unwrap().seq
     }
 
     /// The monitor role for this source.
@@ -130,36 +229,48 @@ impl Source {
         }
     }
 
-    fn make_report(&self, update: AppliedUpdate, seq: u64) -> UpdateReport {
-        let store = self.store.lock().unwrap();
-        let mut report = UpdateReport {
-            source: self.name.clone(),
-            seq,
-            update,
-            info: Vec::new(),
-            paths: Vec::new(),
-        };
-        if self.level >= ReportLevel::WithValues {
-            for oid in report.update.directly_affected() {
-                if let Some(obj) = store.get(oid) {
-                    report.info.push(ObjectInfo::of(obj));
-                }
+}
+
+/// Build one update report against `store` (the monitor's view of the
+/// source at report time). A free function so [`Monitor::poll`] can
+/// call it while already holding the source lock — report content,
+/// sequence assignment, and log draining happen in one critical
+/// section.
+fn make_report(
+    store: &Store,
+    name: &str,
+    root: Oid,
+    level: ReportLevel,
+    update: AppliedUpdate,
+    seq: u64,
+) -> UpdateReport {
+    let mut report = UpdateReport {
+        source: name.to_owned(),
+        seq,
+        update,
+        info: Vec::new(),
+        paths: Vec::new(),
+    };
+    if level >= ReportLevel::WithValues {
+        for oid in report.update.directly_affected() {
+            if let Some(obj) = store.get(oid) {
+                report.info.push(ObjectInfo::of(obj));
             }
         }
-        if self.level >= ReportLevel::WithPaths {
-            for oid in report.update.directly_affected() {
-                if let Some(p) = path::path_between(&store, self.root, oid) {
-                    let oids = oids_along(&store, self.root, oid, &p);
-                    report.paths.push(RootPathInfo {
-                        target: oid,
-                        path: p,
-                        oids,
-                    });
-                }
-            }
-        }
-        report
     }
+    if level >= ReportLevel::WithPaths {
+        for oid in report.update.directly_affected() {
+            if let Some(p) = path::path_between(store, root, oid) {
+                let oids = oids_along(store, root, oid, &p);
+                report.paths.push(RootPathInfo {
+                    target: oid,
+                    path: p,
+                    oids,
+                });
+            }
+        }
+    }
+    report
 }
 
 /// The OIDs along the (tree) path from `root` to `n`, root first.
@@ -194,16 +305,30 @@ pub struct Monitor {
 
 impl Monitor {
     /// Collect reports for all updates applied since the last poll.
+    ///
+    /// Draining the log, assigning sequence numbers, and building
+    /// report content all happen in **one** critical section, so
+    /// racing pollers (or appliers) can never produce reports whose
+    /// sequence order disagrees with store commit order — see
+    /// `concurrent_appliers_and_pollers_keep_seq_consistent`.
     #[must_use = "unprocessed reports silently corrupt the warehouse's views"]
     pub fn poll(&self) -> Vec<UpdateReport> {
-        let applied = self.source.store.lock().unwrap().drain_log();
-        let mut seq_guard = self.source.seq.lock().unwrap();
+        let mut inner = self.source.inner.lock().unwrap();
+        let SourceInner { store, seq } = &mut *inner;
+        let applied = store.drain_log();
         applied
             .into_iter()
             .map(|u| {
-                let seq = *seq_guard;
-                *seq_guard += 1;
-                self.source.make_report(u, seq)
+                let s = *seq;
+                *seq += 1;
+                make_report(
+                    store,
+                    &self.source.name,
+                    self.source.root,
+                    self.source.level,
+                    u,
+                    s,
+                )
             })
             .collect()
     }
@@ -233,9 +358,14 @@ pub struct Wrapper {
 }
 
 impl Wrapper {
-    /// Serve one query.
+    /// Serve one query against the latest committed epoch. Never takes
+    /// the store mutex: a query arriving mid-maintenance (or while a
+    /// source-local batch holds the lock) answers immediately from the
+    /// last published snapshot — "answers evaluated at the current
+    /// source state" in the paper's sense, where the current state is
+    /// the latest *committed* one.
     pub fn serve(&self, q: &SourceQuery) -> SourceReply {
-        let store = self.source.store.lock().unwrap();
+        let store = self.source.snapshot();
         let reply = match q {
             SourceQuery::Fetch(o) => SourceReply::Object(store.get(*o).map(ObjectInfo::of)),
             SourceQuery::PathFromRoot { root, n } => {
@@ -377,6 +507,151 @@ mod tests {
         }
         assert_eq!(meter.queries(), 2);
         assert_eq!(meter.messages(), 4);
+    }
+
+    #[test]
+    fn wrapper_serves_while_the_store_mutex_is_held() {
+        // A writer parks inside `with_store` (holding the source
+        // lock); the wrapper must still answer from the last published
+        // epoch. With the seed's mutex-read path this test deadlocks.
+        use std::sync::mpsc;
+        let src = person_source(ReportLevel::OidsOnly);
+        let meter = Arc::new(CostMeter::new());
+        let w = src.wrapper(meter);
+        let (locked_tx, locked_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let src2 = src.clone();
+            s.spawn(move || {
+                src2.with_store(|store| {
+                    store.apply(Update::modify("A1", 99i64)).unwrap();
+                    locked_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            });
+            locked_rx.recv().unwrap(); // writer is inside the lock now
+            let reply = w.serve(&SourceQuery::Fetch(oid("A1")));
+            match reply {
+                SourceReply::Object(Some(info)) => {
+                    // The uncommitted modify is invisible: the read
+                    // came from the pre-commit epoch.
+                    assert_eq!(info.value, gsdb::Value::Atom(gsdb::Atom::Int(45)));
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+            release_tx.send(()).unwrap();
+        });
+        // After the closure returns, the commit is published.
+        match w.serve(&SourceQuery::Fetch(oid("A1"))) {
+            SourceReply::Object(Some(info)) => {
+                assert_eq!(info.value, gsdb::Value::Atom(gsdb::Atom::Int(99)));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epochs_advance_once_per_commit() {
+        let src = person_source(ReportLevel::OidsOnly);
+        let e0 = src.epoch();
+        src.apply(Update::modify("A1", 50i64)).unwrap();
+        assert_eq!(src.epoch(), e0 + 1);
+        src.apply_batch(vec![
+            Update::modify("A1", 51i64),
+            Update::modify("A1", 52i64),
+        ])
+        .unwrap();
+        assert_eq!(src.epoch(), e0 + 2, "a batch is one epoch");
+        src.with_store(|s| {
+            let _ = s.oids_sorted();
+        });
+        assert_eq!(src.epoch(), e0 + 2, "read-only closures publish nothing");
+        let pinned = src.snapshot();
+        src.apply(Update::modify("A1", 60i64)).unwrap();
+        assert_eq!(pinned.atom(oid("A1")), Some(&gsdb::Atom::Int(52)));
+        assert_eq!(src.snapshot().atom(oid("A1")), Some(&gsdb::Atom::Int(60)));
+    }
+
+    #[test]
+    fn failed_batch_commits_and_publishes_the_applied_prefix() {
+        let src = person_source(ReportLevel::OidsOnly);
+        let err = src
+            .apply_batch(vec![
+                Update::modify("A1", 70i64),
+                Update::modify("NOPE", 1i64),
+                Update::modify("A1", 71i64),
+            ])
+            .unwrap_err();
+        assert_eq!(err, gsdb::GsdbError::NoSuchObject(oid("NOPE")));
+        // The prefix is visible on the read path, the tail never ran.
+        assert_eq!(src.snapshot().atom(oid("A1")), Some(&gsdb::Atom::Int(70)));
+    }
+
+    #[test]
+    fn concurrent_appliers_and_pollers_keep_seq_consistent() {
+        // Satellite regression for the seed's seq race: two appliers
+        // and two pollers race; with `seq` and `store` under separate
+        // locks, report sequence order could disagree with commit
+        // order and trip SeqTracker on a healthy source. Here: all
+        // reports collected across both pollers must carry unique,
+        // contiguous seqs, and per-OID the Modify old→new values must
+        // chain in seq order (seq order == commit order).
+        let src = person_source(ReportLevel::OidsOnly);
+        src.with_store(|s| {
+            s.create(gsdb::Object::atom("TA", "n", 0i64)).unwrap();
+            s.create(gsdb::Object::atom("TB", "n", 0i64)).unwrap();
+            s.drain_log();
+        });
+        const N: i64 = 50;
+        let all = Mutex::new(Vec::<UpdateReport>::new());
+        std::thread::scope(|scope| {
+            for target in ["TA", "TB"] {
+                let src = src.clone();
+                scope.spawn(move || {
+                    for v in 1..=N {
+                        src.apply(Update::modify(target, v)).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let m = src.monitor();
+                let all = &all;
+                scope.spawn(move || loop {
+                    let reports = m.poll();
+                    let mut guard = all.lock().unwrap();
+                    guard.extend(reports);
+                    if guard.len() as i64 >= 2 * N {
+                        break;
+                    }
+                    drop(guard);
+                    std::thread::yield_now();
+                });
+            }
+        });
+        let mut reports = all.into_inner().unwrap();
+        assert_eq!(reports.len() as i64, 2 * N);
+        reports.sort_by_key(|r| r.seq);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "seqs must be contiguous");
+        }
+        for target in ["TA", "TB"] {
+            let mut last = 0i64;
+            for r in &reports {
+                if let gsdb::AppliedUpdate::Modify { oid: o, old, new } = &r.update {
+                    if o.name() == target {
+                        assert_eq!(
+                            old,
+                            &gsdb::Atom::Int(last),
+                            "seq order diverged from commit order for {target}"
+                        );
+                        if let gsdb::Atom::Int(v) = new {
+                            last = *v;
+                        }
+                    }
+                }
+            }
+            assert_eq!(last, N, "all {target} updates reported");
+        }
     }
 
     #[test]
