@@ -15,6 +15,7 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -30,6 +31,7 @@ pub use table::Table;
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
 ];
 
 /// Run one experiment by id.
@@ -49,6 +51,7 @@ pub fn run(id: &str, quick: bool) -> Option<Table> {
         "e12" => Some(e12::run(quick)),
         "e13" => Some(e13::run(quick)),
         "e14" => Some(e14::run(quick)),
+        "e15" => Some(e15::run(quick)),
         _ => None,
     }
 }

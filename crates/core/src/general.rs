@@ -247,6 +247,11 @@ impl GeneralMaintainer {
         store: &Store,
         update: &AppliedUpdate,
     ) -> Result<Outcome> {
+        let _span = gsview_obs::span!(
+            "maint.general.apply",
+            "view" = self.def.view.name().to_string(),
+            "update" = crate::maintain::update_kind(update),
+        );
         let relevant = match update {
             AppliedUpdate::Insert { parent, child } | AppliedUpdate::Delete { parent, child } => {
                 self.edge_relevant(store, *parent, *child)
@@ -282,6 +287,7 @@ impl GeneralMaintainer {
         if !relevant {
             return Ok(Outcome::default());
         }
+        gsview_obs::event!("maint.general.refresh", "cause" = "single_update");
         let fresh = self.recompute(store)?;
         let fresh_members: HashSet<Oid> = fresh.members_base().into_iter().collect();
         let mut out = Outcome {
@@ -321,6 +327,12 @@ impl GeneralMaintainer {
         batch: &DeltaBatch,
     ) -> Result<BatchOutcome> {
         let delta = batch.consolidate();
+        let _span = gsview_obs::span!(
+            "maint.general.plan",
+            "view" = self.def.view.name().to_string(),
+            "input_ops" = delta.input_ops,
+            "consolidated_ops" = delta.len(),
+        );
         let mut out = BatchOutcome {
             input_ops: delta.input_ops,
             consolidated_ops: delta.len(),
@@ -353,6 +365,7 @@ impl GeneralMaintainer {
             }
         }
         if relevant {
+            gsview_obs::event!("maint.general.refresh", "cause" = "batch");
             let fresh = self.recompute(store)?;
             let fresh_members: HashSet<Oid> = fresh.members_base().into_iter().collect();
             for stale in mv.members_base() {

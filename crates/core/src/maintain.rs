@@ -41,6 +41,17 @@ use gsdb::{AppliedUpdate, ConsolidatedDelta, DeltaBatch, EdgeOp, Oid, Path, Resu
 use gsview_query::Pred;
 use std::collections::HashSet;
 
+/// Stable name of an update kind for event fields.
+pub(crate) fn update_kind(update: &AppliedUpdate) -> &'static str {
+    match update {
+        AppliedUpdate::Insert { .. } => "insert",
+        AppliedUpdate::Delete { .. } => "delete",
+        AppliedUpdate::Modify { .. } => "modify",
+        AppliedUpdate::Create { .. } => "create",
+        AppliedUpdate::Remove { .. } => "remove",
+    }
+}
+
 /// What one maintenance invocation did.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Outcome {
@@ -103,6 +114,11 @@ impl Maintainer {
         base: &mut dyn BaseAccess,
         update: &AppliedUpdate,
     ) -> Result<Outcome> {
+        let _span = gsview_obs::span!(
+            "maint.apply",
+            "view" = self.def.view.name().to_string(),
+            "update" = update_kind(update),
+        );
         let outcome = match update {
             AppliedUpdate::Insert { parent, child } => self.on_insert(mv, base, *parent, *child)?,
             AppliedUpdate::Delete { parent, child } => self.on_delete(mv, base, *parent, *child)?,
@@ -113,6 +129,13 @@ impl Maintainer {
             AppliedUpdate::Create { .. } | AppliedUpdate::Remove { .. } => Outcome::irrelevant(),
         };
         content_upkeep(mv, base, update)?;
+        gsview_obs::event!(
+            "maint.decision",
+            "branch" = update_kind(update),
+            "relevant" = outcome.relevant,
+            "inserted" = outcome.inserted.len(),
+            "deleted" = outcome.deleted.len(),
+        );
         Ok(outcome)
     }
 
@@ -296,6 +319,7 @@ pub fn sweep_members(
     mv: &mut dyn ViewSink,
     base: &mut dyn BaseAccess,
 ) -> Result<Vec<Oid>> {
+    let _span = gsview_obs::span!("maint.sweep", "view" = def.view.name().to_string());
     let pred = def.cond.as_ref().map(|c| &c.pred);
     let mut deleted = Vec::new();
     for y in mv.members() {
@@ -312,6 +336,7 @@ pub fn sweep_members(
             deleted.push(y);
         }
     }
+    gsview_obs::event!("maint.sweep.done", "evicted" = deleted.len());
     Ok(deleted)
 }
 
@@ -411,6 +436,12 @@ impl MaintPlan {
         base: &mut dyn BaseAccess,
         delta: &ConsolidatedDelta,
     ) -> Result<BatchOutcome> {
+        let _plan_span = gsview_obs::span!(
+            "maint.plan",
+            "view" = self.def.view.name().to_string(),
+            "input_ops" = delta.input_ops,
+            "consolidated_ops" = delta.len(),
+        );
         let mut out = BatchOutcome {
             input_ops: delta.input_ops,
             consolidated_ops: delta.len(),
@@ -422,6 +453,7 @@ impl MaintPlan {
 
         // Phase 1: locate each delta (relevance test, once per
         // consolidated delta) and collect candidate members.
+        let locate_span = gsview_obs::span!("maint.phase.locate");
         let mut candidates: Vec<Oid> = Vec::new();
         // Full repair of every member (derivability *and* witness).
         let mut sweep = false;
@@ -455,6 +487,12 @@ impl MaintPlan {
                         // (this sweep) or a re-attaching insert (the
                         // path re-check below).
                         if root_path.is_none() || l2.is_none() {
+                            if !sweep {
+                                gsview_obs::event!(
+                                    "maint.sweep_escalation",
+                                    "cause" = "unreachable_delete_parent",
+                                );
+                            }
                             sweep = true;
                         }
                     }
@@ -468,6 +506,12 @@ impl MaintPlan {
                         // member's select path. Freshly created
                         // objects cannot carry members.
                         if !delta.created.contains(&e.child) {
+                            if !verify_paths {
+                                gsview_obs::event!(
+                                    "maint.sweep_escalation",
+                                    "cause" = "reattaching_insert",
+                                );
+                            }
                             verify_paths = true;
                         }
                     }
@@ -515,8 +559,10 @@ impl MaintPlan {
             out.swept = true;
             candidates.extend(mv.members());
         }
+        drop(locate_span);
 
         // Phase 2: repair each candidate once against ground truth.
+        let repair_span = gsview_obs::span!("maint.phase.repair", "candidates" = candidates.len());
         let mut seen: HashSet<Oid> = HashSet::new();
         for y in candidates {
             if !seen.insert(y) {
@@ -542,6 +588,7 @@ impl MaintPlan {
                 out.deleted.push(y);
             }
         }
+        drop(repair_span);
 
         // Phase 2b: select-path re-check. A re-attaching insert may
         // have moved members to positions no delta locates; evict any
@@ -549,6 +596,7 @@ impl MaintPlan {
         // are fully covered by the located candidates, so no
         // condition evaluation is needed here.)
         if verify_paths && !sweep {
+            let _verify_span = gsview_obs::span!("maint.phase.verify_paths");
             out.swept = true;
             for y in mv.members() {
                 if seen.contains(&y) {
@@ -566,6 +614,8 @@ impl MaintPlan {
 
         // Phase 3: single content-upkeep pass (§3.2) — each touched
         // member's stored copy is refreshed once per batch.
+        let content_span =
+            gsview_obs::span!("maint.phase.content", "touched" = delta.touched.len());
         for &o in &delta.touched {
             if seen.contains(&o) && out.inserted.contains(&o) {
                 continue; // freshly inserted: copy is already current
@@ -578,6 +628,15 @@ impl MaintPlan {
                 }
             }
         }
+        drop(content_span);
+        gsview_obs::event!(
+            "maint.plan.done",
+            "relevant_deltas" = out.relevant_deltas,
+            "inserted" = out.inserted.len(),
+            "deleted" = out.deleted.len(),
+            "refreshed" = out.refreshed,
+            "swept" = out.swept,
+        );
         Ok(out)
     }
 }

@@ -209,11 +209,13 @@ pub fn assert_parallel_equivalent(
     for (def, v) in defs.iter().zip(&verdicts) {
         if !v.ok() {
             let ops: Vec<String> = updates.iter().map(|u| u.to_string()).collect();
-            panic!(
+            let msg = format!(
                 "parallel maintenance diverged for `{def}` at {threads} threads\nupdates: [{}]\nfailures:\n  {}",
                 ops.join(", "),
                 v.failures.join("\n  ")
             );
+            gsview_obs::failure(&msg);
+            panic!("{msg}");
         }
     }
 }
@@ -381,12 +383,14 @@ pub fn assert_snapshot_isolated(
                 format!("[{}]", ops.join(", "))
             })
             .collect();
-        panic!(
+        let msg = format!(
             "snapshot isolation violated for `{def}` ({} readers)\nbatches: {}\nviolations:\n  {}",
             readers,
             runs.join(" "),
             report.violations.join("\n  ")
         );
+        gsview_obs::failure(&msg);
+        panic!("{msg}");
     }
 }
 
@@ -397,11 +401,13 @@ pub fn assert_equivalent(def: &SimpleViewDef, initial: &Store, updates: &[Update
     let verdict = check_equivalence(def, initial, updates).expect("oracle run failed");
     if !verdict.ok() {
         let ops: Vec<String> = updates.iter().map(|u| u.to_string()).collect();
-        panic!(
+        let msg = format!(
             "maintenance routes diverged for `{def}`\nupdates: [{}]\nfailures:\n  {}",
             ops.join(", "),
             verdict.failures.join("\n  ")
         );
+        gsview_obs::failure(&msg);
+        panic!("{msg}");
     }
 }
 

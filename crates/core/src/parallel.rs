@@ -323,7 +323,19 @@ impl ParallelMaintainer {
             self.plans.len(),
             "one materialized view per definition, in order"
         );
-        let (deltas, _stats) = self.partition_for(store, delta, views);
+        let _span = gsview_obs::span!(
+            "maint.parallel",
+            "views" = views.len(),
+            "threads" = threads,
+            "ops" = delta.len(),
+        );
+        let (deltas, stats) = self.partition_for(store, delta, views);
+        gsview_obs::event!(
+            "maint.partition",
+            "dispatched" = stats.dispatched,
+            "screened_out" = stats.screened_out,
+            "screened" = stats.screened,
+        );
         let mut work: Vec<(usize, &MaintPlan, ConsolidatedDelta, &mut MaterializedView)> = self
             .plans
             .iter()

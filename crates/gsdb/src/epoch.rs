@@ -82,9 +82,13 @@ impl EpochHandle {
     /// them alive until dropped — publication never invalidates an
     /// in-flight read.
     pub fn publish(&self, snapshot: Store) -> u64 {
+        let version = snapshot.version();
         let mut guard = self.current.write().unwrap();
         *guard = Arc::new(snapshot);
-        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        drop(guard);
+        gsview_obs::event!("epoch.publish", "epoch" = epoch, "version" = version);
+        epoch
     }
 }
 

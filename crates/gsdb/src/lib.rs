@@ -70,7 +70,7 @@ pub use object::Object;
 pub use oid::Oid;
 pub use path::Path;
 pub use snapshot::Snapshot;
-pub use stats::{stats, StoreStats};
+pub use stats::{stats, stats_at, StoreStats};
 pub use fxhash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use smallset::SmallSet;
 pub use store::{SlotSet, Store, StoreConfig};

@@ -2,7 +2,7 @@
 //! distribution. Used by workload generators to validate their shapes
 //! and by the benchmark harness to report database parameters.
 
-use crate::{Label, Store};
+use crate::{EpochHandle, Label, Store};
 use std::collections::HashMap;
 
 /// Summary statistics for a store.
@@ -47,6 +47,17 @@ pub fn stats(store: &Store) -> StoreStats {
     s
 }
 
+/// Compute statistics over the latest epoch-published snapshot,
+/// without ever taking the live store's mutex: grabbing the snapshot
+/// is an `Arc` clone ([`EpochHandle::load`]), and iteration runs over
+/// the immutable fork while the writer keeps committing. Returns the
+/// observed epoch alongside the stats so callers can report *which*
+/// committed state they measured.
+pub fn stats_at(handle: &EpochHandle) -> (u64, StoreStats) {
+    let (epoch, snapshot) = handle.load_with_epoch();
+    (epoch, stats(&snapshot))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +79,23 @@ mod tests {
         assert_eq!(s.max_fanout, 2);
         assert!((s.mean_fanout - 2.0).abs() < 1e-9);
         assert_eq!(s.label_histogram[&Label::new("leaf")], 3);
+    }
+
+    #[test]
+    fn stats_at_reads_published_epoch_not_live_store() {
+        let mut live = Store::new();
+        set("r", "root").child(atom("x", "leaf", 1i64)).build(&mut live).unwrap();
+        let h = EpochHandle::new(live.fork());
+        // Mutate the live store without publishing: stats_at must not
+        // see it (it reads the snapshot, not the live store).
+        atom("y", "leaf", 2i64).build(&mut live).unwrap();
+        let (epoch, s) = stats_at(&h);
+        assert_eq!(epoch, 0);
+        assert_eq!(s.objects, 2);
+        h.publish(live.fork());
+        let (epoch, s) = stats_at(&h);
+        assert_eq!(epoch, 1);
+        assert_eq!(s.objects, 3);
     }
 
     #[test]

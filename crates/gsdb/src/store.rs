@@ -57,7 +57,8 @@ use crate::smallset::SmallSet;
 use crate::{
     AppliedUpdate, Atom, GsdbError, Label, Object, Oid, Result, Update, Value,
 };
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use gsview_obs::Counter;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Slots per copy-on-write page (power of two: slot addressing is a
@@ -191,7 +192,9 @@ pub struct Store {
     /// republishing an untouched store.
     version: u64,
     count_accesses: AtomicBool,
-    accesses: AtomicU64,
+    /// Sharded (per-thread-bucket) so parallel maintenance threads
+    /// counting reads on a shared snapshot don't bounce a cache line.
+    accesses: Counter,
     /// Cached result of `oids_sorted`, invalidated on create/remove.
     /// `Arc` inside so clones and forks share the cached vector.
     sorted_cache: RwLock<Option<Arc<Vec<Oid>>>>,
@@ -210,7 +213,7 @@ impl Default for Store {
             log_enabled: false,
             version: 0,
             count_accesses: AtomicBool::new(false),
-            accesses: AtomicU64::new(0),
+            accesses: Counter::new("store.accesses"),
             sorted_cache: RwLock::new(None),
         }
     }
@@ -239,7 +242,11 @@ impl Clone for Store {
             log_enabled: self.log_enabled,
             version: self.version,
             count_accesses: AtomicBool::new(self.count_accesses.load(Ordering::Relaxed)),
-            accesses: AtomicU64::new(self.accesses.load(Ordering::Relaxed)),
+            accesses: {
+                let c = Counter::new("store.accesses");
+                c.add(self.accesses.get());
+                c
+            },
             sorted_cache: RwLock::new(self.sorted_cache.read().unwrap().clone()),
         }
     }
@@ -319,7 +326,7 @@ impl Store {
     #[inline]
     fn bump(&self) {
         if self.count_accesses.load(Ordering::Relaxed) {
-            self.accesses.fetch_add(1, Ordering::Relaxed);
+            self.accesses.incr();
         }
     }
 
@@ -438,12 +445,12 @@ impl Store {
     /// the "access to base data" cost the paper's §4.4 analysis uses.
     /// Always 0 unless [`StoreConfig::count_accesses`] was set.
     pub fn accesses(&self) -> u64 {
-        self.accesses.load(Ordering::Relaxed)
+        self.accesses.get()
     }
 
     /// Reset the access counter.
     pub fn reset_accesses(&self) {
-        self.accesses.store(0, Ordering::Relaxed);
+        self.accesses.reset();
     }
 
     /// True iff reads are counted.
@@ -665,6 +672,17 @@ impl Store {
             self.log.push(applied.clone());
         }
         self.version += 1;
+        gsview_obs::event!(
+            "store.apply",
+            "kind" = match &applied {
+                AppliedUpdate::Insert { .. } => "insert",
+                AppliedUpdate::Delete { .. } => "delete",
+                AppliedUpdate::Modify { .. } => "modify",
+                AppliedUpdate::Create { .. } => "create",
+                AppliedUpdate::Remove { .. } => "remove",
+            },
+            "version" = self.version,
+        );
         Ok(applied)
     }
 

@@ -1,0 +1,119 @@
+//! Per-phase timing aggregation: a [`crate::Collector`] that folds
+//! span durations into (count, total time) per span name. The bench
+//! harness installs one to turn `maint.phase.*` spans into the
+//! per-phase breakdown tables in EXPERIMENTS.md.
+
+use crate::{Collector, Event, EventKind, FieldValue};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Aggregated timings for one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Spans closed under this name.
+    pub count: u64,
+    /// Sum of their `elapsed_ns` fields.
+    pub total_ns: u64,
+}
+
+/// A collector that keeps only per-span-name duration totals —
+/// constant memory, suitable for leaving installed across a whole
+/// benchmark sweep.
+#[derive(Debug, Default)]
+pub struct PhaseProfile {
+    totals: Mutex<HashMap<&'static str, PhaseTotals>>,
+}
+
+impl PhaseProfile {
+    /// New empty profile.
+    pub fn new() -> PhaseProfile {
+        PhaseProfile::default()
+    }
+
+    /// `(name, totals)` rows sorted by descending total time.
+    pub fn phases(&self) -> Vec<(&'static str, PhaseTotals)> {
+        let mut rows: Vec<_> = self
+            .totals
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&name, &t)| (name, t))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        rows
+    }
+
+    /// Totals for one span name.
+    pub fn get(&self, name: &str) -> PhaseTotals {
+        self.totals
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(&n, _)| n == name)
+            .map(|(_, &t)| t)
+            .unwrap_or_default()
+    }
+
+    /// Forget everything.
+    pub fn reset(&self) {
+        self.totals.lock().unwrap().clear();
+    }
+}
+
+impl Collector for PhaseProfile {
+    fn record(&self, event: Event) {
+        if event.kind != EventKind::SpanEnd {
+            return;
+        }
+        let elapsed = match event.field("elapsed_ns") {
+            Some(&FieldValue::U64(ns)) => ns,
+            _ => 0,
+        };
+        let mut totals = self.totals.lock().unwrap();
+        let entry = totals.entry(event.name).or_default();
+        entry.count += 1;
+        entry.total_ns += elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+
+    fn end(name: &'static str, ns: u64) -> Event {
+        Event {
+            ts_ns: 0,
+            thread: 1,
+            kind: EventKind::SpanEnd,
+            name,
+            span: 1,
+            parent: 0,
+            fields: vec![Field::new("elapsed_ns", ns)],
+        }
+    }
+
+    #[test]
+    fn aggregates_span_ends_only() {
+        let p = PhaseProfile::new();
+        p.record(end("locate", 100));
+        p.record(end("locate", 50));
+        p.record(end("repair", 10));
+        p.record(Event {
+            kind: EventKind::Instant,
+            ..end("locate", 999)
+        });
+        assert_eq!(
+            p.get("locate"),
+            PhaseTotals {
+                count: 2,
+                total_ns: 150
+            }
+        );
+        let rows = p.phases();
+        assert_eq!(rows[0].0, "locate");
+        assert_eq!(rows[1].0, "repair");
+        p.reset();
+        assert_eq!(p.get("locate"), PhaseTotals::default());
+    }
+}

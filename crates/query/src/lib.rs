@@ -37,6 +37,7 @@
 pub mod ast;
 pub mod cond;
 pub mod eval;
+pub mod explain;
 pub mod lexer;
 pub mod parser;
 pub mod pathexpr;
@@ -46,5 +47,6 @@ pub use ast::{Condition, Entry, Query, Statement, ViewDef};
 pub use cond::{CmpOp, Pred};
 pub use eval::{evaluate, evaluate_into, Answer, EvalError, EvalStats};
 pub use parser::{parse_query, parse_statement, parse_viewdef, ParseError};
-pub use plan::{evaluate_planned, SelStrategy};
+pub use explain::explain;
+pub use plan::{choose_explained, evaluate_planned, SelStrategy};
 pub use pathexpr::{reach_expr, reach_expr_seed_layout, DenseNfa, Elem, Nfa, PathExpr, TraversalStats};

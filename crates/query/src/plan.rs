@@ -59,25 +59,54 @@ impl fmt::Display for SelStrategy {
 /// has both label and parent indexes, and (c) the candidate set is
 /// smaller than `selectivity_cutoff` × |store|.
 pub fn choose(store: &Store, expr: &PathExpr, selectivity_cutoff: f64) -> SelStrategy {
+    choose_explained(store, expr, selectivity_cutoff).0
+}
+
+/// Like [`choose`], but also returns a one-line human-readable reason
+/// for the decision (used by [`explain`](crate::explain::explain) and
+/// the `query.plan` trace event).
+pub fn choose_explained(
+    store: &Store,
+    expr: &PathExpr,
+    selectivity_cutoff: f64,
+) -> (SelStrategy, String) {
     if !store.has_parent_index() {
-        return SelStrategy::Forward;
+        return (SelStrategy::Forward, "no parent index".into());
     }
     let labels: Vec<Label> = match expr.0.last() {
         Some(Elem::Label(l)) => vec![*l],
         Some(Elem::Alt(ls)) => ls.clone(),
-        _ => return SelStrategy::Forward,
+        None => return (SelStrategy::Forward, "empty selection expression".into()),
+        _ => {
+            return (
+                SelStrategy::Forward,
+                "tail element is not a constant label".into(),
+            )
+        }
     };
     let mut candidates = 0usize;
     for &l in &labels {
         match store.with_label(l) {
             Some(set) => candidates += set.len(),
-            None => return SelStrategy::Forward, // no label index
+            None => {
+                return (
+                    SelStrategy::Forward,
+                    format!("no label index for {l}"),
+                )
+            }
         }
     }
-    if (candidates as f64) < selectivity_cutoff * store.len() as f64 {
-        SelStrategy::Backward { labels }
+    let objects = store.len();
+    if (candidates as f64) < selectivity_cutoff * objects as f64 {
+        (
+            SelStrategy::Backward { labels },
+            format!("label index: {candidates} candidates < {selectivity_cutoff} x {objects} objects"),
+        )
     } else {
-        SelStrategy::Forward
+        (
+            SelStrategy::Forward,
+            format!("unselective tail: {candidates} candidates >= {selectivity_cutoff} x {objects} objects"),
+        )
     }
 }
 
@@ -249,6 +278,12 @@ pub fn evaluate_planned(
             .ok_or(EvalError::BadDatabase(db))?;
         result.retain(|o| members.contains(*o));
     }
+    gsview_obs::event!("query.plan",
+        "strategy" = strategy.to_string(),
+        "answers" = result.len(),
+        "sel_states" = stats.sel_states_visited,
+        "candidates_tested" = stats.candidates_tested,
+        "cond_states" = stats.cond_states_visited);
     Ok((
         Answer {
             oids: result,

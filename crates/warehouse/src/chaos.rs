@@ -153,6 +153,7 @@ impl FaultyMonitor {
         for mut report in fresh {
             if rng.gen_bool(self.policy.drop_prob) {
                 stats.dropped += 1;
+                gsview_obs::event!("chaos.inject", "kind" = "drop", "seq" = report.seq);
                 continue;
             }
             if rng.gen_bool(self.policy.downgrade_prob)
@@ -161,15 +162,18 @@ impl FaultyMonitor {
                 report.info.clear();
                 report.paths.clear();
                 stats.downgraded += 1;
+                gsview_obs::event!("chaos.inject", "kind" = "downgrade", "seq" = report.seq);
             }
             if rng.gen_bool(self.policy.delay_prob) {
                 stats.delayed += 1;
+                gsview_obs::event!("chaos.inject", "kind" = "delay", "seq" = report.seq);
                 self.pending.lock().unwrap().push(report);
                 continue;
             }
             if rng.gen_bool(self.policy.dup_prob) {
                 stats.duplicated += 1;
                 stats.delivered += 1;
+                gsview_obs::event!("chaos.inject", "kind" = "duplicate", "seq" = report.seq);
                 out.push(report.clone());
             }
             stats.delivered += 1;
@@ -179,6 +183,7 @@ impl FaultyMonitor {
             let i = rng.gen_range(0..out.len() - 1);
             out.swap(i, i + 1);
             stats.reordered += 1;
+            gsview_obs::event!("chaos.inject", "kind" = "reorder");
         }
         out
     }
@@ -233,6 +238,9 @@ impl QueryPort for FaultyWrapper {
         };
         if let Some(fault) = fault {
             self.injected.fetch_add(1, Ordering::Relaxed);
+            gsview_obs::event!("chaos.inject",
+                "kind" = "query_fault",
+                "fault" = fault.to_string());
             self.inner.meter().record_fault(q, fault);
             return Err(fault);
         }
@@ -439,7 +447,7 @@ pub fn assert_recovers(
     let report = run_scenario(def, initial, updates, sc).expect("chaos scenario run failed");
     if !report.ok() {
         let ops: Vec<String> = updates.iter().map(|u| u.to_string()).collect();
-        panic!(
+        let msg = format!(
             "chaos pipeline failed to recover for `{def}`\n\
              seed: {seed:#x}, level: {level}, policy: {policy:?}\n\
              updates: [{ops}]\nchaos: {stats:?}\nfailures:\n  {failures}",
@@ -450,6 +458,8 @@ pub fn assert_recovers(
             stats = report.monitor_stats,
             failures = report.failures.join("\n  ")
         );
+        gsview_obs::failure(&msg);
+        panic!("{msg}");
     }
     report
 }

@@ -73,6 +73,10 @@ impl ColocatedViews {
     /// exactly as it did when it locked the live store. Returns the
     /// per-view outcomes, in definition order.
     pub fn flush(&mut self, source: &Source) -> Result<Vec<BatchOutcome>> {
+        let _span = gsview_obs::span!("warehouse.flush",
+            "views" = self.views.len(),
+            "pending" = self.pending.len(),
+            "threads" = self.threads);
         let batch = DeltaBatch::from_ops(self.pending.drain());
         let store = source.snapshot();
         self.pm

@@ -18,8 +18,9 @@
 //! bytes as well as query counts.
 
 use gsdb::{AppliedUpdate, Atom, Label, Object, Oid, Path, Value};
+use gsview_obs::metrics::{Counter, Registry};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How much information a source volunteers with each update report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -312,31 +313,55 @@ impl WireSize for SourceReply {
 /// attributable per source — a chaos experiment can tell which source's
 /// unreliability drove the extra round trips.
 ///
-/// [`CostMeter::snapshot`] captures all counters **consistently**: a
-/// seqlock-style generation check (writers bump `gen` on entry and
-/// exit of each multi-counter record; the reader retries until it
-/// observes a quiet generation) guarantees the returned
-/// [`CostSnapshot`] corresponds to a state between two whole record
-/// operations. Without it, a snapshot taken mid-`record_query` could
-/// report `queries` and `messages` that disagree (e.g. one query but
-/// zero of its two messages), which showed up as mutually inconsistent
-/// columns in E12/E13 output. [`CostMeter::reset`] zeroes all counters
-/// under the same write protocol, so a concurrent snapshot sees either
-/// all counters pre-reset or all zero.
-#[derive(Debug, Default)]
+/// [`CostMeter::snapshot`] captures all counters **consistently**: the
+/// meter is now a thin compatibility shim over a private
+/// [`gsview_obs::metrics::Registry`], whose seqlock write sections
+/// (writers bump a generation on entry and exit of each multi-counter
+/// record; the reader retries until it observes a quiet generation)
+/// guarantee the returned [`CostSnapshot`] corresponds to a state
+/// between two whole record operations. Without it, a snapshot taken
+/// mid-`record_query` could report `queries` and `messages` that
+/// disagree (e.g. one query but zero of its two messages), which
+/// showed up as mutually inconsistent columns in E12/E13 output.
+/// [`CostMeter::reset`] zeroes all counters under the same write
+/// protocol, so a concurrent snapshot sees either all counters
+/// pre-reset or all zero.
 pub struct CostMeter {
-    queries: AtomicU64,
-    messages: AtomicU64,
-    bytes: AtomicU64,
-    retries: AtomicU64,
-    faults: AtomicU64,
-    /// Seqlock generation: bumped once on entry and once on exit of
-    /// every multi-counter write section.
-    gen: AtomicU64,
-    /// Writers currently inside a write section. `gen` alone cannot
-    /// flag "a writer entered before our first generation read and is
-    /// still writing" — this can.
-    writers: AtomicU64,
+    /// Backing registry: owns the seqlock discipline the old
+    /// hand-rolled gen/writers pair implemented.
+    reg: Registry,
+    queries: Arc<Counter>,
+    messages: Arc<Counter>,
+    bytes: Arc<Counter>,
+    retries: Arc<Counter>,
+    faults: Arc<Counter>,
+}
+
+impl fmt::Debug for CostMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("CostMeter")
+            .field("queries", &s.queries)
+            .field("messages", &s.messages)
+            .field("bytes", &s.bytes)
+            .field("retries", &s.retries)
+            .field("faults", &s.faults)
+            .finish()
+    }
+}
+
+impl Default for CostMeter {
+    fn default() -> Self {
+        let reg = Registry::new();
+        CostMeter {
+            queries: reg.counter("cost.queries"),
+            messages: reg.counter("cost.messages"),
+            bytes: reg.counter("cost.bytes"),
+            retries: reg.counter("cost.retries"),
+            faults: reg.counter("cost.faults"),
+            reg,
+        }
+    }
 }
 
 /// A point-in-time copy of a [`CostMeter`]'s counters.
@@ -375,106 +400,72 @@ impl CostMeter {
         Self::default()
     }
 
-    /// Enter a multi-counter write section.
-    #[inline]
-    fn begin_write(&self) {
-        self.writers.fetch_add(1, Ordering::SeqCst);
-        self.gen.fetch_add(1, Ordering::SeqCst);
-    }
-
-    /// Leave a multi-counter write section.
-    #[inline]
-    fn end_write(&self) {
-        self.gen.fetch_add(1, Ordering::SeqCst);
-        self.writers.fetch_sub(1, Ordering::SeqCst);
-    }
-
     /// Record a query/reply round trip.
     pub fn record_query(&self, q: &SourceQuery, r: &SourceReply) {
-        self.begin_write();
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.messages.fetch_add(2, Ordering::Relaxed);
-        self.bytes
-            .fetch_add((q.wire_size() + r.wire_size()) as u64, Ordering::Relaxed);
-        self.end_write();
+        let _s = self.reg.section();
+        self.queries.incr();
+        self.messages.add(2);
+        self.bytes.add((q.wire_size() + r.wire_size()) as u64);
     }
 
     /// Record a pushed update report.
     pub fn record_report(&self, r: &UpdateReport) {
-        self.begin_write();
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(r.wire_size() as u64, Ordering::Relaxed);
-        self.end_write();
+        let _s = self.reg.section();
+        self.messages.incr();
+        self.bytes.add(r.wire_size() as u64);
     }
 
     /// Record a failed query attempt (the request went out and cost a
     /// message, but no usable reply came back).
     pub fn record_fault(&self, q: &SourceQuery, _fault: QueryFault) {
-        self.begin_write();
-        self.faults.fetch_add(1, Ordering::Relaxed);
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(q.wire_size() as u64, Ordering::Relaxed);
-        self.end_write();
+        let _s = self.reg.section();
+        self.faults.incr();
+        self.messages.incr();
+        self.bytes.add(q.wire_size() as u64);
     }
 
     /// Record one retry attempt about to be made after a fault.
     pub fn record_retry(&self) {
-        self.begin_write();
-        self.retries.fetch_add(1, Ordering::Relaxed);
-        self.end_write();
+        let _s = self.reg.section();
+        self.retries.incr();
     }
 
     /// Queries sent so far.
     pub fn queries(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+        self.queries.get()
     }
 
     /// Messages (reports + queries + replies) so far.
     pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+        self.messages.get()
     }
 
     /// Estimated bytes so far.
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.get()
     }
 
     /// Retried query attempts so far.
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.retries.get()
     }
 
     /// Failed query attempts so far.
     pub fn faults(&self) -> u64 {
-        self.faults.load(Ordering::Relaxed)
+        self.faults.get()
     }
 
     /// Capture all counters as one consistent state: the snapshot
     /// corresponds to the meter between two whole record operations,
-    /// never mid-record. Retries (briefly) while writers are inside a
-    /// write section; write sections are a handful of instructions, so
-    /// the loop terminates promptly even under contention.
+    /// never mid-record ([`Registry::snapshot`]'s seqlock retry loop).
     pub fn snapshot(&self) -> CostSnapshot {
-        loop {
-            let g1 = self.gen.load(Ordering::SeqCst);
-            if self.writers.load(Ordering::SeqCst) != 0 {
-                std::thread::yield_now();
-                continue;
-            }
-            let snap = CostSnapshot {
-                queries: self.queries.load(Ordering::Relaxed),
-                messages: self.messages.load(Ordering::Relaxed),
-                bytes: self.bytes.load(Ordering::Relaxed),
-                retries: self.retries.load(Ordering::Relaxed),
-                faults: self.faults.load(Ordering::Relaxed),
-            };
-            // Unchanged generation + no active writers ⇒ no write
-            // section overlapped the reads above.
-            if self.gen.load(Ordering::SeqCst) == g1
-                && self.writers.load(Ordering::SeqCst) == 0
-            {
-                return snap;
-            }
+        let s = self.reg.snapshot();
+        CostSnapshot {
+            queries: s.counter("cost.queries"),
+            messages: s.counter("cost.messages"),
+            bytes: s.counter("cost.bytes"),
+            retries: s.counter("cost.retries"),
+            faults: s.counter("cost.faults"),
         }
     }
 
@@ -482,13 +473,7 @@ impl CostMeter {
     /// concurrent [`CostMeter::snapshot`] observes either the whole
     /// pre-reset state or all zeros, never a mix.
     pub fn reset(&self) {
-        self.begin_write();
-        self.queries.store(0, Ordering::Relaxed);
-        self.messages.store(0, Ordering::Relaxed);
-        self.bytes.store(0, Ordering::Relaxed);
-        self.retries.store(0, Ordering::Relaxed);
-        self.faults.store(0, Ordering::Relaxed);
-        self.end_write();
+        self.reg.reset();
     }
 }
 

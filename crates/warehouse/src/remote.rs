@@ -126,6 +126,10 @@ impl Channel {
                         return None;
                     }
                     self.meter.record_retry();
+                    gsview_obs::event!("warehouse.retry",
+                        "source" = self.source.clone(),
+                        "attempt" = attempt + 1,
+                        "fault" = fault.to_string());
                     self.clock.advance_ms(self.retry.backoff_ms(attempt));
                     attempt += 1;
                 }

@@ -137,8 +137,16 @@ impl DeadLetterQueue {
         Self::default()
     }
 
-    /// Append a dead letter.
+    /// Append a dead letter. Never silent: every entry emits a trace
+    /// event (flight-recorder visible) and bumps the global
+    /// `warehouse.dlq.enter` counter, so a chaos run can assert that
+    /// nothing was lost without scraping logs.
     pub fn push(&self, letter: DeadLetter) {
+        gsview_obs::event!("warehouse.dlq.enter",
+            "source" = letter.source.clone(),
+            "fault" = letter.fault.to_string(),
+            "attempts" = letter.attempts);
+        gsview_obs::registry().counter("warehouse.dlq.enter").incr();
         self.letters.lock().unwrap().push(letter);
     }
 
@@ -152,9 +160,17 @@ impl DeadLetterQueue {
         self.len() == 0
     }
 
-    /// Take all queued letters.
+    /// Take all queued letters. Bumps `warehouse.dlq.leave` by the
+    /// number taken, so `enter - leave` is the standing backlog.
     pub fn drain(&self) -> Vec<DeadLetter> {
-        std::mem::take(&mut *self.letters.lock().unwrap())
+        let letters = std::mem::take(&mut *self.letters.lock().unwrap());
+        if !letters.is_empty() {
+            gsview_obs::event!("warehouse.dlq.drain", "count" = letters.len());
+            gsview_obs::registry()
+                .counter("warehouse.dlq.leave")
+                .add(letters.len() as u64);
+        }
+        letters
     }
 }
 

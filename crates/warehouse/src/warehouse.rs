@@ -296,6 +296,10 @@ impl Warehouse {
     /// * A maintenance pass that loses a query to the dead-letter
     ///   queue also sends the view stale: its result cannot be trusted.
     pub fn handle_report(&mut self, report: &UpdateReport) -> Result<Vec<(Oid, Outcome)>> {
+        let _span = gsview_obs::span!("warehouse.handle_report",
+            "source" = report.source.clone(),
+            "seq" = report.seq,
+            "level" = report.effective_level().to_string());
         let Some(conn) = self.connections.get_mut(&report.source) else {
             return Ok(Vec::new());
         };
@@ -310,6 +314,10 @@ impl Warehouse {
             return Ok(Vec::new());
         }
         if let SeqVerdict::Gap { expected, got } = verdict {
+            gsview_obs::event!("warehouse.seq_gap",
+                "source" = report.source.clone(),
+                "expected" = expected,
+                "got" = got);
             for wv in self.views.iter_mut().filter(|v| v.source == report.source) {
                 wv.stats.gaps_detected += 1;
                 if !wv.state.is_stale() {
@@ -439,6 +447,7 @@ impl Warehouse {
         &mut self,
         reports: &[UpdateReport],
     ) -> Result<Vec<(Oid, BatchOutcome)>> {
+        let _span = gsview_obs::span!("warehouse.handle_batch", "reports" = reports.len());
         let mut sources: Vec<String> = Vec::new();
         for r in reports {
             if !sources.contains(&r.source) {
@@ -463,6 +472,12 @@ impl Warehouse {
                     SeqVerdict::Duplicate { .. } => dups += 1,
                     SeqVerdict::Gap { expected, got } => {
                         gaps += 1;
+                        if first_gap.is_none() {
+                            gsview_obs::event!("warehouse.seq_gap",
+                                "source" = source.clone(),
+                                "expected" = expected,
+                                "got" = got);
+                        }
                         first_gap.get_or_insert((expected, got));
                         accepted.push(r);
                     }
@@ -582,6 +597,7 @@ impl Warehouse {
     /// stale (`healed == false`) and the caller retries — see the
     /// bounded loop in [`chaos::run_scenario`](crate::chaos::run_scenario).
     pub fn resync_view(&mut self, view: Oid) -> Result<ResyncOutcome> {
+        let _span = gsview_obs::span!("warehouse.resync_view", "view" = view.name().to_string());
         let Some(idx) = self.views.iter().position(|v| v.def.view == view) else {
             return Ok(ResyncOutcome::default());
         };
@@ -634,6 +650,10 @@ impl Warehouse {
             wv.state = ViewState::Stale(StaleCause::QueryFailure);
         }
         outcome.healed = healed;
+        gsview_obs::event!("warehouse.resync_view.done",
+            "view" = view.name().to_string(),
+            "healed" = healed,
+            "escalated" = outcome.escalated);
         Ok(outcome)
     }
 

@@ -14,7 +14,9 @@
 //!   algorithms (§3–4, §6);
 //! * [`warehouse`] — the warehousing architecture (§5);
 //! * [`relbaseline`] — the relational-flattening comparator (§4.4);
-//! * [`workload`] — deterministic synthetic workloads.
+//! * [`workload`] — deterministic synthetic workloads;
+//! * [`obs`] — zero-dependency tracing, metrics, and the flight
+//!   recorder (spans/events, sharded counters, failure dumps).
 //!
 //! See `examples/quickstart.rs` for a guided tour and DESIGN.md for
 //! the full system inventory.
@@ -23,5 +25,6 @@ pub use gsdb;
 pub use gsview_query as query;
 pub use gsview_core as views;
 pub use gsview_warehouse as warehouse;
+pub use gsview_obs as obs;
 pub use gsview_relbaseline as relbaseline;
 pub use gsview_workload as workload;

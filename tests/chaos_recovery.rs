@@ -307,3 +307,59 @@ proptest! {
         prop_assert_eq!(report.backoff_ms, 0, "no retries means no backoff latency");
     }
 }
+
+/// A dead-lettered query is never silent: every push into the DLQ
+/// bumps the global `warehouse.dlq.enter` counter (and every drain
+/// bumps `warehouse.dlq.leave`), so observability can account for
+/// exactly as many entries as the queue reports. Deltas are used
+/// because the counters are process-global and tests run in parallel.
+#[test]
+fn dead_letters_bump_the_global_dlq_counters() {
+    use gsview::warehouse::chaos::run_scenario;
+
+    let enter = gsview::obs::registry().counter("warehouse.dlq.enter");
+    let leave = gsview::obs::registry().counter("warehouse.dlq.leave");
+    let enter0 = enter.get();
+    let leave0 = leave.get();
+
+    // Every query attempt fails and there are no retries, so any
+    // maintenance query dead-letters immediately. OidsOnly reports
+    // force Algorithm 1 to query the source.
+    let mut store = Store::with_config(StoreConfig::default());
+    store.create(Object::empty_set("croot", "root")).unwrap();
+    store.create(Object::empty_set("cn0", "a")).unwrap();
+    store.create(Object::atom("cn1", "b", 60i64)).unwrap();
+    store.insert_edge(Oid::new("croot"), Oid::new("cn0")).unwrap();
+    store.insert_edge(Oid::new("cn0"), Oid::new("cn1")).unwrap();
+    let mut shadow = store.clone();
+    let updates = plan_stream(
+        &mut shadow,
+        Oid::new("croot"),
+        &[Oid::new("croot"), Oid::new("cn0")],
+        &[Oid::new("cn1")],
+        &[(0, 1), (2, 2), (1, 3), (2, 4)],
+    );
+    let sc = ChaosScenario {
+        level: ReportLevel::OidsOnly,
+        policy: ChaosPolicy {
+            query_fail_prob: 1.0,
+            ..ChaosPolicy::seeded(7)
+        },
+        retry: RetryPolicy::none(),
+        poll_every: 1,
+        max_resync_rounds: 2,
+        ..ChaosScenario::default()
+    };
+    let report = run_scenario(&SimpleViewDef::new("CV", "croot", "a.b"), &store, &updates, &sc)
+        .expect("scenario run failed");
+
+    assert!(report.dead_letters > 0, "scenario must produce dead letters");
+    let entered = enter.get() - enter0;
+    let left = leave.get() - leave0;
+    assert!(
+        entered >= report.dead_letters as u64,
+        "DLQ counter undercounts: {entered} entered vs {} queued",
+        report.dead_letters
+    );
+    assert!(left <= entered, "cannot drain more letters than entered");
+}
