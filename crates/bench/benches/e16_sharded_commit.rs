@@ -1,0 +1,29 @@
+//! Criterion wrapper for E16: multi-writer commit throughput through
+//! the sharded pipeline at 1/2/4/8 shards vs the single-mutex
+//! baseline. Single-core caveat: on one hardware thread the writer
+//! threads are time-sliced, so the shard counts mostly bound the
+//! pipeline's overhead; multi-core hosts show the separation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsview_bench::e16;
+
+const WRITERS: usize = 4;
+const BATCHES: usize = 40;
+const OPS: usize = 4;
+
+fn commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_commit");
+    g.sample_size(10);
+    g.bench_function("mutex", |b| {
+        b.iter(|| e16::run_mutex(WRITERS, BATCHES, OPS))
+    });
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &n| {
+            b.iter(|| e16::run_sharded(n, WRITERS, BATCHES, OPS))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, commit);
+criterion_main!(benches);

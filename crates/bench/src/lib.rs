@@ -16,6 +16,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -31,7 +32,7 @@ pub use table::Table;
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e15", "e16",
 ];
 
 /// Run one experiment by id.
@@ -52,6 +53,7 @@ pub fn run(id: &str, quick: bool) -> Option<Table> {
         "e13" => Some(e13::run(quick)),
         "e14" => Some(e14::run(quick)),
         "e15" => Some(e15::run(quick)),
+        "e16" => Some(e16::run(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,47 @@
+//! E16 regression smoke: the deterministic quick-mode facts of the
+//! sharded commit pipeline must not drift from the checked-in
+//! baseline (`baselines/e16_quick.json`). Epoch and object counts are
+//! exact — disjoint writers, fixed scripts — so any drift is a change
+//! in the commit/publish discipline (an epoch lost, duplicated, or a
+//! torn cross-shard batch), not noise. Throughput is deliberately NOT
+//! checked here (machine-dependent, and this container is
+//! single-core); EXPERIMENTS.md records it.
+
+use gsview_bench::e16;
+
+const BASELINE: &str = include_str!("../baselines/e16_quick.json");
+
+/// Minimal extraction of `"key": <integer>` from the baseline JSON —
+/// no serde in the dependency tree.
+fn baseline(key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = BASELINE
+        .split(&pat)
+        .nth(1)
+        .unwrap_or_else(|| panic!("baseline key {key} missing"));
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    num.parse().unwrap_or_else(|_| panic!("baseline key {key} not an integer"))
+}
+
+#[test]
+fn sharded_commit_facts_do_not_drift() {
+    // quick_facts itself asserts the cross-route agreements: every
+    // shard count (1/2/4/8) and the mutex baseline publish exactly
+    // writers x batches epochs over the identical final object set,
+    // with store invariants intact after the race.
+    let (epochs, objects) = e16::quick_facts();
+    assert_eq!(
+        epochs,
+        baseline("epochs_published"),
+        "published-epoch count drifted from baseline"
+    );
+    assert_eq!(
+        objects,
+        baseline("final_objects"),
+        "final object count drifted from baseline"
+    );
+}

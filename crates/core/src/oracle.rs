@@ -19,7 +19,7 @@ use crate::consistency;
 use crate::maintain::{BatchOutcome, MaintPlan, Maintainer};
 use crate::recompute::recompute;
 use crate::viewdef::SimpleViewDef;
-use gsdb::{DeltaBatch, Oid, Result, Store, Update};
+use gsdb::{DeltaBatch, Oid, Result, ShardedStore, Store, Update};
 
 /// The outcome of one oracle run.
 #[derive(Clone, Debug, Default)]
@@ -220,6 +220,173 @@ pub fn assert_parallel_equivalent(
     }
 }
 
+/// The outcome of one sharded multi-writer commit oracle run.
+///
+/// Produced by [`check_sharded_commit_equivalence`]: racing writer
+/// threads committed their update runs through a [`ShardedStore`],
+/// the published epoch numbers serialized the race into one total
+/// order, and that serial run was fed through every maintenance route
+/// of [`check_parallel_equivalence`] plus a replay comparison against
+/// the pipeline's own final snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedVerdict {
+    /// Per-definition verdicts of the serialized run (sequential,
+    /// batched, recompute, and parallel routes).
+    pub verdicts: Vec<OracleVerdict>,
+    /// The committed updates in epoch (= commit) order — the exact
+    /// serialization the sharded pipeline chose. Replayable.
+    pub serialized: Vec<Update>,
+    /// Epochs the pipeline published (one per successful commit).
+    pub epochs: u64,
+    /// Failures of the sharded layer itself: replayed state vs the
+    /// pipeline's final snapshot, epoch accounting, and store
+    /// invariants. Route divergences live in `verdicts`.
+    pub failures: Vec<String>,
+}
+
+impl ShardedVerdict {
+    /// True iff the sharded layer checks out and every route agreed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty() && self.verdicts.iter().all(|v| v.ok())
+    }
+}
+
+/// Sharded multi-writer commit oracle: `per_writer` update runs race —
+/// one writer thread each, committing update-by-update through one
+/// [`ShardedStore`] over `shards` shards — and the result must be
+/// indistinguishable from *some* serial execution:
+///
+/// 1. The published epoch numbers totally order the committed updates
+///    (epochs are assigned under the pipeline's publish lock); replay
+///    that serialization on a plain single-threaded store — the final
+///    state must equal the pipeline's final published snapshot, object
+///    for object.
+/// 2. The serialized run must pass the full four-route maintenance
+///    oracle ([`check_parallel_equivalence`]): seq ≡ batched ≡
+///    recompute ≡ parallel, extended by this function to ≡ sharded
+///    multi-writer.
+/// 3. The final snapshot must satisfy every per-shard and global store
+///    invariant, and the epoch counter must equal the number of
+///    successful commits.
+///
+/// Updates a writer's commit rejects are skipped (no epoch consumed),
+/// matching the skip semantics of every other oracle entry point.
+pub fn check_sharded_commit_equivalence(
+    defs: &[SimpleViewDef],
+    initial: &Store,
+    per_writer: &[Vec<Update>],
+    shards: usize,
+    threads: usize,
+) -> Result<ShardedVerdict> {
+    use std::sync::Mutex;
+
+    let mut verdict = ShardedVerdict::default();
+    let pipeline = ShardedStore::new(initial.reshard(shards));
+    let base_epoch = pipeline.epoch();
+
+    let committed: Mutex<Vec<(u64, Update)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for run in per_writer {
+            let pipeline = &pipeline;
+            let committed = &committed;
+            scope.spawn(move || {
+                for u in run {
+                    let r = pipeline.commit(std::slice::from_ref(u));
+                    if let Some(epoch) = r.epoch {
+                        committed.lock().unwrap().push((epoch, u.clone()));
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    let mut committed = committed.into_inner().unwrap();
+    committed.sort_by_key(|(e, _)| *e);
+    verdict.serialized = committed.into_iter().map(|(_, u)| u).collect();
+    verdict.epochs = pipeline.epoch() - base_epoch;
+
+    if verdict.epochs != verdict.serialized.len() as u64 {
+        verdict.failures.push(format!(
+            "epoch accounting: {} epochs published for {} successful commits",
+            verdict.epochs,
+            verdict.serialized.len()
+        ));
+    }
+
+    // Replay the serialization and compare against the pipeline's own
+    // final snapshot: same OIDs, same values — a torn or lost commit
+    // shows up here.
+    let snap = pipeline.snapshot();
+    if let Err(e) = snap.check_invariants() {
+        verdict
+            .failures
+            .push(format!("final snapshot violates store invariants: {e}"));
+    }
+    let mut replay = initial.clone();
+    for u in &verdict.serialized {
+        if let Err(e) = replay.apply(u.clone()) {
+            verdict.failures.push(format!(
+                "serialized replay rejected `{u}` that the pipeline committed: {e}"
+            ));
+        }
+    }
+    if replay.oids_sorted() != snap.oids_sorted() {
+        verdict.failures.push(format!(
+            "replayed OID set {:?} != pipeline snapshot OID set {:?}",
+            replay.oids_sorted(),
+            snap.oids_sorted()
+        ));
+    } else {
+        for o in replay.oids_sorted() {
+            let (a, b) = (replay.get(o), snap.get(o));
+            if a.map(|x| &x.value) != b.map(|x| &x.value)
+                || a.map(|x| x.label) != b.map(|x| x.label)
+            {
+                verdict.failures.push(format!(
+                    "object {} diverged: replay {:?} vs pipeline {:?}",
+                    o.name(),
+                    a,
+                    b
+                ));
+            }
+        }
+    }
+
+    // The serialized run through all four maintenance routes.
+    verdict.verdicts = check_parallel_equivalence(defs, initial, &verdict.serialized, threads)?;
+    Ok(verdict)
+}
+
+/// [`check_sharded_commit_equivalence`], panicking with full replay
+/// context on the first disagreement.
+pub fn assert_sharded_commit_equivalent(
+    defs: &[SimpleViewDef],
+    initial: &Store,
+    per_writer: &[Vec<Update>],
+    shards: usize,
+    threads: usize,
+) {
+    let v = check_sharded_commit_equivalence(defs, initial, per_writer, shards, threads)
+        .expect("sharded oracle run failed");
+    if !v.ok() {
+        let ops: Vec<String> = v.serialized.iter().map(|u| u.to_string()).collect();
+        let mut failures = v.failures.clone();
+        for (def, dv) in defs.iter().zip(&v.verdicts) {
+            for f in &dv.failures {
+                failures.push(format!("{def}: {f}"));
+            }
+        }
+        let msg = format!(
+            "sharded multi-writer commit diverged ({} writers, {shards} shards)\nserialized: [{}]\nfailures:\n  {}",
+            per_writer.len(),
+            ops.join(", "),
+            failures.join("\n  ")
+        );
+        gsview_obs::failure(&msg);
+        panic!("{msg}");
+    }
+}
+
 /// The outcome of one snapshot-isolation run.
 ///
 /// Produced by [`check_snapshot_isolation`]: concurrent readers raced
@@ -237,9 +404,20 @@ pub struct IsolationReport {
     /// finished. These prove the race was actually exercised.
     pub concurrent_observations: usize,
     /// Human-readable descriptions of every isolation violation — a
-    /// read that observed a state matching *no* batch boundary. Empty
+    /// read that observed a state matching *no* batch boundary, or
+    /// (in [`check_cross_shard_isolation`]) a torn marker pair. Empty
     /// = every read saw exactly a pre- or post-batch state.
     pub violations: Vec<String>,
+    /// Marker-pair equality checks performed across all readers
+    /// ([`check_cross_shard_isolation`] only; 0 otherwise). Each check
+    /// read both halves of one atomically-committed pair from one
+    /// snapshot.
+    pub marker_pairs_checked: usize,
+    /// How many of the planted marker pairs actually span two
+    /// different shards — the proof that the cross-shard torn-write
+    /// detector exercised the two-phase publish path and not just
+    /// single-shard commits ([`check_cross_shard_isolation`] only).
+    pub cross_shard_pairs: usize,
 }
 
 impl IsolationReport {
@@ -387,6 +565,190 @@ pub fn assert_snapshot_isolated(
             "snapshot isolation violated for `{def}` ({} readers)\nbatches: {}\nviolations:\n  {}",
             readers,
             runs.join(" "),
+            report.violations.join("\n  ")
+        );
+        gsview_obs::failure(&msg);
+        panic!("{msg}");
+    }
+}
+
+/// Cross-shard torn-write detector for the sharded commit pipeline.
+///
+/// Plants one **marker pair** per writer — two atomic objects chosen
+/// so they land on *different* shards whenever the store has more
+/// than one — then races `writers` threads, each committing
+/// `batches_per_writer` batches of the form
+/// `[modify(mₐ, v), modify(m_b, v)]`: both halves of the pair set to
+/// the same value in **one commit**. Concurrently, `readers` threads
+/// repeatedly load the latest published snapshot and compare the two
+/// halves of every pair: any snapshot in which `mₐ ≠ m_b` is a torn
+/// cross-shard write — a commit published half-applied across the
+/// shard boundary — and is reported as a violation.
+///
+/// This is the isolation property [`check_snapshot_isolation`] cannot
+/// see: its single writer serializes everything, whereas here the
+/// pairs race each other through disjoint *and* overlapping shard
+/// sets, exercising the two-phase publish. The report's
+/// [`cross_shard_pairs`](IsolationReport::cross_shard_pairs) counts
+/// how many pairs genuinely straddled two shards (0 at one shard,
+/// where the check degenerates to batch atomicity).
+///
+/// `initial` supplies the configuration (shard count, indexes) and
+/// any pre-existing objects; markers are created on top of it.
+pub fn check_cross_shard_isolation(
+    initial: &Store,
+    writers: usize,
+    batches_per_writer: usize,
+    readers: usize,
+    reads_per_reader: usize,
+) -> Result<IsolationReport> {
+    use gsdb::Object;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    let pipeline = ShardedStore::new(initial.clone());
+    let writers = writers.max(1);
+
+    // Plant the marker pairs: for each writer, probe OID names until
+    // the two halves land on different shards (any pair will do at
+    // one shard).
+    let mut pairs: Vec<(Oid, Oid)> = Vec::with_capacity(writers);
+    let mut creates: Vec<Update> = Vec::new();
+    for w in 0..writers {
+        let a = Oid::new(&format!("mk{w}_a"));
+        let mut b = Oid::new(&format!("mk{w}_b"));
+        if pipeline.shard_count() > 1 {
+            for probe in 0.. {
+                let cand = Oid::new(&format!("mk{w}_b{probe}"));
+                if pipeline.shard_of(cand) != pipeline.shard_of(a) {
+                    b = cand;
+                    break;
+                }
+            }
+        }
+        pairs.push((a, b));
+        creates.push(Update::Create {
+            object: Object::atom(a.name(), "marker", 0i64),
+        });
+        creates.push(Update::Create {
+            object: Object::atom(b.name(), "marker", 0i64),
+        });
+    }
+    pipeline
+        .commit(&creates)
+        .into_result()
+        .expect("marker creation cannot fail");
+
+    let base_epoch = pipeline.epoch();
+    let mut report = IsolationReport {
+        cross_shard_pairs: pairs
+            .iter()
+            .filter(|(a, b)| pipeline.shard_of(*a) != pipeline.shard_of(*b))
+            .count(),
+        ..IsolationReport::default()
+    };
+
+    let done = AtomicBool::new(false);
+    let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let stats: Mutex<(usize, usize, usize)> = Mutex::new((0, 0, 0));
+    std::thread::scope(|scope| {
+        for (w, (a, b)) in pairs.iter().enumerate() {
+            let pipeline = &pipeline;
+            scope.spawn(move || {
+                for v in 1..=batches_per_writer as i64 {
+                    let stamp = (w as i64 + 1) * 1_000_000 + v;
+                    pipeline
+                        .commit(&[Update::modify(a.name(), stamp), Update::modify(b.name(), stamp)])
+                        .into_result()
+                        .expect("marker modify cannot fail");
+                    std::thread::yield_now();
+                }
+            });
+        }
+        for r in 0..readers.max(1) {
+            let pipeline = &pipeline;
+            let pairs = &pairs;
+            let done = &done;
+            let violations = &violations;
+            let stats = &stats;
+            scope.spawn(move || {
+                let (mut reads, mut concurrent, mut checked) = (0usize, 0usize, 0usize);
+                loop {
+                    if reads >= reads_per_reader && done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let epoch = pipeline.epoch();
+                    let snap = pipeline.snapshot();
+                    for (a, b) in pairs {
+                        let (va, vb) = (snap.atom(*a), snap.atom(*b));
+                        checked += 1;
+                        if va != vb {
+                            violations.lock().unwrap().push(format!(
+                                "reader {r}: torn pair ({}, {}) = ({va:?}, {vb:?}) in one snapshot",
+                                a.name(),
+                                b.name()
+                            ));
+                        }
+                    }
+                    reads += 1;
+                    if pipeline.epoch() != epoch {
+                        concurrent += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                let mut s = stats.lock().unwrap();
+                s.0 += reads;
+                s.1 += concurrent;
+                s.2 += checked;
+            });
+        }
+        // Writer threads finish on their own; flag completion for the
+        // readers once every writer scope handle would have joined.
+        // (Scoped threads join at scope exit; the flag is set by the
+        // last writer via a dedicated waiter.)
+        let pipeline = &pipeline;
+        let done = &done;
+        scope.spawn(move || {
+            let target = base_epoch + (writers * batches_per_writer) as u64;
+            while pipeline.epoch() < target {
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    let (reads, concurrent, checked) = stats.into_inner().unwrap();
+    report.observations = reads;
+    report.concurrent_observations = concurrent;
+    report.marker_pairs_checked = checked;
+    report.epochs_published = pipeline.epoch() - base_epoch;
+    report.violations = violations.into_inner().unwrap();
+    // The final snapshot must also be structurally sound.
+    if let Err(e) = pipeline.snapshot().check_invariants() {
+        report
+            .violations
+            .push(format!("final snapshot violates store invariants: {e}"));
+    }
+    Ok(report)
+}
+
+/// [`check_cross_shard_isolation`], panicking with full context on the
+/// first torn pair.
+pub fn assert_cross_shard_isolated(
+    initial: &Store,
+    writers: usize,
+    batches_per_writer: usize,
+    readers: usize,
+    reads_per_reader: usize,
+) {
+    let report =
+        check_cross_shard_isolation(initial, writers, batches_per_writer, readers, reads_per_reader)
+            .expect("cross-shard isolation run failed");
+    if !report.ok() {
+        let msg = format!(
+            "cross-shard isolation violated ({} writers, {} shards)\nviolations:\n  {}",
+            writers,
+            initial.shard_count(),
             report.violations.join("\n  ")
         );
         gsview_obs::failure(&msg);
@@ -559,6 +921,62 @@ mod tests {
         assert_eq!(report.epochs_published, 0);
         assert_eq!(report.concurrent_observations, 0, "nothing ever superseded epoch 0");
         assert!(report.observations >= 6);
+    }
+
+    #[test]
+    fn sharded_commit_oracle_accepts_racing_writers() {
+        let mut store = person_store();
+        store.create(Object::atom("A2", "age", 40i64)).unwrap();
+        for shards in [1, 4] {
+            let per_writer = vec![
+                vec![Update::insert("P2", "A2"), Update::modify("A2", 30i64)],
+                vec![Update::modify("A1", 80i64), Update::modify("A1", 20i64)],
+            ];
+            let v = check_sharded_commit_equivalence(
+                &[yp_def()],
+                &store,
+                &per_writer,
+                shards,
+                2,
+            )
+            .unwrap();
+            assert!(v.ok(), "shards={shards}: {:?} {:?}", v.failures, v.verdicts);
+            assert_eq!(v.epochs, 4);
+            assert_eq!(v.serialized.len(), 4);
+        }
+    }
+
+    #[test]
+    fn sharded_commit_oracle_skips_rejected_updates() {
+        let store = person_store();
+        let per_writer = vec![
+            vec![Update::modify("NOPE", 1i64), Update::modify("A1", 30i64)],
+            vec![Update::delete("P1", "GHOST")],
+        ];
+        let v =
+            check_sharded_commit_equivalence(&[yp_def()], &store, &per_writer, 4, 2).unwrap();
+        assert!(v.ok(), "{:?}", v.failures);
+        assert_eq!(v.epochs, 1, "only the feasible update commits");
+    }
+
+    #[test]
+    fn cross_shard_markers_are_never_torn() {
+        for shards in [1, 4, 8] {
+            let store =
+                Store::with_config(gsdb::StoreConfig::default().with_shards(shards));
+            let report = check_cross_shard_isolation(&store, 3, 20, 2, 10).unwrap();
+            assert!(report.ok(), "shards={shards}: {:?}", report.violations);
+            assert_eq!(report.epochs_published, 3 * 20);
+            assert!(report.marker_pairs_checked >= 2 * 10 * 3);
+            if shards > 1 {
+                assert_eq!(
+                    report.cross_shard_pairs, 3,
+                    "every pair must straddle two shards at {shards} shards"
+                );
+            } else {
+                assert_eq!(report.cross_shard_pairs, 0);
+            }
+        }
     }
 
     #[test]

@@ -71,7 +71,74 @@ use crate::base::LocalBase;
 use crate::maintain::{BatchOutcome, MaintPlan};
 use crate::mview::MaterializedView;
 use crate::viewdef::SimpleViewDef;
-use gsdb::{ConsolidatedDelta, DeltaBatch, EdgeOp, FastMap, FastSet, Oid, Result, Store};
+use gsdb::{
+    ConsolidatedDelta, DeltaBatch, EdgeOp, FastMap, FastSet, Oid, Result, Store, Update,
+    MAX_SHARDS,
+};
+
+/// Partition a run of updates into **commit lanes**: groups whose
+/// affected shard sets are pairwise disjoint, so each lane can be
+/// handed to its own writer and committed through the sharded store
+/// concurrently — the write-side counterpart of the read-side view
+/// fan-out below. Within a lane the original update order is kept;
+/// updates in different lanes commute (they touch disjoint shards, and
+/// no update can move an OID between shards).
+///
+/// `Remove`'s affected set is approximated from `store` (the current
+/// snapshot): safe, because any *other* update that changes the
+/// victim's children necessarily names the victim and therefore shares
+/// its home shard — landing in the same lane, where order is
+/// preserved. Returns lanes in first-touch order; the concatenation of
+/// all lanes is a permutation of `updates`.
+pub fn partition_commit_lanes(store: &Store, updates: &[Update]) -> Vec<Vec<Update>> {
+    // Union-find over the (≤ MAX_SHARDS) shard ids.
+    let mut parent: [usize; MAX_SHARDS] = std::array::from_fn(|i| i);
+    fn find(parent: &mut [usize; MAX_SHARDS], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let shards_of = |u: &Update| -> Vec<usize> {
+        let mut v = Vec::with_capacity(4);
+        match u {
+            Update::Insert { parent, child } | Update::Delete { parent, child } => {
+                v.push(store.shard_of(*parent));
+                v.push(store.shard_of(*child));
+            }
+            Update::Modify { oid, .. } => v.push(store.shard_of(*oid)),
+            Update::Create { object } => {
+                v.push(store.shard_of(object.oid));
+                v.extend(object.children().iter().map(|c| store.shard_of(*c)));
+            }
+            Update::Remove { oid } => {
+                v.push(store.shard_of(*oid));
+                v.extend(store.children(*oid).iter().map(|c| store.shard_of(*c)));
+            }
+        }
+        v
+    };
+    let masks: Vec<Vec<usize>> = updates.iter().map(shards_of).collect();
+    for shards in &masks {
+        let root = find(&mut parent, shards[0]);
+        for &s in &shards[1..] {
+            let r = find(&mut parent, s);
+            parent[r] = root;
+        }
+    }
+    let mut lane_of_root: FastMap<usize, usize> = FastMap::default();
+    let mut lanes: Vec<Vec<Update>> = Vec::new();
+    for (u, shards) in updates.iter().zip(&masks) {
+        let root = find(&mut parent, shards[0]);
+        let lane = *lane_of_root.entry(root).or_insert_with(|| {
+            lanes.push(Vec::new());
+            lanes.len() - 1
+        });
+        lanes[lane].push(u.clone());
+    }
+    lanes
+}
 
 /// The set of objects from which `n` is reachable (including `n`
 /// itself), computed by an upward BFS over the inverse index. The
@@ -545,5 +612,68 @@ mod tests {
             views[0].store().get(delegate).unwrap().atom_value(),
             Some(&gsdb::Atom::Int(77))
         );
+    }
+
+    #[test]
+    fn commit_lanes_are_shard_disjoint_and_order_preserving() {
+        let mut store =
+            Store::with_config(gsdb::StoreConfig::default().with_shards(8));
+        for i in 0..24 {
+            store
+                .create(Object::atom(format!("L{i}").as_str(), "x", i as i64))
+                .unwrap();
+        }
+        let updates: Vec<Update> = (0..24).map(|i| Update::modify(format!("L{i}").as_str(), -1i64)).collect();
+        let lanes = partition_commit_lanes(&store, &updates);
+        // Every update lands in exactly one lane…
+        assert_eq!(lanes.iter().map(|l| l.len()).sum::<usize>(), updates.len());
+        // …lanes touch pairwise-disjoint shard sets…
+        let shard_sets: Vec<std::collections::BTreeSet<usize>> = lanes
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .map(|u| match u {
+                        Update::Modify { oid, .. } => store.shard_of(*oid),
+                        _ => unreachable!(),
+                    })
+                    .collect()
+            })
+            .collect();
+        for i in 0..shard_sets.len() {
+            for j in i + 1..shard_sets.len() {
+                assert!(shard_sets[i].is_disjoint(&shard_sets[j]), "lanes {i} and {j} collide");
+            }
+        }
+        // …and same-shard updates keep their relative order.
+        for lane in &lanes {
+            let mut per_shard: FastMap<usize, Vec<i64>> = FastMap::default();
+            for u in lane {
+                if let Update::Modify { oid, .. } = u {
+                    let idx: i64 = oid.name()[1..].parse().unwrap();
+                    per_shard.entry(store.shard_of(*oid)).or_default().push(idx);
+                }
+            }
+            for order in per_shard.values() {
+                assert!(order.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn commit_lanes_keep_conflicting_updates_together() {
+        let mut store =
+            Store::with_config(gsdb::StoreConfig::default().with_shards(8));
+        store.create(Object::empty_set("R", "root")).unwrap();
+        store.create(Object::atom("V", "x", 1i64)).unwrap();
+        store.insert_edge(oid("R"), oid("V")).unwrap();
+        // An edge insert into V and the removal of V name the same
+        // OID: one lane, insert before remove.
+        let updates = vec![
+            Update::insert("R", "V"),
+            Update::Remove { oid: oid("V") },
+        ];
+        let lanes = partition_commit_lanes(&store, &updates);
+        let lane_with_both = lanes.iter().find(|l| l.len() == 2);
+        assert!(lane_with_both.is_some(), "conflicting updates must share a lane: {lanes:?}");
     }
 }

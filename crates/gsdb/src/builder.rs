@@ -16,7 +16,9 @@
 //! assert_eq!(store.len(), 3);
 //! ```
 
-use crate::{Atom, Object, Oid, Result, Store};
+use crate::shard::ShardedStore;
+use crate::{Atom, Object, Oid, Result, Store, Update};
+use std::collections::HashSet;
 
 /// A tree (or DAG) of objects under construction.
 #[derive(Clone, Debug)]
@@ -76,6 +78,44 @@ impl Node {
         Ok(root)
     }
 
+    /// Materialize the subtree through a [`ShardedStore`] as **one
+    /// atomic commit**: either the whole tree lands (publishing a
+    /// single epoch) or none of it does. Like [`build`](Node::build),
+    /// nodes whose OID already exists — in the latest published
+    /// snapshot or earlier in this same tree — are treated as
+    /// references. The containment check reads the snapshot, so a
+    /// racing writer creating the same OID makes this commit fail
+    /// rather than silently share; retry on conflict.
+    pub fn commit_into(self, pipeline: &ShardedStore) -> Result<Oid> {
+        let snapshot = pipeline.snapshot();
+        let root = self.object.oid;
+        let mut seen = HashSet::new();
+        let mut updates = Vec::new();
+        self.collect(&snapshot, &mut seen, &mut updates);
+        pipeline.commit(&updates).into_result()?;
+        Ok(root)
+    }
+
+    /// Flatten into the update sequence `build` would apply: each new
+    /// object's `Create` precedes every edge into it.
+    fn collect(self, snapshot: &Store, seen: &mut HashSet<Oid>, out: &mut Vec<Update>) {
+        let oid = self.object.oid;
+        if !snapshot.contains(oid) && seen.insert(oid) {
+            out.push(Update::Create { object: self.object });
+        }
+        for child in self.children {
+            let c = child.object.oid;
+            child.collect(snapshot, seen, out);
+            out.push(Update::Insert { parent: oid, child: c });
+        }
+        for r in self.refs {
+            out.push(Update::Insert {
+                parent: oid,
+                child: r,
+            });
+        }
+    }
+
     fn build_inner(self, store: &mut Store) -> Result<Oid> {
         let oid = self.object.oid;
         if !store.contains(oid) {
@@ -124,6 +164,37 @@ mod tests {
         set("a", "left").child(atom("shared", "v", 1i64)).build(&mut s).unwrap();
         set("b", "right").reference("shared").build(&mut s).unwrap();
         assert_eq!(s.parents(oid("shared")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn commit_into_lands_the_tree_in_one_epoch() {
+        let pipeline = ShardedStore::new(Store::with_config(
+            crate::StoreConfig::default().with_shards(4),
+        ));
+        let root = set("R", "person")
+            .child(
+                set("p1", "professor")
+                    .child(atom("n1", "name", "John"))
+                    .child(atom("a1", "age", 45i64)),
+            )
+            .child(set("p2", "professor").reference("a1"))
+            .commit_into(&pipeline)
+            .unwrap();
+        assert_eq!(root, oid("R"));
+        assert_eq!(pipeline.epoch(), 1, "whole tree = one commit");
+        let snap = pipeline.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.parents(oid("a1")).unwrap().len(), 2);
+        snap.check_invariants().unwrap();
+
+        // A second tree referencing published objects is another
+        // single commit; existing OIDs are treated as references.
+        set("R2", "person")
+            .child(atom("a1", "age", 45i64))
+            .commit_into(&pipeline)
+            .unwrap();
+        assert_eq!(pipeline.epoch(), 2);
+        assert_eq!(pipeline.snapshot().len(), 6, "a1 was shared, not recreated");
     }
 
     #[test]

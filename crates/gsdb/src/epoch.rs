@@ -20,6 +20,14 @@
 //! never for the duration of a store mutation or a maintenance pass.
 //! The writer's critical section in [`EpochHandle::publish`] is the
 //! swap of one `Arc`, equally short.
+//!
+//! With a single writer, "commit" and "publish" coincide: fork, then
+//! publish, as in the example below. With concurrent writers, use
+//! [`ShardedStore`](crate::ShardedStore) instead of a bare mutex — it
+//! drives the same `EpochHandle` from its two-phase commit pipeline
+//! (per-shard locks, one global epoch), so readers here cannot tell
+//! how many writers, or how many slab shards, produced the snapshots
+//! they load.
 
 use crate::Store;
 use std::sync::atomic::{AtomicU64, Ordering};

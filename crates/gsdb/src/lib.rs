@@ -54,6 +54,7 @@ mod object;
 mod oid;
 pub mod path;
 pub mod samples;
+pub mod shard;
 pub mod smallset;
 pub mod snapshot;
 pub mod stats;
@@ -73,6 +74,7 @@ pub use snapshot::Snapshot;
 pub use stats::{stats, stats_at, StoreStats};
 pub use fxhash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use smallset::SmallSet;
-pub use store::{SlotSet, Store, StoreConfig};
+pub use shard::{CommitResult, ShardedStore};
+pub use store::{SlotSet, Store, StoreConfig, MAX_SHARDS};
 pub use update::{AppliedUpdate, Update};
 pub use value::{Atom, OidSet, Value};

@@ -30,6 +30,13 @@ impl Oid {
         crate::intern::resolve(self.0)
     }
 
+    /// The interned symbol id — the stable integer the store's shard
+    /// placement hashes. Crate-internal: callers outside `gsdb`
+    /// observe shard placement only through `Store::shard_of`.
+    pub(crate) fn raw(self) -> u64 {
+        self.0 .0
+    }
+
     /// Construct the semantic OID of `base`'s delegate in view `view`:
     /// the concatenation `view.base` (paper §3.2).
     pub fn delegate(view: Oid, base: Oid) -> Self {

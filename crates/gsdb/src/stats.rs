@@ -22,12 +22,18 @@ pub struct StoreStats {
     pub mean_fanout: f64,
     /// Objects per label.
     pub label_histogram: HashMap<Label, usize>,
+    /// Live objects per slab shard, in shard order (length =
+    /// [`Store::shard_count`]; a single entry for un-sharded stores).
+    /// Reports how evenly the OID hash spreads the database across
+    /// the commit pipeline's shards.
+    pub shard_occupancy: Vec<usize>,
 }
 
 /// Compute statistics over every object in the store.
 pub fn stats(store: &Store) -> StoreStats {
     let mut s = StoreStats {
         objects: store.len(),
+        shard_occupancy: store.shard_sizes(),
         ..Default::default()
     };
     for obj in store.iter() {
@@ -103,5 +109,19 @@ mod tests {
         let s = stats(&Store::new());
         assert_eq!(s.objects, 0);
         assert_eq!(s.mean_fanout, 0.0);
+        assert_eq!(s.shard_occupancy, vec![0]);
+    }
+
+    #[test]
+    fn shard_occupancy_sums_to_object_count() {
+        let mut store = Store::with_config(crate::StoreConfig::default().with_shards(4));
+        for i in 0..50 {
+            atom(format!("o{i}").as_str(), "leaf", i as i64)
+                .build(&mut store)
+                .unwrap();
+        }
+        let s = stats(&store);
+        assert_eq!(s.shard_occupancy.len(), 4);
+        assert_eq!(s.shard_occupancy.iter().sum::<usize>(), 50);
     }
 }

@@ -6,30 +6,47 @@
 //! [`Store::apply`] so that an update log can feed source monitors
 //! (paper §5) and maintenance algorithms (paper §4).
 //!
-//! ## Arena layout
+//! ## Sharded arena layout
 //!
-//! Objects live in a dense slab of fixed-size **copy-on-write pages**
-//! (`Vec<Arc<[Option<Object>; PAGE_SIZE]>>`-shaped, realized as
-//! `Vec<Arc<Vec<…>>>`) addressed by a `u32` **slot id**; the
-//! `Oid → slot` map exists only at the API boundary, so the traversal
-//! hot path pays one fast-hash lookup per OID and then works with slab
-//! offsets. Removed slots go on a free list and are reused by later
-//! creates — object identity is the OID, so slot reuse never changes
-//! what callers observe, and GC / snapshot-restore round-trips keep
-//! `Oid → value` mappings stable.
+//! Objects live in a slab of fixed-size **copy-on-write pages**
+//! addressed by a `u32` **slot id**. The slab is partitioned into
+//! `N` **shards** (`N` a power of two, selected by
+//! [`StoreConfig::shards`]); each shard owns its own page vector, free
+//! list, `Oid → slot` map, and parent/label index maps. Slot ids
+//! interleave the shard in the low bits — `shard = slot & (N-1)`,
+//! `local = slot >> log2(N)` — so [`Store::slot_bound`] stays
+//! proportional to the largest shard rather than exploding per shard,
+//! and `N = 1` degenerates to exactly the un-sharded layout.
+//!
+//! An OID's home shard is a pure function of the OID
+//! ([`Store::shard_of`]); the `Oid → slot` map, the object record, and
+//! its label-index entry all live in that shard. A **parent-index
+//! entry for child `c` lives in `shard_of(c)`** (its values — parent
+//! slots — may point into any shard), so [`Store::parents`] stays a
+//! single-map lookup while [`Store::with_label`] concatenates one
+//! sorted slice per shard. The payoff of this ownership discipline is
+//! that every basic update touches a small, statically computable set
+//! of shards — the basis of the concurrent multi-writer commit
+//! pipeline in [`ShardedStore`](crate::ShardedStore), which gives each
+//! shard its own mutation lock.
+//!
+//! Within a shard, removed slots go on a free list and are reused by
+//! later creates — object identity is the OID, so slot reuse never
+//! changes what callers observe, and GC / snapshot-restore round-trips
+//! keep `Oid → value` mappings stable.
 //!
 //! ## Copy-on-write cloning and epoch forks
 //!
-//! Pages and the three lookup maps (`Oid → slot`, parent index, label
-//! index) sit behind `Arc`s, so [`Store::clone`] and [`Store::fork`]
-//! are cheap: they bump reference counts instead of deep-copying
-//! objects. The first mutation of a page (or a structural mutation of
-//! a map) after a clone pays the copy via `Arc::make_mut`, privately —
-//! the other side keeps observing the state it captured. This is what
-//! lets a source publish an immutable post-commit snapshot of itself
-//! into an [`EpochHandle`](crate::EpochHandle) on **every** committed
-//! update without O(n) copying: readers traverse the published fork
-//! while writers keep mutating the live store. Every successful
+//! Pages and the per-shard lookup maps sit behind `Arc`s, so
+//! [`Store::clone`] and [`Store::fork`] are cheap: they bump reference
+//! counts instead of deep-copying objects. The first mutation of a
+//! page (or a structural mutation of a map) after a clone pays the
+//! copy via `Arc::make_mut`, privately — the other side keeps
+//! observing the state it captured. This is what lets a source publish
+//! an immutable post-commit snapshot of itself into an
+//! [`EpochHandle`](crate::EpochHandle) on **every** committed update
+//! without O(n) copying: readers traverse the published fork while
+//! writers keep mutating the live store. Every successful
 //! [`Store::apply`] also bumps a monotonically increasing
 //! [`version`](Store::version), so commit protocols can skip
 //! republishing untouched state.
@@ -67,28 +84,275 @@ use std::sync::{Arc, RwLock};
 const PAGE_SHIFT: u32 = 8;
 /// Page capacity, in slots.
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
-/// Mask extracting the within-page offset from a slot id.
+/// Mask extracting the within-page offset from a local slot id.
 const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Maximum shard count a store will partition into (power of two).
+/// Sixteen shards keeps the `SlotSet` slice array `Copy`-cheap and is
+/// far beyond the writer parallelism a single source sees.
+pub const MAX_SHARDS: usize = 16;
 
 /// One copy-on-write slab page, always `PAGE_SIZE` entries long.
 type Page = Vec<Option<Object>>;
 
-/// Shared read access to the slot behind `slot`, or `None` for free /
-/// out-of-range slots. A free function (not a method) so mutation
-/// paths can borrow `pages` disjointly from the index maps.
+/// The home shard of an OID at a given shard shift (`log2(shards)`).
+/// A pure function of the OID so every store (and every commit
+/// pipeline) at the same shard count agrees on placement.
 #[inline]
-fn slot_ref(pages: &[Arc<Page>], slot: u32) -> Option<&Object> {
-    pages
-        .get((slot >> PAGE_SHIFT) as usize)
-        .and_then(|p| p[(slot & PAGE_MASK) as usize].as_ref())
+pub(crate) fn shard_for(oid: Oid, shift: u32) -> usize {
+    if shift == 0 {
+        return 0;
+    }
+    // Fibonacci multiplicative hash of the interned symbol; the high
+    // bits are well mixed even for the sequential ids interning hands
+    // out.
+    let h = oid.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) & ((1usize << shift) - 1)
 }
 
-/// Exclusive access to the slot behind `slot`, copying the page first
-/// if it is shared with a published epoch fork. Panics on
-/// out-of-range slots — mutation paths only address allocated slots.
-#[inline]
-fn slot_mut(pages: &mut [Arc<Page>], slot: u32) -> &mut Option<Object> {
-    &mut Arc::make_mut(&mut pages[(slot >> PAGE_SHIFT) as usize])[(slot & PAGE_MASK) as usize]
+/// One shard of the slab: a page vector plus every map whose entries
+/// this shard owns. All slot values held in maps are **global** slot
+/// ids (shard interleaved in the low bits) so they resolve against the
+/// whole store; the pages are addressed by **local** ids
+/// (`global >> shift`).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ShardState {
+    /// The shard's copy-on-write pages. `None` entries are free slots
+    /// awaiting reuse (or the unallocated tail of the last page).
+    pub(crate) pages: Vec<Arc<Page>>,
+    /// Local slots handed out so far (high-water mark, free included).
+    pub(crate) len_slots: usize,
+    /// OID → global slot, for OIDs homed in this shard.
+    pub(crate) slot_of: Arc<FastMap<Oid, u32>>,
+    /// Free global slots of this shard, reused LIFO by `Create`.
+    pub(crate) free: Vec<u32>,
+    /// child OID (homed here) → sorted global parent slots (any
+    /// shard). Keyed by OID (not slot) so replica stores may index
+    /// edges to children they don't hold.
+    pub(crate) parent_index: Option<Arc<FastMap<Oid, SmallSet>>>,
+    /// label → sorted global member slots (members homed here).
+    pub(crate) label_index: Option<Arc<FastMap<Label, SmallSet>>>,
+}
+
+impl ShardState {
+    /// Fresh shard with the given index options enabled.
+    fn with_indexes(parent: bool, label: bool) -> Self {
+        ShardState {
+            parent_index: parent.then(|| Arc::new(FastMap::default())),
+            label_index: label.then(|| Arc::new(FastMap::default())),
+            ..ShardState::default()
+        }
+    }
+
+    /// Shared read access to the slot behind local id `local`.
+    #[inline]
+    pub(crate) fn obj(&self, local: u32) -> Option<&Object> {
+        self.pages
+            .get((local >> PAGE_SHIFT) as usize)
+            .and_then(|p| p[(local & PAGE_MASK) as usize].as_ref())
+    }
+
+    /// Exclusive access to the slot behind local id `local`, copying
+    /// the page first if it is shared with a published epoch fork.
+    /// Panics on out-of-range slots — mutation paths only address
+    /// allocated slots.
+    #[inline]
+    fn obj_mut(&mut self, local: u32) -> &mut Option<Object> {
+        &mut Arc::make_mut(&mut self.pages[(local >> PAGE_SHIFT) as usize])
+            [(local & PAGE_MASK) as usize]
+    }
+
+    /// Live objects in this shard.
+    fn iter(&self) -> impl Iterator<Item = &Object> {
+        self.pages.iter().flat_map(|p| p.iter()).filter_map(|s| s.as_ref())
+    }
+}
+
+/// Uniform mutable access to a set of shards — implemented by
+/// [`Store`] (all shards owned, exclusively borrowed) and by the
+/// commit pipeline's locked-guard view (only the shards a batch
+/// affects are locked; touching an unlocked one is a bug in the
+/// affected-shard computation and panics). [`apply_update`] is written
+/// against this trait so both paths share one mutation core.
+pub(crate) trait ShardAccess {
+    /// `log2(shard count)`.
+    fn shift(&self) -> u32;
+    /// Read access to shard `i`.
+    fn state(&self, i: usize) -> &ShardState;
+    /// Write access to shard `i`.
+    fn state_mut(&mut self, i: usize) -> &mut ShardState;
+
+    /// Home shard of `oid`.
+    #[inline]
+    fn home(&self, oid: Oid) -> usize {
+        shard_for(oid, self.shift())
+    }
+}
+
+/// The shared mutation core: apply one basic update against any
+/// [`ShardAccess`] view, maintaining object records and both indexes
+/// under the sharded ownership discipline (see the module docs). Does
+/// **not** touch the update log, version counter, or sorted-OID cache —
+/// those are store-level concerns the callers own.
+pub(crate) fn apply_update<V: ShardAccess>(view: &mut V, update: Update) -> Result<AppliedUpdate> {
+    match update {
+        Update::Insert { parent, child } => {
+            let cs = view.home(child);
+            if !view.state(cs).slot_of.contains_key(&child) {
+                return Err(GsdbError::NoSuchObject(child));
+            }
+            let ps = view.home(parent);
+            let pslot = *view
+                .state(ps)
+                .slot_of
+                .get(&parent)
+                .ok_or(GsdbError::NoSuchObject(parent))?;
+            let shift = view.shift();
+            {
+                let st = view.state_mut(ps);
+                let pobj = st.obj_mut(pslot >> shift).as_mut().unwrap();
+                let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
+                set.insert(child);
+            }
+            let st = view.state_mut(cs);
+            if let Some(idx) = st.parent_index.as_mut() {
+                Arc::make_mut(idx).entry(child).or_default().insert(pslot);
+            }
+            Ok(AppliedUpdate::Insert { parent, child })
+        }
+        Update::Delete { parent, child } => {
+            let ps = view.home(parent);
+            let pslot = *view
+                .state(ps)
+                .slot_of
+                .get(&parent)
+                .ok_or(GsdbError::NoSuchObject(parent))?;
+            let shift = view.shift();
+            {
+                let st = view.state_mut(ps);
+                let pobj = st.obj_mut(pslot >> shift).as_mut().unwrap();
+                let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
+                if !set.remove(child) {
+                    return Err(GsdbError::NotAChild { parent, child });
+                }
+            }
+            let cs = view.home(child);
+            let st = view.state_mut(cs);
+            if let Some(idx) = st.parent_index.as_mut() {
+                if let Some(ps) = Arc::make_mut(idx).get_mut(&child) {
+                    ps.remove(pslot);
+                }
+            }
+            Ok(AppliedUpdate::Delete { parent, child })
+        }
+        Update::Modify { oid, new } => {
+            let s = view.home(oid);
+            let slot = *view
+                .state(s)
+                .slot_of
+                .get(&oid)
+                .ok_or(GsdbError::NoSuchObject(oid))?;
+            let shift = view.shift();
+            let obj = view.state_mut(s).obj_mut(slot >> shift).as_mut().unwrap();
+            let old = match &mut obj.value {
+                Value::Atom(a) => std::mem::replace(a, new.clone()),
+                Value::Set(_) => return Err(GsdbError::NotAtomic(oid)),
+            };
+            Ok(AppliedUpdate::Modify { oid, old, new })
+        }
+        Update::Create { object } => {
+            let oid = object.oid;
+            let s = view.home(oid);
+            if view.state(s).slot_of.contains_key(&oid) {
+                return Err(GsdbError::DuplicateOid(oid));
+            }
+            let shift = view.shift();
+            let slot = {
+                let st = view.state_mut(s);
+                // Reuse a freed slot if one exists; identity is the
+                // OID, so reuse is invisible to callers.
+                match st.free.pop() {
+                    Some(g) => g,
+                    None => {
+                        let local = st.len_slots as u32;
+                        if (local >> PAGE_SHIFT) as usize == st.pages.len() {
+                            st.pages.push(Arc::new(vec![None; PAGE_SIZE]));
+                        }
+                        st.len_slots += 1;
+                        (local << shift) | s as u32
+                    }
+                }
+            };
+            if view.state(s).label_index.is_some() {
+                let st = view.state_mut(s);
+                Arc::make_mut(st.label_index.as_mut().unwrap())
+                    .entry(object.label)
+                    .or_default()
+                    .insert(slot);
+            }
+            if view.state(s).parent_index.is_some() {
+                // A created object may arrive with children already in
+                // its set value; index those edges, each in the
+                // child's home shard.
+                for i in 0..object.children().len() {
+                    let c = object.children()[i];
+                    let cs = view.home(c);
+                    let st = view.state_mut(cs);
+                    Arc::make_mut(st.parent_index.as_mut().unwrap())
+                        .entry(c)
+                        .or_default()
+                        .insert(slot);
+                }
+            }
+            let st = view.state_mut(s);
+            *st.obj_mut(slot >> shift) = Some(object);
+            Arc::make_mut(&mut st.slot_of).insert(oid, slot);
+            Ok(AppliedUpdate::Create { oid })
+        }
+        Update::Remove { oid } => {
+            let s = view.home(oid);
+            if !view.state(s).slot_of.contains_key(&oid) {
+                return Err(GsdbError::NoSuchObject(oid));
+            }
+            let shift = view.shift();
+            let (slot, obj) = {
+                let st = view.state_mut(s);
+                let slot = Arc::make_mut(&mut st.slot_of).remove(&oid).unwrap();
+                let obj = st.obj_mut(slot >> shift).take().unwrap();
+                st.free.push(slot);
+                if let Some(idx) = st.label_index.as_mut() {
+                    if let Some(set) = Arc::make_mut(idx).get_mut(&obj.label) {
+                        set.remove(slot);
+                    }
+                }
+                (slot, obj)
+            };
+            if view.state(s).parent_index.is_some() {
+                for i in 0..obj.children().len() {
+                    let c = obj.children()[i];
+                    let cs = view.home(c);
+                    let st = view.state_mut(cs);
+                    if let Some(set) =
+                        Arc::make_mut(st.parent_index.as_mut().unwrap()).get_mut(&c)
+                    {
+                        set.remove(slot);
+                    }
+                }
+                // The entry for `oid` *as a child* records edges
+                // into it, and Remove leaves those dangling in the
+                // parents' sets (replica semantics) — so the entry
+                // must survive, or a later re-Create of the same
+                // OID resurrects the edges with an empty index.
+                // Drop it only when no parent references remain.
+                let st = view.state_mut(s);
+                let idx = Arc::make_mut(st.parent_index.as_mut().unwrap());
+                if idx.get(&oid).is_some_and(|ps| ps.is_empty()) {
+                    idx.remove(&oid);
+                }
+            }
+            Ok(AppliedUpdate::Remove { oid })
+        }
+    }
 }
 
 /// Store configuration.
@@ -103,6 +367,13 @@ pub struct StoreConfig {
     /// Count object reads (experiment instrumentation, paper §4.4).
     /// Off by default so production reads pay nothing.
     pub count_accesses: bool,
+    /// Number of slab shards. Rounded up to a power of two and
+    /// clamped to `[1, MAX_SHARDS]`. Shard count is observationally
+    /// invisible to every read and mutation API — it only determines
+    /// how much writer concurrency a
+    /// [`ShardedStore`](crate::ShardedStore) built over this store can
+    /// extract.
+    pub shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -112,6 +383,7 @@ impl Default for StoreConfig {
             label_index: true,
             log_updates: false,
             count_accesses: false,
+            shards: 1,
         }
     }
 }
@@ -122,70 +394,84 @@ impl StoreConfig {
         self.count_accesses = true;
         self
     }
+
+    /// This configuration with the given shard count (rounded up to a
+    /// power of two, clamped to `[1, MAX_SHARDS]`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The effective (normalized) shard count.
+    fn effective_shards(&self) -> usize {
+        self.shards.clamp(1, MAX_SHARDS).next_power_of_two().min(MAX_SHARDS)
+    }
 }
 
 /// A borrowed set of objects from a store index (parent or label
-/// index). Holds slot ids internally; iteration and membership work in
-/// terms of [`Oid`]s, like the `OidSet` the seed layout returned.
+/// index). Holds up to one sorted slice of global slot ids per shard;
+/// iteration and membership work in terms of [`Oid`]s, like the
+/// `OidSet` the seed layout returned.
 #[derive(Clone, Copy, Debug)]
 pub struct SlotSet<'a> {
     store: &'a Store,
-    slots: &'a [u32],
+    slices: [&'a [u32]; MAX_SHARDS],
+    n: usize,
 }
 
 impl<'a> SlotSet<'a> {
+    /// A set backed by a single sorted slice (parent-index entries
+    /// live wholly in one shard).
+    fn single(store: &'a Store, slice: &'a [u32]) -> Self {
+        let mut slices = [&[][..]; MAX_SHARDS];
+        slices[0] = slice;
+        SlotSet { store, slices, n: 1 }
+    }
+
     /// Number of members.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.slices[..self.n].iter().map(|s| s.len()).sum()
     }
 
     /// True iff no members.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.slices[..self.n].iter().all(|s| s.is_empty())
     }
 
-    /// Membership test (binary search over sorted slot ids).
+    /// Membership test (binary search over each shard's sorted slice).
     pub fn contains(&self, oid: Oid) -> bool {
         match self.store.slot_of(oid) {
-            Some(s) => self.slots.binary_search(&s).is_ok(),
+            Some(slot) => self.slices[..self.n]
+                .iter()
+                .any(|s| s.binary_search(&slot).is_ok()),
             None => false,
         }
     }
 
-    /// Iterate members as OIDs (ascending slot order).
+    /// Iterate members as OIDs (ascending slot order within each
+    /// shard's slice; slices concatenate in shard order).
     pub fn iter(&self) -> impl Iterator<Item = Oid> + 'a {
         let store = self.store;
-        self.slots.iter().map(move |&s| {
-            slot_ref(&store.pages, s)
-                .expect("index references live slot")
-                .oid
+        let slices = self.slices;
+        let n = self.n;
+        (0..n).flat_map(move |i| {
+            slices[i].iter().map(move |&s| {
+                store
+                    .slot_obj(s)
+                    .expect("index references live slot")
+                    .oid
+            })
         })
-    }
-
-    /// The raw slot ids (sorted ascending).
-    pub fn slots(&self) -> &'a [u32] {
-        self.slots
     }
 }
 
 /// An in-memory GSDB object store.
 #[derive(Debug)]
 pub struct Store {
-    /// The slab: copy-on-write pages. `None` entries are free slots
-    /// awaiting reuse (or the unallocated tail of the last page).
-    pages: Vec<Arc<Page>>,
-    /// Slots handed out so far (high-water mark, free slots included).
-    len_slots: usize,
-    /// OID → slot, the only full-key hash on the read path.
-    /// Copy-on-write: structurally mutated via `Arc::make_mut`.
-    slot_of: Arc<FastMap<Oid, u32>>,
-    /// Free slots, reused LIFO by `Create`.
-    free: Vec<u32>,
-    /// child OID → sorted parent slots. Keyed by OID (not slot) so
-    /// replica stores may index edges to children they don't hold.
-    parent_index: Option<Arc<FastMap<Oid, SmallSet>>>,
-    /// label → sorted member slots.
-    label_index: Option<Arc<FastMap<Label, SmallSet>>>,
+    /// The sharded slab; always a power-of-two length.
+    shards: Vec<ShardState>,
+    /// `log2(shards.len())` — slot ids are `local << shift | shard`.
+    shift: u32,
     log: Vec<AppliedUpdate>,
     log_enabled: bool,
     /// Bumped on every successful mutation; lets commit protocols skip
@@ -203,12 +489,8 @@ pub struct Store {
 impl Default for Store {
     fn default() -> Self {
         Store {
-            pages: Vec::new(),
-            len_slots: 0,
-            slot_of: Arc::new(FastMap::default()),
-            free: Vec::new(),
-            parent_index: None,
-            label_index: None,
+            shards: vec![ShardState::default()],
+            shift: 0,
             log: Vec::new(),
             log_enabled: false,
             version: 0,
@@ -222,7 +504,7 @@ impl Default for Store {
 impl Clone for Store {
     /// A logically independent copy. Cheap: pages and index maps are
     /// shared copy-on-write, so the cost is reference-count bumps plus
-    /// the free list and update log; either side pays the copy lazily
+    /// the free lists and update log; either side pays the copy lazily
     /// on its next mutation of a shared structure.
     ///
     /// The `sorted_cache` is carried over as-is: it depends only on
@@ -232,12 +514,8 @@ impl Clone for Store {
     /// `tests/store_properties.rs` for the property pinning this.
     fn clone(&self) -> Self {
         Store {
-            pages: self.pages.clone(),
-            len_slots: self.len_slots,
-            slot_of: self.slot_of.clone(),
-            free: self.free.clone(),
-            parent_index: self.parent_index.clone(),
-            label_index: self.label_index.clone(),
+            shards: self.shards.clone(),
+            shift: self.shift,
             log: self.log.clone(),
             log_enabled: self.log_enabled,
             version: self.version,
@@ -252,9 +530,24 @@ impl Clone for Store {
     }
 }
 
+impl ShardAccess for Store {
+    #[inline]
+    fn shift(&self) -> u32 {
+        self.shift
+    }
+    #[inline]
+    fn state(&self, i: usize) -> &ShardState {
+        &self.shards[i]
+    }
+    #[inline]
+    fn state_mut(&mut self, i: usize) -> &mut ShardState {
+        &mut self.shards[i]
+    }
+}
+
 impl Store {
     /// A store with the default configuration (both indexes, no log,
-    /// no access counting).
+    /// no access counting, one shard).
     pub fn new() -> Self {
         Self::with_config(StoreConfig::default())
     }
@@ -267,22 +560,81 @@ impl Store {
 
     /// A store with explicit configuration.
     pub fn with_config(cfg: StoreConfig) -> Self {
+        let n = cfg.effective_shards();
         Store {
-            parent_index: cfg.parent_index.then(|| Arc::new(FastMap::default())),
-            label_index: cfg.label_index.then(|| Arc::new(FastMap::default())),
+            shards: (0..n)
+                .map(|_| ShardState::with_indexes(cfg.parent_index, cfg.label_index))
+                .collect(),
+            shift: n.trailing_zeros(),
             log_enabled: cfg.log_updates,
             count_accesses: AtomicBool::new(cfg.count_accesses),
             ..Store::default()
         }
     }
 
+    // ------------------------------------------------------------------
+    // Shard topology
+    // ------------------------------------------------------------------
+
+    /// Number of slab shards (a power of two in `[1, MAX_SHARDS]`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard of an OID: where its record, `Oid → slot` entry,
+    /// label-index entry, and parent-index entry (as a child) live. A
+    /// pure function of the OID and the shard count.
+    pub fn shard_of(&self, oid: Oid) -> usize {
+        shard_for(oid, self.shift)
+    }
+
+    /// Live objects per shard, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.slot_of.len()).collect()
+    }
+
+    /// A copy of this store re-partitioned into `shards` shards
+    /// (rounded up to a power of two, clamped to `[1, MAX_SHARDS]`).
+    /// Object state, dangling-edge index entries, and configuration
+    /// carry over; the update log does not (resharding is a topology
+    /// change, not a base update). The version counter carries over so
+    /// commit protocols never mistake the reshard for "no change".
+    pub fn reshard(&self, shards: usize) -> Store {
+        let cfg = StoreConfig {
+            parent_index: self.has_parent_index(),
+            label_index: self.has_label_index(),
+            log_updates: self.log_enabled,
+            count_accesses: self.counts_accesses(),
+            shards,
+        };
+        let mut out = Store::with_config(cfg);
+        out.log_enabled = false;
+        // Deterministic order so equal stores reshard identically.
+        for oid in self.oids_sorted() {
+            let obj = self
+                .slot_obj(self.slot_of(oid).unwrap())
+                .expect("sorted oid resolves")
+                .clone();
+            // Create indexes the object's children (present or
+            // dangling), reproducing the parent index exactly.
+            apply_update(&mut out, Update::Create { object: obj })
+                .expect("reshard re-create cannot fail");
+        }
+        out.log_enabled = self.log_enabled;
+        out.version = self.version;
+        out
+    }
+
     /// Pre-size the slab and maps for `additional` more objects.
     pub fn reserve(&mut self, additional: usize) {
-        self.pages
-            .reserve(additional.saturating_sub(self.free.len()) / PAGE_SIZE + 1);
-        Arc::make_mut(&mut self.slot_of).reserve(additional);
-        if let Some(idx) = self.parent_index.as_mut() {
-            Arc::make_mut(idx).reserve(additional);
+        let per_shard = additional / self.shards.len() + 1;
+        for st in &mut self.shards {
+            st.pages
+                .reserve(per_shard.saturating_sub(st.free.len()) / PAGE_SIZE + 1);
+            Arc::make_mut(&mut st.slot_of).reserve(per_shard);
+            if let Some(idx) = st.parent_index.as_mut() {
+                Arc::make_mut(idx).reserve(per_shard);
+            }
         }
     }
 
@@ -292,7 +644,7 @@ impl Store {
     /// [`EpochHandle`](crate::EpochHandle) at commit time — readers
     /// traverse the fork while the live store keeps mutating (and
     /// keeps accumulating its own log for the monitor). Cost:
-    /// reference-count bumps, independent of store size.
+    /// reference-count bumps per shard, independent of store size.
     pub fn fork(&self) -> Store {
         let mut fork = self.clone();
         fork.log = Vec::new();
@@ -310,17 +662,27 @@ impl Store {
 
     /// Number of objects.
     pub fn len(&self) -> usize {
-        self.slot_of.len()
+        self.shards.iter().map(|s| s.slot_of.len()).sum()
     }
 
     /// True iff no objects.
     pub fn is_empty(&self) -> bool {
-        self.slot_of.is_empty()
+        self.shards.iter().all(|s| s.slot_of.is_empty())
     }
 
     /// True iff an object with this OID exists.
     pub fn contains(&self, oid: Oid) -> bool {
-        self.slot_of.contains_key(&oid)
+        self.home_state(oid).slot_of.contains_key(&oid)
+    }
+
+    /// True iff the update log records applied updates.
+    pub fn logs_updates(&self) -> bool {
+        self.log_enabled
+    }
+
+    #[inline]
+    fn home_state(&self, oid: Oid) -> &ShardState {
+        &self.shards[shard_for(oid, self.shift)]
     }
 
     #[inline]
@@ -334,25 +696,33 @@ impl Store {
     // Slot addressing
     // ------------------------------------------------------------------
 
+    /// The object behind a global slot id, resolving through the
+    /// shard interleave. `None` for free / out-of-range slots.
+    #[inline]
+    fn slot_obj(&self, slot: u32) -> Option<&Object> {
+        let mask = (self.shards.len() - 1) as u32;
+        self.shards[(slot & mask) as usize].obj(slot >> self.shift)
+    }
+
     /// Slot id of an OID, if the object exists. Does not count an
     /// access — pair with [`Store::object_at`] / [`Store::children_at`]
     /// which do.
     #[inline]
     pub fn slot_of(&self, oid: Oid) -> Option<u32> {
-        self.slot_of.get(&oid).copied()
+        self.home_state(oid).slot_of.get(&oid).copied()
     }
 
     /// The object in a slot (counts the access). `None` for free slots.
     #[inline]
     pub fn object_at(&self, slot: u32) -> Option<&Object> {
         self.bump();
-        slot_ref(&self.pages, slot)
+        self.slot_obj(slot)
     }
 
     /// OID of the object in a slot. Does not count an access.
     #[inline]
     pub fn oid_at(&self, slot: u32) -> Option<Oid> {
-        slot_ref(&self.pages, slot).map(|o| o.oid)
+        self.slot_obj(slot).map(|o| o.oid)
     }
 
     /// Children of the object in a slot (counts the access, like
@@ -360,7 +730,7 @@ impl Store {
     #[inline]
     pub fn children_at(&self, slot: u32) -> &[Oid] {
         self.bump();
-        slot_ref(&self.pages, slot).map(|o| o.children()).unwrap_or(&[])
+        self.slot_obj(slot).map(|o| o.children()).unwrap_or(&[])
     }
 
     /// Label of the object in a slot (counts the access, like
@@ -368,13 +738,16 @@ impl Store {
     #[inline]
     pub fn label_at(&self, slot: u32) -> Option<Label> {
         self.bump();
-        slot_ref(&self.pages, slot).map(|o| o.label)
+        self.slot_obj(slot).map(|o| o.label)
     }
 
     /// Upper bound (exclusive) on slot ids currently in use; free slots
-    /// below this bound exist. Sizes per-slot scratch tables.
+    /// below this bound exist. Sizes per-slot scratch tables. With
+    /// multiple shards the bound covers the largest shard's local
+    /// high-water mark across all interleaves.
     pub fn slot_bound(&self) -> usize {
-        self.len_slots
+        let max_local = self.shards.iter().map(|s| s.len_slots).max().unwrap_or(0);
+        max_local << self.shift
     }
 
     // ------------------------------------------------------------------
@@ -384,8 +757,9 @@ impl Store {
     /// Look up an object, counting the access.
     pub fn get(&self, oid: Oid) -> Option<&Object> {
         self.bump();
-        let slot = *self.slot_of.get(&oid)?;
-        slot_ref(&self.pages, slot)
+        let st = self.home_state(oid);
+        let slot = *st.slot_of.get(&oid)?;
+        st.obj(slot >> self.shift)
     }
 
     /// Look up an object or fail.
@@ -401,9 +775,10 @@ impl Store {
     /// Children of a set object (empty slice for atomic or missing).
     pub fn children(&self, oid: Oid) -> &[Oid] {
         self.bump();
-        self.slot_of
+        let st = self.home_state(oid);
+        st.slot_of
             .get(&oid)
-            .and_then(|&s| slot_ref(&self.pages, s))
+            .and_then(|&s| st.obj(s >> self.shift))
             .map(|o| o.children())
             .unwrap_or(&[])
     }
@@ -413,12 +788,10 @@ impl Store {
         self.get(oid).and_then(|o| o.atom_value())
     }
 
-    /// Iterate all objects (slot order). Does not count accesses.
+    /// Iterate all objects (shard-major slot order). Does not count
+    /// accesses.
     pub fn iter(&self) -> impl Iterator<Item = &Object> {
-        self.pages
-            .iter()
-            .flat_map(|p| p.iter())
-            .filter_map(|s| s.as_ref())
+        self.shards.iter().flat_map(|s| s.iter())
     }
 
     /// All OIDs, sorted by name (deterministic). Cached between calls;
@@ -427,7 +800,11 @@ impl Store {
         if let Some(v) = self.sorted_cache.read().unwrap().as_ref() {
             return v.as_ref().clone();
         }
-        let mut v: Vec<Oid> = self.slot_of.keys().copied().collect();
+        let mut v: Vec<Oid> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slot_of.keys().copied())
+            .collect();
         v.sort_by_key(|o| o.name());
         *self.sorted_cache.write().unwrap() = Some(Arc::new(v.clone()));
         v
@@ -471,26 +848,46 @@ impl Store {
 
     /// True iff the inverse (parent) index is maintained.
     pub fn has_parent_index(&self) -> bool {
-        self.parent_index.is_some()
+        self.shards[0].parent_index.is_some()
+    }
+
+    /// True iff the label index is maintained.
+    pub fn has_label_index(&self) -> bool {
+        self.shards[0].label_index.is_some()
     }
 
     /// Parents of an object, from the inverse index. `None` if the index
     /// is disabled (callers must then traverse — exactly the trade-off
-    /// of paper §4.4).
+    /// of paper §4.4). The entry lives wholly in the child's home
+    /// shard, so this is a single-map lookup at any shard count.
     pub fn parents(&self, oid: Oid) -> Option<SlotSet<'_>> {
         self.bump();
-        self.parent_index.as_ref().map(|idx| SlotSet {
-            store: self,
-            slots: idx.get(&oid).map(|s| s.as_slice()).unwrap_or(&[]),
+        self.home_state(oid).parent_index.as_ref().map(|idx| {
+            SlotSet::single(
+                self,
+                idx.get(&oid).map(|s| s.as_slice()).unwrap_or(&[]),
+            )
         })
     }
 
     /// Objects with a given label, from the label index. `None` if the
-    /// index is disabled.
+    /// index is disabled. Members are concatenated per shard (each
+    /// shard's slice sorted by slot).
     pub fn with_label(&self, label: Label) -> Option<SlotSet<'_>> {
-        self.label_index.as_ref().map(|idx| SlotSet {
+        self.shards[0].label_index.as_ref()?;
+        let mut slices = [&[][..]; MAX_SHARDS];
+        for (i, st) in self.shards.iter().enumerate() {
+            slices[i] = st
+                .label_index
+                .as_ref()
+                .and_then(|idx| idx.get(&label))
+                .map(|s| s.as_slice())
+                .unwrap_or(&[]);
+        }
+        Some(SlotSet {
             store: self,
-            slots: idx.get(&label).map(|s| s.as_slice()).unwrap_or(&[]),
+            slices,
+            n: self.shards.len(),
         })
     }
 
@@ -529,14 +926,20 @@ impl Store {
     /// arrives with unknown children. Not logged — this is replica
     /// bookkeeping, not a base update.
     pub fn insert_edge_unchecked(&mut self, parent: Oid, child: Oid) -> Result<()> {
-        let pslot = *self
+        let ps = self.home(parent);
+        let pslot = *self.shards[ps]
             .slot_of
             .get(&parent)
             .ok_or(GsdbError::NoSuchObject(parent))?;
-        let pobj = slot_mut(&mut self.pages, pslot).as_mut().unwrap();
-        let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
-        set.insert(child);
-        if let Some(idx) = self.parent_index.as_mut() {
+        let shift = self.shift;
+        {
+            let st = &mut self.shards[ps];
+            let pobj = st.obj_mut(pslot >> shift).as_mut().unwrap();
+            let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
+            set.insert(child);
+        }
+        let cs = self.home(child);
+        if let Some(idx) = self.shards[cs].parent_index.as_mut() {
             Arc::make_mut(idx).entry(child).or_default().insert(pslot);
         }
         self.version += 1;
@@ -555,119 +958,13 @@ impl Store {
     /// Apply a basic update, validating it and maintaining indexes and
     /// the update log. Returns the applied form (with old values).
     pub fn apply(&mut self, update: Update) -> Result<AppliedUpdate> {
-        let applied = match update {
-            Update::Insert { parent, child } => {
-                if !self.slot_of.contains_key(&child) {
-                    return Err(GsdbError::NoSuchObject(child));
-                }
-                let pslot = *self
-                    .slot_of
-                    .get(&parent)
-                    .ok_or(GsdbError::NoSuchObject(parent))?;
-                let pobj = slot_mut(&mut self.pages, pslot).as_mut().unwrap();
-                let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
-                set.insert(child);
-                if let Some(idx) = self.parent_index.as_mut() {
-                    Arc::make_mut(idx).entry(child).or_default().insert(pslot);
-                }
-                AppliedUpdate::Insert { parent, child }
-            }
-            Update::Delete { parent, child } => {
-                let pslot = *self
-                    .slot_of
-                    .get(&parent)
-                    .ok_or(GsdbError::NoSuchObject(parent))?;
-                let pobj = slot_mut(&mut self.pages, pslot).as_mut().unwrap();
-                let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
-                if !set.remove(child) {
-                    return Err(GsdbError::NotAChild { parent, child });
-                }
-                if let Some(idx) = self.parent_index.as_mut() {
-                    if let Some(ps) = Arc::make_mut(idx).get_mut(&child) {
-                        ps.remove(pslot);
-                    }
-                }
-                AppliedUpdate::Delete { parent, child }
-            }
-            Update::Modify { oid, new } => {
-                let slot = *self
-                    .slot_of
-                    .get(&oid)
-                    .ok_or(GsdbError::NoSuchObject(oid))?;
-                let obj = slot_mut(&mut self.pages, slot).as_mut().unwrap();
-                let old = match &mut obj.value {
-                    Value::Atom(a) => std::mem::replace(a, new.clone()),
-                    Value::Set(_) => return Err(GsdbError::NotAtomic(oid)),
-                };
-                AppliedUpdate::Modify { oid, old, new }
-            }
-            Update::Create { object } => {
-                if self.slot_of.contains_key(&object.oid) {
-                    return Err(GsdbError::DuplicateOid(object.oid));
-                }
-                let oid = object.oid;
-                // Reuse a freed slot if one exists; identity is the
-                // OID, so reuse is invisible to callers.
-                let slot = match self.free.pop() {
-                    Some(s) => s,
-                    None => {
-                        let s = self.len_slots as u32;
-                        if (s >> PAGE_SHIFT) as usize == self.pages.len() {
-                            self.pages.push(Arc::new(vec![None; PAGE_SIZE]));
-                        }
-                        self.len_slots += 1;
-                        s
-                    }
-                };
-                if let Some(idx) = self.label_index.as_mut() {
-                    Arc::make_mut(idx).entry(object.label).or_default().insert(slot);
-                }
-                if let Some(idx) = self.parent_index.as_mut() {
-                    // A created object may arrive with children already in
-                    // its set value; index those edges.
-                    let idx = Arc::make_mut(idx);
-                    for c in object.children() {
-                        idx.entry(*c).or_default().insert(slot);
-                    }
-                }
-                *slot_mut(&mut self.pages, slot) = Some(object);
-                Arc::make_mut(&mut self.slot_of).insert(oid, slot);
-                self.invalidate_sorted();
-                AppliedUpdate::Create { oid }
-            }
-            Update::Remove { oid } => {
-                if !self.slot_of.contains_key(&oid) {
-                    return Err(GsdbError::NoSuchObject(oid));
-                }
-                let slot = Arc::make_mut(&mut self.slot_of).remove(&oid).unwrap();
-                let obj = slot_mut(&mut self.pages, slot).take().unwrap();
-                self.free.push(slot);
-                if let Some(idx) = self.label_index.as_mut() {
-                    if let Some(s) = Arc::make_mut(idx).get_mut(&obj.label) {
-                        s.remove(slot);
-                    }
-                }
-                if let Some(idx) = self.parent_index.as_mut() {
-                    let idx = Arc::make_mut(idx);
-                    for c in obj.children() {
-                        if let Some(ps) = idx.get_mut(c) {
-                            ps.remove(slot);
-                        }
-                    }
-                    // The entry for `oid` *as a child* records edges
-                    // into it, and Remove leaves those dangling in the
-                    // parents' sets (replica semantics) — so the entry
-                    // must survive, or a later re-Create of the same
-                    // OID resurrects the edges with an empty index.
-                    // Drop it only when no parent references remain.
-                    if idx.get(&oid).is_some_and(|ps| ps.is_empty()) {
-                        idx.remove(&oid);
-                    }
-                }
-                self.invalidate_sorted();
-                AppliedUpdate::Remove { oid }
-            }
-        };
+        let applied = apply_update(self, update)?;
+        if matches!(
+            applied,
+            AppliedUpdate::Create { .. } | AppliedUpdate::Remove { .. }
+        ) {
+            self.invalidate_sorted();
+        }
         if self.log_enabled {
             self.log.push(applied.clone());
         }
@@ -698,6 +995,72 @@ impl Store {
     /// Peek the update log.
     pub fn log(&self) -> &[AppliedUpdate] {
         &self.log
+    }
+
+    // ------------------------------------------------------------------
+    // Commit-pipeline plumbing (crate-internal)
+    // ------------------------------------------------------------------
+
+    /// Disassemble into per-shard states plus store-level metadata.
+    /// Used by the commit pipeline's exclusive path; see
+    /// [`ShardedStore`](crate::ShardedStore).
+    pub(crate) fn into_parts(self) -> (Vec<ShardState>, u64, Vec<AppliedUpdate>) {
+        let Store {
+            shards,
+            version,
+            log,
+            ..
+        } = self;
+        (shards, version, log)
+    }
+
+    /// Assemble a live store from per-shard states. The inverse of
+    /// [`Store::into_parts`]; `shards.len()` must be a power of two.
+    pub(crate) fn from_parts(
+        shards: Vec<ShardState>,
+        log_enabled: bool,
+        version: u64,
+        count_accesses: bool,
+    ) -> Store {
+        debug_assert!(shards.len().is_power_of_two());
+        let shift = shards.len().trailing_zeros();
+        Store {
+            shards,
+            shift,
+            log_enabled,
+            version,
+            count_accesses: AtomicBool::new(count_accesses),
+            ..Store::default()
+        }
+    }
+
+    /// Seed the update log (exclusive-path check-out of pending
+    /// entries so closures observe the same log a single-mutex store
+    /// would have shown them).
+    pub(crate) fn set_log(&mut self, entries: Vec<AppliedUpdate>) {
+        self.log = entries;
+    }
+
+    /// Compose the next published snapshot: the previous snapshot's
+    /// shard states with `replaced` swapped in (the shards a commit
+    /// locked), at the commit's post-state version. Cost: one cheap
+    /// clone of `prev` plus the swaps — untouched shards are shared
+    /// copy-on-write with every earlier snapshot.
+    pub(crate) fn compose_from(
+        prev: &Store,
+        replaced: impl IntoIterator<Item = (usize, ShardState)>,
+        version: u64,
+        oidset_changed: bool,
+    ) -> Store {
+        let mut s = prev.fork();
+        for (i, st) in replaced {
+            s.shards[i] = st;
+        }
+        s.version = version;
+        if oidset_changed {
+            s.invalidate_sorted();
+        }
+        s
     }
 
     // ------------------------------------------------------------------
@@ -746,83 +1109,136 @@ impl Store {
     // Invariant checking (tests / proptests)
     // ------------------------------------------------------------------
 
-    /// Check the arena + index invariants. Used by property tests to
-    /// verify free-list reuse never corrupts the store.
+    /// Check one shard's arena + placement invariants: slot accounting,
+    /// OID homing (every entry hashes to this shard), free-list
+    /// disjointness (free slots carry this shard's interleave bits and
+    /// are dead), and label-index forward agreement.
     #[doc(hidden)]
-    pub fn check_invariants(&self) -> std::result::Result<(), String> {
-        let live = self.iter().count();
-        if live != self.slot_of.len() {
+    pub fn check_shard_invariants(&self, i: usize) -> std::result::Result<(), String> {
+        let st = &self.shards[i];
+        let mask = (self.shards.len() - 1) as u32;
+        let live = st.iter().count();
+        if live != st.slot_of.len() {
             return Err(format!(
-                "live slots {} != slot_of entries {}",
+                "shard {i}: live slots {} != slot_of entries {}",
                 live,
-                self.slot_of.len()
+                st.slot_of.len()
             ));
         }
-        // Every allocated slot is either live or on the free list.
-        if live + self.free.len() != self.len_slots {
+        if live + st.free.len() != st.len_slots {
             return Err(format!(
-                "live {} + free {} != allocated slots {}",
+                "shard {i}: live {} + free {} != allocated slots {}",
                 live,
-                self.free.len(),
-                self.len_slots
+                st.free.len(),
+                st.len_slots
             ));
         }
-        if self.len_slots > self.pages.len() * PAGE_SIZE {
+        if st.len_slots > st.pages.len() * PAGE_SIZE {
             return Err(format!(
-                "slot high-water mark {} exceeds page capacity {}",
-                self.len_slots,
-                self.pages.len() * PAGE_SIZE
+                "shard {i}: slot high-water mark {} exceeds page capacity {}",
+                st.len_slots,
+                st.pages.len() * PAGE_SIZE
             ));
         }
-        for (oid, &slot) in self.slot_of.iter() {
-            match slot_ref(&self.pages, slot) {
+        for (oid, &slot) in st.slot_of.iter() {
+            if shard_for(*oid, self.shift) != i {
+                return Err(format!(
+                    "shard {i}: OID {} is homed in shard {} but mapped here",
+                    oid.name(),
+                    shard_for(*oid, self.shift)
+                ));
+            }
+            if (slot & mask) as usize != i {
+                return Err(format!(
+                    "shard {i}: slot_of[{}] = {slot} carries foreign shard bits",
+                    oid.name()
+                ));
+            }
+            match st.obj(slot >> self.shift) {
                 Some(o) if o.oid == *oid => {}
-                _ => return Err(format!("slot_of[{}] -> dead or mismatched slot", oid.name())),
+                _ => return Err(format!("shard {i}: slot_of[{}] -> dead or mismatched slot", oid.name())),
             }
         }
-        for &f in &self.free {
-            if (f as usize) >= self.len_slots || slot_ref(&self.pages, f).is_some() {
-                return Err(format!("free slot {f} is live or out of bounds"));
+        for &f in &st.free {
+            if (f & mask) as usize != i {
+                return Err(format!("shard {i}: free slot {f} carries foreign shard bits"));
+            }
+            let local = f >> self.shift;
+            if (local as usize) >= st.len_slots || st.obj(local).is_some() {
+                return Err(format!("shard {i}: free slot {f} is live or out of bounds"));
             }
         }
-        if let Some(idx) = self.label_index.as_deref() {
+        if let Some(idx) = st.label_index.as_deref() {
             for (label, set) in idx {
                 for slot in set.iter() {
-                    match slot_ref(&self.pages, slot) {
+                    if (slot & mask) as usize != i {
+                        return Err(format!(
+                            "shard {i}: label index [{}] holds foreign slot {slot}",
+                            label.as_str()
+                        ));
+                    }
+                    match st.obj(slot >> self.shift) {
                         Some(o) if o.label == *label => {}
                         _ => {
                             return Err(format!(
-                                "label index [{}] references slot {slot} without that label",
+                                "shard {i}: label index [{}] references slot {slot} without that label",
                                 label.as_str()
                             ))
                         }
                     }
                 }
             }
-            for obj in self.iter() {
-                let slot = self.slot_of[&obj.oid];
+            for obj in st.iter() {
+                let slot = st.slot_of[&obj.oid];
                 if !idx.get(&obj.label).map(|s| s.contains(slot)).unwrap_or(false) {
-                    return Err(format!("label index missing {}", obj.oid.name()));
+                    return Err(format!("shard {i}: label index missing {}", obj.oid.name()));
                 }
             }
         }
-        if let Some(idx) = self.parent_index.as_deref() {
+        if let Some(idx) = st.parent_index.as_deref() {
             for (child, set) in idx {
+                if shard_for(*child, self.shift) != i {
+                    return Err(format!(
+                        "shard {i}: parent index entry for {} belongs to shard {}",
+                        child.name(),
+                        shard_for(*child, self.shift)
+                    ));
+                }
                 for pslot in set.iter() {
-                    match slot_ref(&self.pages, pslot) {
+                    match self.slot_obj(pslot) {
                         Some(p) if p.children().contains(child) => {}
                         _ => {
                             return Err(format!(
-                                "parent index [{}] references slot {pslot} lacking that edge",
+                                "shard {i}: parent index [{}] references slot {pslot} lacking that edge",
                                 child.name()
                             ))
                         }
                     }
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Check the arena + index invariants across all shards: every
+    /// per-shard check plus the global ones — no OID mapped in two
+    /// shards, free lists pairwise disjoint (both implied by the
+    /// per-shard placement checks, which pin each entry to exactly the
+    /// shard the OID/slot hashes to), and parent-index reverse
+    /// agreement across shard boundaries. Used by property tests to
+    /// verify free-list reuse and sharding never corrupt the store.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        for i in 0..self.shards.len() {
+            self.check_shard_invariants(i)?;
+        }
+        // Cross-shard reverse direction: every live edge is indexed in
+        // the child's home shard.
+        if self.has_parent_index() {
             for obj in self.iter() {
-                let slot = self.slot_of[&obj.oid];
+                let slot = self.slot_of(obj.oid).unwrap();
                 for c in obj.children() {
+                    let idx = self.home_state(*c).parent_index.as_deref().unwrap();
                     if !idx.get(c).map(|s| s.contains(slot)).unwrap_or(false) {
                         return Err(format!(
                             "parent index missing edge {} -> {}",
@@ -832,6 +1248,13 @@ impl Store {
                     }
                 }
             }
+        }
+        // Global accounting: shard-placement checks above already
+        // guarantee the slot_of key sets are pairwise disjoint, so the
+        // sum equals the distinct-object count.
+        let total: usize = self.shards.iter().map(|s| s.slot_of.len()).sum();
+        if total != self.len() {
+            return Err(format!("shard sizes sum {} != len {}", total, self.len()));
         }
         Ok(())
     }
@@ -1173,6 +1596,133 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(s.len(), 100);
+        s.check_invariants().unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-layout tests
+    // ------------------------------------------------------------------
+
+    /// The same mutation run at every shard count; used to pin
+    /// observational invisibility of the shard count.
+    fn churn(s: &mut Store) {
+        s.create(Object::empty_set("R", "root")).unwrap();
+        for i in 0..40 {
+            s.create(Object::atom(format!("a{i}").as_str(), "age", i as i64))
+                .unwrap();
+            s.insert_edge(oid("R"), Oid::new(&format!("a{i}"))).unwrap();
+        }
+        for i in (0..40).step_by(3) {
+            s.delete_edge(oid("R"), Oid::new(&format!("a{i}"))).unwrap();
+            s.apply(Update::Remove {
+                oid: Oid::new(&format!("a{i}")),
+            })
+            .unwrap();
+        }
+        for i in (1..40).step_by(3) {
+            s.modify_atom(Oid::new(&format!("a{i}")), 100 + i as i64)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn shard_count_is_observationally_invisible() {
+        let mut base = Store::new();
+        churn(&mut base);
+        for n in [2, 4, 8, 16] {
+            let mut s = Store::with_config(StoreConfig::default().with_shards(n));
+            assert_eq!(s.shard_count(), n);
+            churn(&mut s);
+            s.check_invariants().unwrap();
+            assert_eq!(s.oids_sorted(), base.oids_sorted(), "{n} shards");
+            for o in base.oids_sorted() {
+                assert_eq!(s.get(o).map(|x| &x.value), base.get(o).map(|x| &x.value));
+                let bp: Vec<_> = {
+                    let mut v: Vec<_> = base.parents(o).unwrap().iter().collect();
+                    v.sort();
+                    v
+                };
+                let sp: Vec<_> = {
+                    let mut v: Vec<_> = s.parents(o).unwrap().iter().collect();
+                    v.sort();
+                    v
+                };
+                assert_eq!(sp, bp, "parents of {o} at {n} shards");
+            }
+            let mut bl: Vec<_> = base.with_label(Label::new("age")).unwrap().iter().collect();
+            let mut sl: Vec<_> = s.with_label(Label::new("age")).unwrap().iter().collect();
+            bl.sort();
+            sl.sort();
+            assert_eq!(sl, bl, "label index at {n} shards");
+        }
+    }
+
+    #[test]
+    fn shard_counts_normalize_to_powers_of_two() {
+        for (asked, got) in [(0, 1), (1, 1), (3, 4), (5, 8), (9, 16), (64, 16)] {
+            let s = Store::with_config(StoreConfig::default().with_shards(asked));
+            assert_eq!(s.shard_count(), got, "asked {asked}");
+        }
+    }
+
+    #[test]
+    fn slot_ids_carry_their_home_shard() {
+        let mut s = Store::with_config(StoreConfig::default().with_shards(8));
+        for i in 0..64 {
+            s.create(Object::atom(format!("x{i}").as_str(), "x", i as i64))
+                .unwrap();
+        }
+        for i in 0..64 {
+            let o = Oid::new(&format!("x{i}"));
+            let slot = s.slot_of(o).unwrap();
+            assert_eq!((slot & 7) as usize, s.shard_of(o));
+            assert_eq!(s.oid_at(slot), Some(o));
+        }
+        assert_eq!(s.shard_sizes().iter().sum::<usize>(), 64);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reshard_preserves_state_and_dangling_entries() {
+        let mut s = Store::with_config(StoreConfig {
+            log_updates: true,
+            ..StoreConfig::default()
+        });
+        churn(&mut s);
+        // Add a dangling edge (removed child still referenced).
+        s.create(Object::atom("gone", "age", 7i64)).unwrap();
+        s.insert_edge(oid("R"), oid("gone")).unwrap();
+        s.apply(Update::Remove { oid: oid("gone") }).unwrap();
+        s.drain_log();
+
+        for n in [1, 2, 8] {
+            let r = s.reshard(n);
+            assert_eq!(r.shard_count(), n.next_power_of_two());
+            r.check_invariants().unwrap();
+            assert_eq!(r.oids_sorted(), s.oids_sorted());
+            assert_eq!(r.version(), s.version());
+            assert!(r.logs_updates());
+            assert!(r.log().is_empty());
+            // The dangling entry survives: re-creating `gone` makes
+            // the edge live again, exactly like in the original.
+            let mut r2 = r.clone();
+            r2.create(Object::atom("gone", "age", 8i64)).unwrap();
+            assert!(r2.parents(oid("gone")).unwrap().contains(oid("R")));
+            r2.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_fork_is_isolated_and_cheap() {
+        let mut s = Store::with_config(StoreConfig::default().with_shards(4));
+        churn(&mut s);
+        let fork = s.fork();
+        let before = fork.oids_sorted();
+        s.create(Object::atom("extra", "age", 1i64)).unwrap();
+        s.modify_atom(oid("a1"), -1i64).unwrap();
+        assert_eq!(fork.oids_sorted(), before);
+        assert_eq!(fork.atom(oid("a1")), Some(&Atom::Int(101)));
+        fork.check_invariants().unwrap();
         s.check_invariants().unwrap();
     }
 }

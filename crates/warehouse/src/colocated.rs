@@ -35,16 +35,18 @@ pub struct ColocatedViews {
 }
 
 impl ColocatedViews {
-    /// Materialize `defs` against the source's current state. `threads`
-    /// workers maintain the portfolio on each flush (clamped to the
-    /// number of views; `0` means one).
+    /// Materialize `defs` against the source's latest committed epoch.
+    /// Reads one published snapshot — never a shard lock — so source
+    /// writers keep committing while the portfolio materializes.
+    /// `threads` workers maintain the portfolio on each flush (clamped
+    /// to the number of views; `0` means one).
     pub fn new(source: &Source, defs: Vec<SimpleViewDef>, threads: usize) -> Result<Self> {
         let pm = ParallelMaintainer::new(defs);
-        let views = source.with_store(|s| {
-            pm.defs()
-                .map(|d| recompute(d, &mut LocalBase::new(s)))
-                .collect::<Result<Vec<_>>>()
-        })?;
+        let snapshot = source.snapshot();
+        let views = pm
+            .defs()
+            .map(|d| recompute(d, &mut LocalBase::new(&snapshot)))
+            .collect::<Result<Vec<_>>>()?;
         Ok(ColocatedViews {
             pm,
             views,
@@ -65,9 +67,11 @@ impl ColocatedViews {
     }
 
     /// Maintain every view over the buffered reports: one epoch
-    /// snapshot load, one consolidation, one parallel fan-out — the
-    /// source store mutex is never taken, so updates and queries flow
-    /// while maintenance runs. The snapshot already reflects every
+    /// snapshot load, one consolidation, one parallel fan-out — no
+    /// shard lock is ever taken (one consistent store-wide epoch is
+    /// read, regardless of how many shards the source's commit
+    /// pipeline runs), so updates and queries flow while maintenance
+    /// runs. The snapshot already reflects every
     /// absorbed report (reports are emitted at or after commit, and
     /// commits publish), so maintenance sees the post-batch base state
     /// exactly as it did when it locked the live store. Returns the

@@ -10,37 +10,45 @@
 //! accordingly the only handles the warehouse ever gets are `Monitor`
 //! and `Wrapper`, never the store itself.
 //!
-//! ## The epoch read path
+//! ## The sharded commit path and the epoch read path
 //!
-//! Writers — [`Source::apply`], [`Source::apply_batch`],
-//! [`Source::with_store`] — mutate the live store under one mutex and,
-//! at commit, publish an immutable copy-on-write [`Store::fork`] into
-//! an [`EpochHandle`]. Readers — [`Wrapper::serve`], and through it
-//! every warehouse query, resync snapshot-diff, and cache rebuild —
-//! call [`Source::snapshot`] and evaluate against the latest published
-//! epoch: they **never take the store mutex**, so queries arriving
-//! while a maintenance pass or a long source-local batch holds the
-//! lock complete immediately against the pre-batch state. Each read
-//! observes exactly one committed epoch, never a torn intermediate
+//! A source's store lives inside a [`ShardedStore`]: the slab is
+//! partitioned into per-shard mutation locks, so writers —
+//! [`Source::apply`], [`Source::apply_batch`] — contend only on the
+//! shards their updates touch and commit concurrently when their
+//! shard sets are disjoint (the paper's sources report updates
+//! *independently*; now they also apply them independently).
+//! [`Source::with_store`] remains the exclusive escape hatch: it
+//! locks every shard and hands the closure a plain [`Store`].
+//!
+//! Every commit publishes an immutable copy-on-write snapshot into an
+//! [`EpochHandle`] via the pipeline's two-phase publish. Readers —
+//! [`Wrapper::serve`], and through it every warehouse query, resync
+//! snapshot-diff, and cache rebuild — call [`Source::snapshot`] and
+//! evaluate against the latest published epoch: they **never take a
+//! shard lock**, so queries arriving while a maintenance pass or a
+//! long source-local batch holds locks complete immediately against
+//! the pre-batch state. Each read observes exactly one committed
+//! epoch, never a torn intermediate — not even across shards
 //! (verified differentially by `gsview-core`'s
-//! `check_snapshot_isolation`).
+//! `check_snapshot_isolation` and its cross-shard marker pairs).
 //!
-//! The store and the report sequence counter live under a **single**
-//! mutex ([`SourceInner`]), and [`Monitor::poll`] drains the log,
-//! assigns sequence numbers, and builds reports in one critical
-//! section. With the two separate locks the seed shipped, two racing
-//! pollers could drain disjoint log suffixes and then acquire the seq
-//! lock in the opposite order, emitting reports whose sequence order
-//! disagreed with store commit order — tripping `SeqTracker` gap
-//! detection on a perfectly healthy source.
+//! Report sequencing rides on the pipeline's commit log: entries are
+//! appended in publish order (under the publish lock), and
+//! [`Monitor::poll`] drains them and assigns sequence numbers in one
+//! critical section of the log lock — racing pollers and appliers can
+//! never emit reports whose sequence order disagrees with commit
+//! order, which would trip `SeqTracker` gap detection on a healthy
+//! source.
 
 use crate::protocol::{
     CostMeter, ObjectInfo, QueryFault, ReportLevel, RootPathInfo, SourceQuery, SourceReply,
     UpdateReport,
 };
-use gsdb::{path, AppliedUpdate, EpochHandle, Oid, Result, Store, StoreConfig, Update};
+use gsdb::{
+    path, AppliedUpdate, EpochHandle, Oid, Result, ShardedStore, Store, StoreConfig, Update,
+};
 use std::sync::Arc;
-use std::sync::Mutex;
 
 /// The warehouse side of the query protocol: anything that can be
 /// asked a [`SourceQuery`] and may fail to answer.
@@ -70,44 +78,41 @@ pub trait ReportSource {
     fn checkpoint(&self) -> (String, u64);
 }
 
-/// The mutable half of a source: the live store and the report
-/// sequence counter, under **one** mutex so sequence assignment can
-/// never disagree with store commit order.
-struct SourceInner {
-    store: Store,
-    seq: u64,
-}
-
 /// An autonomous data source: a GSDB plus a designated root object.
 #[derive(Clone)]
 pub struct Source {
     name: String,
     root: Oid,
-    inner: Arc<Mutex<SourceInner>>,
+    /// The sharded commit pipeline: per-shard mutation locks, a global
+    /// epoch publisher (the committed-epoch read path), and the commit
+    /// log the monitor drains.
+    store: Arc<ShardedStore>,
     level: ReportLevel,
-    /// The committed-epoch read path: every committed update/batch
-    /// publishes a fresh [`Store::fork`] here; readers load it instead
-    /// of locking `inner`.
-    epochs: Arc<EpochHandle>,
 }
 
 impl Source {
-    /// Create a source around an existing store. Any update log
-    /// accumulated during setup is discarded — monitoring starts now.
+    /// Create a source around an existing store (keeping its shard
+    /// count). Any update log accumulated during setup is discarded —
+    /// monitoring starts now.
     pub fn new(name: &str, root: Oid, mut store: Store, level: ReportLevel) -> Self {
         store.drain_log();
-        let epochs = Arc::new(EpochHandle::new(store.fork()));
         Source {
             name: name.to_owned(),
             root,
-            inner: Arc::new(Mutex::new(SourceInner { store, seq: 0 })),
+            store: Arc::new(ShardedStore::new(store)),
             level,
-            epochs,
         }
     }
 
     /// Create an empty source with logging enabled.
     pub fn empty(name: &str, root: Oid, level: ReportLevel) -> Self {
+        Source::empty_sharded(name, root, level, 1)
+    }
+
+    /// Create an empty source with logging enabled and the given slab
+    /// shard count — writers touching disjoint shards commit
+    /// concurrently.
+    pub fn empty_sharded(name: &str, root: Oid, level: ReportLevel, shards: usize) -> Self {
         Source::new(
             name,
             root,
@@ -115,7 +120,7 @@ impl Source {
                 parent_index: true,
                 label_index: true,
                 log_updates: true,
-                ..StoreConfig::default()
+                ..StoreConfig::default().with_shards(shards)
             }),
             level,
         )
@@ -134,12 +139,11 @@ impl Source {
 
     /// Apply an update locally (the source is autonomous — this is its
     /// own workload, not a warehouse action). The post-update state is
-    /// published as a new epoch at commit.
+    /// published as a new epoch at commit. Concurrent appliers whose
+    /// updates touch disjoint shards run in parallel.
     pub fn apply(&self, update: Update) -> Result<AppliedUpdate> {
-        let mut inner = self.inner.lock().unwrap();
-        let applied = inner.store.apply(update)?;
-        self.epochs.publish(inner.store.fork());
-        Ok(applied)
+        let mut applied = self.store.commit(std::slice::from_ref(&update)).into_result()?;
+        Ok(applied.remove(0))
     }
 
     /// Apply a run of updates as one commit: the intermediate states
@@ -152,66 +156,51 @@ impl Source {
         &self,
         updates: impl IntoIterator<Item = Update>,
     ) -> Result<Vec<AppliedUpdate>> {
-        let mut inner = self.inner.lock().unwrap();
-        let mut applied = Vec::new();
-        let mut failure = None;
-        for u in updates {
-            match inner.store.apply(u) {
-                Ok(a) => applied.push(a),
-                Err(e) => {
-                    failure = Some(e);
-                    break;
-                }
-            }
-        }
-        if !applied.is_empty() {
-            self.epochs.publish(inner.store.fork());
-        }
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(applied),
-        }
+        let updates: Vec<Update> = updates.into_iter().collect();
+        self.store.commit(&updates).into_result()
     }
 
     /// Run an arbitrary closure against the live store (source-local
-    /// setup; not available to the warehouse). If the closure mutated
-    /// the store (detected via [`Store::version`]), the new state is
-    /// published as one epoch when the closure returns — a multi-update
-    /// closure is one commit, like [`Source::apply_batch`].
+    /// setup; not available to the warehouse). Locks **every** shard
+    /// for the duration. If the closure mutated the store (detected
+    /// via [`Store::version`]), the new state is published as one
+    /// epoch when the closure returns — a multi-update closure is one
+    /// commit, like [`Source::apply_batch`].
     pub fn with_store<T>(&self, f: impl FnOnce(&mut Store) -> T) -> T {
-        let mut inner = self.inner.lock().unwrap();
-        let before = inner.store.version();
-        let out = f(&mut inner.store);
-        if inner.store.version() != before {
-            self.epochs.publish(inner.store.fork());
-        }
-        out
+        self.store.with_exclusive(f)
     }
 
     /// The latest committed epoch of this source's state. This is the
-    /// read path: it never takes the store mutex, so it completes even
-    /// while a writer or a maintenance flush holds the lock.
+    /// read path: it never takes a shard lock, so it completes even
+    /// while writers or a maintenance flush hold locks.
     pub fn snapshot(&self) -> Arc<Store> {
-        self.epochs.load()
+        self.store.snapshot()
     }
 
     /// The epoch number of the current snapshot (number of commits
     /// published so far).
     pub fn epoch(&self) -> u64 {
-        self.epochs.epoch()
+        self.store.epoch()
     }
 
     /// A shared handle to the epoch publication point — for harnesses
     /// that want `(epoch, snapshot)` pairs read consistently.
     pub fn epoch_handle(&self) -> Arc<EpochHandle> {
-        self.epochs.clone()
+        self.store.epoch_handle()
+    }
+
+    /// The commit pipeline itself — source-local instrumentation and
+    /// test access (shard counts, direct commits). Never handed to the
+    /// warehouse.
+    pub fn pipeline(&self) -> &Arc<ShardedStore> {
+        &self.store
     }
 
     /// The sequence number the next report from this source will
     /// carry. Used by the warehouse to baseline gap detection at
     /// connect time.
     pub fn next_seq(&self) -> u64 {
-        self.inner.lock().unwrap().seq
+        self.store.assigned_seq()
     }
 
     /// The monitor role for this source.
@@ -232,10 +221,8 @@ impl Source {
 }
 
 /// Build one update report against `store` (the monitor's view of the
-/// source at report time). A free function so [`Monitor::poll`] can
-/// call it while already holding the source lock — report content,
-/// sequence assignment, and log draining happen in one critical
-/// section.
+/// source at report time — a committed snapshot that already reflects
+/// the drained update).
 fn make_report(
     store: &Store,
     name: &str,
@@ -306,28 +293,28 @@ pub struct Monitor {
 impl Monitor {
     /// Collect reports for all updates applied since the last poll.
     ///
-    /// Draining the log, assigning sequence numbers, and building
-    /// report content all happen in **one** critical section, so
-    /// racing pollers (or appliers) can never produce reports whose
-    /// sequence order disagrees with store commit order — see
-    /// `concurrent_appliers_and_pollers_keep_seq_consistent`.
+    /// Draining the commit log and assigning sequence numbers happen
+    /// in one critical section of the log lock, and the pipeline
+    /// appends entries in publish order — so racing pollers (or
+    /// appliers) can never produce reports whose sequence order
+    /// disagrees with store commit order — see
+    /// `concurrent_appliers_and_pollers_keep_seq_consistent`. Report
+    /// content (values, root paths) is built against a snapshot that
+    /// reflects at least every drained update.
     #[must_use = "unprocessed reports silently corrupt the warehouse's views"]
     pub fn poll(&self) -> Vec<UpdateReport> {
-        let mut inner = self.source.inner.lock().unwrap();
-        let SourceInner { store, seq } = &mut *inner;
-        let applied = store.drain_log();
+        let (base, applied, snap) = self.source.store.drain_reports();
         applied
             .into_iter()
-            .map(|u| {
-                let s = *seq;
-                *seq += 1;
+            .enumerate()
+            .map(|(i, u)| {
                 make_report(
-                    store,
+                    &snap,
                     &self.source.name,
                     self.source.root,
                     self.source.level,
                     u,
-                    s,
+                    base + i as u64,
                 )
             })
             .collect()
@@ -421,6 +408,7 @@ impl QueryPort for Wrapper {
 mod tests {
     use super::*;
     use gsdb::{samples, Path};
+    use std::sync::Mutex;
 
     fn oid(s: &str) -> Oid {
         Oid::new(s)
