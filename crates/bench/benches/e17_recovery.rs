@@ -1,0 +1,28 @@
+//! Criterion wrapper for E17: wall time of a cold restart (fresh
+//! warehouse re-queries the source) vs a warm restart (source and
+//! view rebuilt from the durable epoch log) vs a chunk-diff resync,
+//! at a mid-size store. The query/chunk accounting is pinned by the
+//! smoke test; this bench adds wall-time statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsview_bench::e17;
+
+const ITEMS: usize = 400;
+
+fn restart(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e17_restart");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("cold", ITEMS), &ITEMS, |b, &n| {
+        b.iter(|| e17::run_cold(n))
+    });
+    g.bench_with_input(BenchmarkId::new("warm", ITEMS), &ITEMS, |b, &n| {
+        b.iter(|| e17::run_warm(n))
+    });
+    g.bench_with_input(BenchmarkId::new("resync_diff", ITEMS), &ITEMS, |b, &n| {
+        b.iter(|| e17::run_resync(n))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, restart);
+criterion_main!(benches);

@@ -17,6 +17,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -32,7 +33,7 @@ pub use table::Table;
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16",
+    "e15", "e16", "e17",
 ];
 
 /// Run one experiment by id.
@@ -54,6 +55,7 @@ pub fn run(id: &str, quick: bool) -> Option<Table> {
         "e14" => Some(e14::run(quick)),
         "e15" => Some(e15::run(quick)),
         "e16" => Some(e16::run(quick)),
+        "e17" => Some(e17::run(quick)),
         _ => None,
     }
 }

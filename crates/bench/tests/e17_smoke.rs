@@ -1,0 +1,57 @@
+//! E17 regression smoke: the deterministic quick-mode restart facts
+//! must not drift from the checked-in baseline
+//! (`baselines/e17_quick.json`). Query counts and chunk-transfer
+//! counts are exact — fixed workload, content-addressed pages — so
+//! any drift is a change in the durable chunking, the warm-restart
+//! path, or the view workload, not noise. Wall times are deliberately
+//! NOT checked here (machine-dependent); EXPERIMENTS.md records them.
+
+use gsview_bench::e17;
+
+const BASELINE: &str = include_str!("../baselines/e17_quick.json");
+
+/// Minimal extraction of `"key": <integer>` from the baseline JSON —
+/// no serde in the dependency tree.
+fn baseline(key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = BASELINE
+        .split(&pat)
+        .nth(1)
+        .unwrap_or_else(|| panic!("baseline key {key} missing"));
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    num.parse()
+        .unwrap_or_else(|_| panic!("baseline key {key} not an integer"))
+}
+
+#[test]
+fn restart_facts_do_not_drift() {
+    // quick_facts itself asserts the structural guarantees: warm
+    // restart answers zero queries to the source, recovers the exact
+    // object set the live store held, and the diff resync reuses at
+    // least one unchanged page.
+    let (cold_queries, recovered_objects, resync_fetched, resync_reused) = e17::quick_facts();
+    assert_eq!(
+        cold_queries,
+        baseline("cold_queries"),
+        "cold-restart query count drifted from baseline"
+    );
+    assert_eq!(
+        recovered_objects,
+        baseline("recovered_objects"),
+        "recovered object count drifted from baseline"
+    );
+    assert_eq!(
+        resync_fetched,
+        baseline("resync_fetched"),
+        "diff-resync fetched-chunk count drifted from baseline"
+    );
+    assert_eq!(
+        resync_reused,
+        baseline("resync_reused"),
+        "diff-resync reused-chunk count drifted from baseline"
+    );
+}

@@ -77,13 +77,14 @@ pub use general::{CompoundMaintainer, DagMaintainer, GeneralMaintainer};
 pub use maintain::{sweep_members, BatchOutcome, MaintPlan, Maintainer, Outcome};
 pub use mview::{MaterializedView, ViewDelta};
 pub use oracle::{
-    assert_cross_shard_isolated, assert_equivalent, assert_parallel_equivalent,
-    assert_sharded_commit_equivalent, assert_snapshot_isolated, check_cross_shard_isolation,
-    check_equivalence, check_parallel_equivalence, check_sharded_commit_equivalence,
-    check_snapshot_isolation, diff_members, reference_members,
-    IsolationReport, OracleVerdict, ShardedVerdict,
+    assert_crash_recovery, assert_cross_shard_isolated, assert_equivalent,
+    assert_parallel_equivalent, assert_sharded_commit_equivalent, assert_snapshot_isolated,
+    check_crash_recovery, check_cross_shard_isolation, check_equivalence,
+    check_parallel_equivalence, check_sharded_commit_equivalence, check_snapshot_isolation,
+    diff_members, reference_members, IsolationReport, OracleVerdict, RecoveryVerdict,
+    ShardedVerdict,
 };
-pub use parallel::{partition_commit_lanes, ParallelMaintainer, PartitionStats};
+pub use parallel::{partition_commit_lanes, LaneOutcome, ParallelMaintainer, PartitionStats};
 pub use partial::PartialView;
 pub use sink::{MemberSet, ViewSink};
 pub use viewdef::{CompoundViewDef, GeneralCond, GeneralViewDef, SimpleCond, SimpleViewDef};

@@ -296,6 +296,20 @@ pub(crate) fn content_upkeep(
     Ok(())
 }
 
+/// Ground-truth derivability: is `y` reachable from the view root via
+/// the select path? `path_from_root` alone is not enough here — it
+/// returns one canonical root path, and in a DAG base an object can
+/// have several (the paper's own person DB hangs `P3` both directly
+/// under `ROOT` and under `P1`): a member whose canonical path is the
+/// shorter one must not be evicted. Fast path on the canonical path;
+/// fall back to enumerating the select-path ancestors.
+fn derivable_via_sel_path(base: &mut dyn BaseAccess, def: &SimpleViewDef, y: Oid) -> bool {
+    if base.path_from_root(def.root, y).as_ref() == Some(&def.sel_path) {
+        return true;
+    }
+    base.ancestors_all(y, &def.sel_path).contains(&def.root)
+}
+
 /// Re-verify every current member against ground truth and evict the
 /// ones that no longer qualify: `Y` stays iff
 /// `path(ROOT, Y) = sel_path` and its condition witness (if any) still
@@ -323,7 +337,7 @@ pub fn sweep_members(
     let pred = def.cond.as_ref().map(|c| &c.pred);
     let mut deleted = Vec::new();
     for y in mv.members() {
-        let derivable = base.path_from_root(def.root, y).as_ref() == Some(&def.sel_path);
+        let derivable = derivable_via_sel_path(base, def, y);
         let in_now = derivable
             && match pred {
                 None => true,
@@ -568,7 +582,7 @@ impl MaintPlan {
             if !seen.insert(y) {
                 continue;
             }
-            let derivable = base.path_from_root(self.def.root, y).as_ref() == Some(&self.def.sel_path);
+            let derivable = derivable_via_sel_path(base, &self.def, y);
             let in_now = derivable
                 && match pred {
                     None => true,
@@ -602,8 +616,7 @@ impl MaintPlan {
                 if seen.contains(&y) {
                     continue; // already repaired against ground truth
                 }
-                let derivable =
-                    base.path_from_root(self.def.root, y).as_ref() == Some(&self.def.sel_path);
+                let derivable = derivable_via_sel_path(base, &self.def, y);
                 if !derivable && mv.delete_member(y)? {
                     out.deleted.push(y);
                 }
@@ -842,6 +855,39 @@ mod tests {
         let up = store.modify_atom(oid("A3"), 21i64).unwrap();
         let out = m.apply(&mut mv, &mut LocalBase::new(&store), &up).unwrap();
         assert!(!out.relevant);
+    }
+
+    #[test]
+    fn reattaching_insert_keeps_multi_path_members() {
+        // Regression: P3 hangs both directly under ROOT and under P1
+        // (the sample DB is a DAG). A re-attaching insert of an
+        // unrelated object escalates to the select-path re-check,
+        // which must not evict P3 just because its *canonical* root
+        // path is the direct edge rather than professor.student.
+        let mut store = person_store();
+        store.create(Object::atom("B3", "age", 23i64)).unwrap();
+        let def = SimpleViewDef::new("ST", "ROOT", "professor.student");
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        assert_eq!(mv.members_base(), vec![oid("P3")]);
+        let mut batch = DeltaBatch::new();
+        batch.push(store.insert_edge(oid("P2"), oid("B3")).unwrap());
+        let plan = MaintPlan::new(def);
+        let out = plan
+            .apply_batch(&mut mv, &mut LocalBase::new(&store), &batch)
+            .unwrap();
+        assert!(out.swept, "re-attaching insert must re-check paths");
+        assert!(out.deleted.is_empty(), "P3 evicted: {out:?}");
+        assert_eq!(mv.members_base(), vec![oid("P3")]);
+    }
+
+    #[test]
+    fn sweep_keeps_multi_path_members() {
+        let store = person_store();
+        let def = SimpleViewDef::new("ST", "ROOT", "professor.student");
+        let mut mv = recompute(&def, &mut LocalBase::new(&store)).unwrap();
+        let evicted = sweep_members(&def, &mut mv, &mut LocalBase::new(&store)).unwrap();
+        assert!(evicted.is_empty(), "sweep evicted {evicted:?}");
+        assert_eq!(mv.members_base(), vec![oid("P3")]);
     }
 
     #[test]

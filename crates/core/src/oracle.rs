@@ -756,6 +756,179 @@ pub fn assert_cross_shard_isolated(
     }
 }
 
+/// The outcome of one crash-recovery oracle run.
+///
+/// Produced by [`check_crash_recovery`]: a durable store recovered
+/// after a (possibly injected) crash is compared against the
+/// epoch-ordered replay of the committed-batch prefix its manifest
+/// claims. The durability contract is that recovery lands on **some**
+/// batch boundary — never a torn mid-batch state, never a state ahead
+/// of what was durably committed.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryVerdict {
+    /// The epoch the recovered manifest claims.
+    pub recovered_epoch: u64,
+    /// How many committed batches that epoch corresponds to (the
+    /// replayed prefix length).
+    pub prefix_len: usize,
+    /// Human-readable descriptions of every violation. Empty = the
+    /// recovered store is exactly the replay of its claimed prefix.
+    pub failures: Vec<String>,
+}
+
+impl RecoveryVerdict {
+    /// True iff recovery reproduced a legal committed state exactly.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Crash-recovery oracle: a store recovered from durable media must be
+/// **exactly** the epoch-ordered replay of the batch prefix its
+/// recovered epoch claims.
+///
+/// `batches` are the update batches the crashed process committed (one
+/// epoch each, in commit order, starting from `base_epoch` — the
+/// pipeline's epoch before the first batch); each batch replays with
+/// the pipeline's prefix-commit semantics (stop at the first rejected
+/// update, publish if anything applied). The checks:
+///
+/// 1. **Prefix legality** — `recovered_epoch` names a batch boundary
+///    in `[base_epoch, base_epoch + committed]`; an epoch beyond what
+///    was ever published means recovery resurrected state from a torn
+///    tail.
+/// 2. **No torn or resurrected objects** — the recovered OID set,
+///    labels, and values equal the replay's, object for object.
+/// 3. **Structural preservation** — every object sits in the same
+///    slot as the replay (slot assignment is deterministic in commit
+///    order), so re-exported pages are byte-identical and structural
+///    sharing survives the restart.
+/// 4. **Store invariants** — the recovered store passes
+///    [`Store::check_invariants`] (indexes, free lists, placement).
+///
+/// Never panics on violation — inspect [`RecoveryVerdict::failures`]
+/// (or use [`assert_crash_recovery`], which also dumps the flight
+/// recorder).
+pub fn check_crash_recovery(
+    initial: &Store,
+    batches: &[Vec<Update>],
+    base_epoch: u64,
+    recovered_epoch: u64,
+    recovered: &Store,
+) -> RecoveryVerdict {
+    let mut verdict = RecoveryVerdict {
+        recovered_epoch,
+        ..RecoveryVerdict::default()
+    };
+
+    // Replay forward, recording which epoch each committed batch
+    // produced, until we reach the claimed epoch.
+    let mut replay = initial.clone();
+    let mut epoch = base_epoch;
+    let mut prefix = 0usize;
+    if recovered_epoch < base_epoch {
+        verdict.failures.push(format!(
+            "recovered epoch {recovered_epoch} predates the base epoch {base_epoch}"
+        ));
+    }
+    for (i, batch) in batches.iter().enumerate() {
+        if epoch == recovered_epoch {
+            break;
+        }
+        let mut applied_any = false;
+        for u in batch {
+            match replay.apply(u.clone()) {
+                Ok(_) => applied_any = true,
+                Err(_) => break, // prefix-commit: drop the batch tail
+            }
+        }
+        if applied_any {
+            epoch += 1;
+            prefix = i + 1;
+        }
+    }
+    verdict.prefix_len = prefix;
+    if epoch != recovered_epoch && recovered_epoch >= base_epoch {
+        verdict.failures.push(format!(
+            "recovered epoch {recovered_epoch} is not a committed batch boundary \
+             (replaying all {} batches only reaches epoch {epoch}) — state \
+             resurrected past the durable prefix",
+            batches.len()
+        ));
+    }
+
+    if let Err(e) = recovered.check_invariants() {
+        verdict
+            .failures
+            .push(format!("recovered store violates invariants: {e}"));
+    }
+
+    let (got, want) = (recovered.oids_sorted(), replay.oids_sorted());
+    if got != want {
+        let missing: Vec<&Oid> = want.iter().filter(|o| !got.contains(o)).collect();
+        let extra: Vec<&Oid> = got.iter().filter(|o| !want.contains(o)).collect();
+        verdict.failures.push(format!(
+            "recovered OID set diverged from epoch-{recovered_epoch} replay \
+             (lost {missing:?}, resurrected {extra:?})"
+        ));
+    } else {
+        for o in &want {
+            let (a, b) = (recovered.get(*o), replay.get(*o));
+            if a.map(|x| &x.value) != b.map(|x| &x.value)
+                || a.map(|x| x.label) != b.map(|x| x.label)
+            {
+                verdict.failures.push(format!(
+                    "object {} torn: recovered {a:?} vs replay {b:?}",
+                    o.name()
+                ));
+            }
+            if recovered.slot_of(*o) != replay.slot_of(*o) {
+                verdict.failures.push(format!(
+                    "object {} moved: slot {:?} recovered vs {:?} replayed — \
+                     structural sharing broken",
+                    o.name(),
+                    recovered.slot_of(*o),
+                    replay.slot_of(*o)
+                ));
+            }
+        }
+    }
+    verdict
+}
+
+/// [`check_crash_recovery`], dumping the flight recorder and panicking
+/// with full replay context (crash context string, the batch runs, and
+/// every violation) on the first failure.
+pub fn assert_crash_recovery(
+    context: &str,
+    initial: &Store,
+    batches: &[Vec<Update>],
+    base_epoch: u64,
+    recovered_epoch: u64,
+    recovered: &Store,
+) {
+    let v = check_crash_recovery(initial, batches, base_epoch, recovered_epoch, recovered);
+    if !v.ok() {
+        let runs: Vec<String> = batches
+            .iter()
+            .map(|b| {
+                let ops: Vec<String> = b.iter().map(|u| u.to_string()).collect();
+                format!("[{}]", ops.join(", "))
+            })
+            .collect();
+        let msg = format!(
+            "crash recovery diverged ({context})\nrecovered epoch {} (prefix {} of {} batches)\nbatches: {}\nfailures:\n  {}",
+            v.recovered_epoch,
+            v.prefix_len,
+            batches.len(),
+            runs.join(" "),
+            v.failures.join("\n  ")
+        );
+        gsview_obs::failure(&msg);
+        panic!("{msg}");
+    }
+}
+
 /// [`check_equivalence`], panicking with full context on disagreement.
 /// The panic message includes the definition and the update run so a
 /// failure can be replayed as a unit test.
@@ -977,6 +1150,82 @@ mod tests {
                 assert_eq!(report.cross_shard_pairs, 0);
             }
         }
+    }
+
+    #[test]
+    fn crash_recovery_accepts_every_batch_boundary() {
+        let store = person_store();
+        let batches = vec![
+            vec![Update::modify("A1", 30i64)],
+            vec![Update::delete("ROOT", "P1"), Update::insert("ROOT", "P1")],
+            vec![Update::modify("A1", 80i64)],
+        ];
+        // Every committed prefix (including the empty one) is a legal
+        // recovery target.
+        let mut replay = store.clone();
+        for k in 0..=batches.len() {
+            let v = check_crash_recovery(&store, &batches, 5, 5 + k as u64, &replay);
+            assert!(v.ok(), "prefix {k}: {:?}", v.failures);
+            assert_eq!(v.prefix_len, k);
+            if k < batches.len() {
+                for u in &batches[k] {
+                    replay.apply(u.clone()).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_recovery_rejects_torn_resurrected_and_future_states() {
+        let store = person_store();
+        let batches = vec![vec![Update::modify("A1", 30i64)]];
+
+        // Torn: the recovered store saw half of nothing-committed.
+        let mut torn = store.clone();
+        torn.apply(Update::modify("A1", 30i64)).unwrap();
+        let v = check_crash_recovery(&store, &batches, 0, 0, &torn);
+        assert!(!v.ok());
+        assert!(v.failures.iter().any(|f| f.contains("torn")), "{:?}", v.failures);
+
+        // Resurrected: an object the prefix never created.
+        let mut extra = store.clone();
+        extra.create(Object::atom("GHOST", "age", 1i64)).unwrap();
+        let v = check_crash_recovery(&store, &batches, 0, 0, &extra);
+        assert!(v.failures.iter().any(|f| f.contains("resurrected")), "{:?}", v.failures);
+
+        // Future: an epoch no committed prefix ever reached.
+        let v = check_crash_recovery(&store, &batches, 0, 7, &store);
+        assert!(
+            v.failures.iter().any(|f| f.contains("not a committed batch boundary")),
+            "{:?}",
+            v.failures
+        );
+
+        // Pre-base epoch.
+        let v = check_crash_recovery(&store, &batches, 4, 2, &store);
+        assert!(v.failures.iter().any(|f| f.contains("predates")), "{:?}", v.failures);
+    }
+
+    #[test]
+    fn crash_recovery_honours_prefix_commit_batches() {
+        // A batch whose tail is rejected still publishes its applied
+        // prefix; the replay must mirror that.
+        let store = person_store();
+        let batches = vec![
+            vec![Update::modify("A1", 30i64), Update::modify("NOPE", 1i64), Update::modify("A1", 99i64)],
+            vec![Update::modify("NOPE", 2i64)], // publishes nothing
+            vec![Update::modify("A1", 50i64)],
+        ];
+        let mut replay = store.clone();
+        replay.apply(Update::modify("A1", 30i64)).unwrap();
+        // Epoch 1 = batch 0's applied prefix; batch 1 consumed no epoch,
+        // so epoch 2 = batch 2.
+        let v = check_crash_recovery(&store, &batches, 0, 1, &replay);
+        assert!(v.ok(), "{:?}", v.failures);
+        replay.apply(Update::modify("A1", 50i64)).unwrap();
+        let v = check_crash_recovery(&store, &batches, 0, 2, &replay);
+        assert!(v.ok(), "{:?}", v.failures);
+        assert_eq!(v.prefix_len, 3);
     }
 
     #[test]

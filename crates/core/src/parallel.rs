@@ -72,8 +72,8 @@ use crate::maintain::{BatchOutcome, MaintPlan};
 use crate::mview::MaterializedView;
 use crate::viewdef::SimpleViewDef;
 use gsdb::{
-    ConsolidatedDelta, DeltaBatch, EdgeOp, FastMap, FastSet, Oid, Result, Store, Update,
-    MAX_SHARDS,
+    ConsolidatedDelta, DeltaBatch, EdgeOp, FastMap, FastSet, Oid, Result, ShardedStore, Store,
+    Update, MAX_SHARDS,
 };
 
 /// Partition a run of updates into **commit lanes**: groups whose
@@ -188,6 +188,22 @@ fn subtree_closure(store: &Store, n: Oid, cap: usize) -> Option<FastSet<Oid>> {
         }
     }
     Some(seen)
+}
+
+/// How a lane-scheduled commit ([`ParallelMaintainer::commit_and_maintain`])
+/// distributed its writes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaneOutcome {
+    /// Lanes the update run partitioned into (= concurrent writers).
+    pub lanes: usize,
+    /// Epochs the pipeline published (one per lane that applied
+    /// anything).
+    pub epochs: u64,
+    /// Updates that actually applied, across all lanes.
+    pub applied: usize,
+    /// Updates rejected (each lane keeps the pipeline's prefix-commit
+    /// semantics, so a rejection drops that lane's tail).
+    pub rejected: usize,
 }
 
 /// How a [`ParallelMaintainer`] run distributed its work.
@@ -441,6 +457,87 @@ impl ParallelMaintainer {
             .map(|r| r.expect("every view was dispatched"))
             .collect()
     }
+
+    /// Lane-scheduled write path: partition `updates` into shard-
+    /// disjoint commit lanes ([`partition_commit_lanes`]), commit each
+    /// lane through `pipeline` from its own writer thread — so lanes
+    /// whose shard sets are disjoint run their apply phases genuinely
+    /// concurrently instead of being falsely serialized behind one
+    /// writer — then maintain every view once against the final
+    /// published snapshot.
+    ///
+    /// Each lane is one atomic commit (the pipeline's prefix-commit
+    /// semantics apply within it). Lanes commute by construction — no
+    /// update can move an OID between shards, and conflicting updates
+    /// share a lane — so the epoch order the pipeline assigns is a
+    /// serialization of the original run, and the applied deltas are
+    /// re-assembled in that order before the view fan-out. The result
+    /// is therefore independent of how the lane writers interleave,
+    /// which [`crate::oracle::check_parallel_equivalence`]-style tests
+    /// pin against sequential maintenance and recompute.
+    pub fn commit_and_maintain(
+        &self,
+        views: &mut [MaterializedView],
+        pipeline: &ShardedStore,
+        updates: &[Update],
+        threads: usize,
+    ) -> Result<(Vec<BatchOutcome>, LaneOutcome)> {
+        let snap = pipeline.snapshot();
+        let lanes = partition_commit_lanes(&snap, updates);
+        let _span = gsview_obs::span!(
+            "maint.lanes",
+            "lanes" = lanes.len(),
+            "updates" = updates.len(),
+        );
+        let base_epoch = pipeline.epoch();
+        let mut outcome = LaneOutcome {
+            lanes: lanes.len(),
+            ..LaneOutcome::default()
+        };
+
+        // One writer per lane; lanes are bounded by the shard count
+        // (≤ MAX_SHARDS), so no further chunking is needed.
+        let mut commits: Vec<(u64, Vec<gsdb::AppliedUpdate>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for lane in &lanes {
+                let pipeline = &pipeline;
+                handles.push(scope.spawn(move || {
+                    let r = pipeline.commit(lane);
+                    (r.epoch, r.applied, lane.len())
+                }));
+            }
+            for h in handles {
+                let (epoch, applied, submitted) = h.join().expect("lane writer panicked");
+                outcome.applied += applied.len();
+                outcome.rejected += submitted - applied.len();
+                if let Some(e) = epoch {
+                    commits.push((e, applied));
+                }
+            }
+        });
+        outcome.epochs = pipeline.epoch() - base_epoch;
+        gsview_obs::event!(
+            "maint.lanes.committed",
+            "lanes" = outcome.lanes,
+            "epochs" = outcome.epochs,
+            "applied" = outcome.applied,
+            "rejected" = outcome.rejected,
+        );
+
+        // Re-assemble the applied deltas in epoch (= serialization)
+        // order and maintain every view once on the final snapshot.
+        commits.sort_by_key(|(e, _)| *e);
+        let mut batch = DeltaBatch::new();
+        for (_, applied) in commits {
+            for a in applied {
+                batch.push(a);
+            }
+        }
+        let final_snap = pipeline.snapshot();
+        let outcomes = self.apply_batch(views, &final_snap, &batch, threads)?;
+        Ok((outcomes, outcome))
+    }
 }
 
 #[cfg(test)]
@@ -657,6 +754,75 @@ mod tests {
                 assert!(order.windows(2).all(|w| w[0] < w[1]));
             }
         }
+    }
+
+    #[test]
+    fn lane_scheduled_commit_matches_recompute() {
+        // Shard-disjoint modifies and inserts race through the lane
+        // fan-out; every view must land exactly where recompute lands,
+        // and the pipeline must have genuinely split the run into
+        // multiple concurrent lanes.
+        let mut store = Store::with_config(gsdb::StoreConfig::default().with_shards(8));
+        samples::person_db(&mut store).unwrap();
+        for i in 0..16 {
+            store
+                .create(Object::atom(format!("B{i}").as_str(), "age", (20 + i) as i64))
+                .unwrap();
+        }
+        let defs = vec![
+            SimpleViewDef::new("YP", "ROOT", "professor")
+                .with_cond("age", Pred::new(CmpOp::Le, 45i64)),
+            SimpleViewDef::new("ST", "ROOT", "professor.student"),
+        ];
+        let pm = ParallelMaintainer::new(defs);
+        let pipeline = ShardedStore::new(store.fork());
+        let mut views: Vec<MaterializedView> = pm
+            .defs()
+            .map(|d| recompute(d, &mut LocalBase::new(&pipeline.snapshot())).unwrap())
+            .collect();
+        let mut updates: Vec<Update> =
+            (0..16).map(|i| Update::modify(format!("B{i}").as_str(), (60 + i) as i64)).collect();
+        updates.push(Update::insert("P2", "B3"));
+        updates.push(Update::modify("A1", 80i64));
+        let (outcomes, lanes) = pm
+            .commit_and_maintain(&mut views, &pipeline, &updates, 2)
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(lanes.lanes > 1, "run must split into concurrent lanes: {lanes:?}");
+        assert_eq!(lanes.applied, updates.len());
+        assert_eq!(lanes.rejected, 0);
+        assert_eq!(lanes.epochs, lanes.lanes as u64);
+        let final_snap = pipeline.snapshot();
+        for (def, mv) in pm.defs().zip(&views) {
+            let want = recompute(def, &mut LocalBase::new(&final_snap)).unwrap();
+            assert_eq!(mv.members_base(), want.members_base(), "view {}", def.view);
+        }
+    }
+
+    #[test]
+    fn lane_scheduled_commit_keeps_prefix_semantics_per_lane() {
+        let mut store = Store::with_config(gsdb::StoreConfig::default().with_shards(4));
+        samples::person_db(&mut store).unwrap();
+        let pm = ParallelMaintainer::new(vec![SimpleViewDef::new("ST", "ROOT", "professor.student")]);
+        let pipeline = ShardedStore::new(store.fork());
+        let mut views: Vec<MaterializedView> = pm
+            .defs()
+            .map(|d| recompute(d, &mut LocalBase::new(&pipeline.snapshot())).unwrap())
+            .collect();
+        // A1 and GHOST share A1's lane only if they share shards; the
+        // modify of a missing OID rejects and drops its lane's tail.
+        let updates = vec![
+            Update::modify("A1", 30i64),
+            Update::modify("GHOST", 1i64),
+        ];
+        let (_, lanes) = pm
+            .commit_and_maintain(&mut views, &pipeline, &updates, 1)
+            .unwrap();
+        assert_eq!(lanes.applied + lanes.rejected, 2);
+        assert!(lanes.rejected >= 1);
+        let final_snap = pipeline.snapshot();
+        let want = recompute(pm.defs().next().unwrap(), &mut LocalBase::new(&final_snap)).unwrap();
+        assert_eq!(views[0].members_base(), want.members_base());
     }
 
     #[test]

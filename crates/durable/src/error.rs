@@ -1,0 +1,45 @@
+//! Error type shared by every durable layer.
+
+use std::fmt;
+
+/// Why a durable operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DurableError {
+    /// The media has crashed (chaos injection): the simulated process
+    /// is dead and every subsequent write fails until the controller
+    /// heals the media for the "restarted" process.
+    Crashed,
+    /// An I/O failure from the underlying file.
+    Io(String),
+    /// Structurally corrupt durable state: a frame that passed CRC but
+    /// failed decode, a manifest referencing impossible shapes, a
+    /// recovered image the store rejected.
+    Corrupt(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Crashed => write!(f, "media crashed (fault injection)"),
+            DurableError::Io(m) => write!(f, "durable I/O error: {m}"),
+            DurableError::Corrupt(m) => write!(f, "corrupt durable state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e.to_string())
+    }
+}
+
+impl From<gsdb::codec::CodecError> for DurableError {
+    fn from(e: gsdb::codec::CodecError) -> Self {
+        DurableError::Corrupt(e.to_string())
+    }
+}
+
+/// Result alias for durable operations.
+pub type Result<T> = std::result::Result<T, DurableError>;

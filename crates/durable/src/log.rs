@@ -1,0 +1,389 @@
+//! The CRC-framed epoch log: one manifest frame per persisted epoch.
+//!
+//! A **manifest** names a store lineage (`name`), the epoch and report
+//! sequence watermark it captures, the store configuration flags, and
+//! — per shard — the slot high-water mark plus the ordered list of
+//! page chunk hashes. A manifest plus a chunk segment fully determines
+//! a store; two manifests diff page-by-page, which is what makes
+//! chunk-level resync O(changed pages).
+//!
+//! Frame layout (`0xE7`, length, payload, CRC over the payload):
+//! scanning stops at the first short, mis-tagged, CRC-corrupt, or
+//! undecodable frame — the torn tail of a crash mid-append. Duplicate
+//! frames (a persist retried after a transient failure) are harmless:
+//! recovery walks frames from the tail and the duplicates describe the
+//! same state.
+
+use crate::error::{DurableError, Result};
+use crate::hash::{crc32, ChunkHash};
+use crate::media::{CrashPoint, Media};
+use gsdb::codec::{put_str, put_varint, Reader};
+use gsdb::StoreConfig;
+use std::sync::{Arc, Mutex};
+
+const FRAME_MAGIC: u8 = 0xE7;
+const HEADER: usize = 1 + 4;
+const CRC_LEN: usize = 4;
+const MAX_FRAME: u32 = 64 << 20;
+
+/// Store configuration flags a manifest carries so recovery rebuilds
+/// the store exactly as it was configured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreFlags {
+    /// Parent (child → parents) index enabled.
+    pub parent_index: bool,
+    /// Label index enabled.
+    pub label_index: bool,
+    /// Update logging enabled on the live store.
+    pub log_updates: bool,
+    /// Access counting enabled.
+    pub count_accesses: bool,
+}
+
+impl StoreFlags {
+    fn to_byte(self) -> u8 {
+        u8::from(self.parent_index)
+            | u8::from(self.label_index) << 1
+            | u8::from(self.log_updates) << 2
+            | u8::from(self.count_accesses) << 3
+    }
+    fn from_byte(b: u8) -> StoreFlags {
+        StoreFlags {
+            parent_index: b & 1 != 0,
+            label_index: b & 2 != 0,
+            log_updates: b & 4 != 0,
+            count_accesses: b & 8 != 0,
+        }
+    }
+}
+
+/// One shard's durable image: high-water mark plus page chunk hashes
+/// in page order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Local slots handed out (free included).
+    pub len_slots: u64,
+    /// Content hash of each page, in page order.
+    pub pages: Vec<ChunkHash>,
+}
+
+/// A persisted epoch: everything needed to rebuild one store lineage
+/// at one published epoch from the chunk segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// The lineage this frame belongs to (a source or view name —
+    /// one log serves many lineages).
+    pub name: String,
+    /// The epoch the persisted snapshot was published as.
+    pub epoch: u64,
+    /// Store version of the snapshot.
+    pub version: u64,
+    /// Report-sequence watermark at persist time (`next_seq` plus
+    /// pending log entries); a recovered source resumes here.
+    pub seq: u64,
+    /// Store configuration to rebuild with.
+    pub flags: StoreFlags,
+    /// Per-shard images.
+    pub shards: Vec<ShardManifest>,
+    /// Caller-owned metadata (the warehouse stores its reconciliation
+    /// state here). Opaque to recovery.
+    pub extra: Vec<u8>,
+}
+
+impl Manifest {
+    /// The [`StoreConfig`] this manifest's store was built with.
+    pub fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            parent_index: self.flags.parent_index,
+            label_index: self.flags.label_index,
+            log_updates: self.flags.log_updates,
+            count_accesses: self.flags.count_accesses,
+            shards: self.shards.len(),
+        }
+    }
+
+    /// Total pages across all shards.
+    pub fn page_count(&self) -> usize {
+        self.shards.iter().map(|s| s.pages.len()).sum()
+    }
+
+    /// Every page hash, with its `(shard, page index)` position.
+    pub fn pages(&self) -> impl Iterator<Item = (usize, usize, ChunkHash)> + '_ {
+        self.shards.iter().enumerate().flat_map(|(i, s)| {
+            s.pages.iter().enumerate().map(move |(j, h)| (i, j, *h))
+        })
+    }
+
+    /// Positions of pages in `self` that differ from (or don't exist
+    /// in) `older` — the chunk-diff a durable resync fetches. A `None`
+    /// baseline diffs everything.
+    pub fn diff_pages(&self, older: Option<&Manifest>) -> Vec<(usize, usize, ChunkHash)> {
+        self.pages()
+            .filter(|(i, j, h)| {
+                older
+                    .and_then(|o| o.shards.get(*i))
+                    .and_then(|s| s.pages.get(*j))
+                    != Some(h)
+            })
+            .collect()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.page_count() * 16);
+        put_str(&mut out, &self.name);
+        put_varint(&mut out, self.epoch);
+        put_varint(&mut out, self.version);
+        put_varint(&mut out, self.seq);
+        out.push(self.flags.to_byte());
+        put_varint(&mut out, self.shards.len() as u64);
+        for s in &self.shards {
+            put_varint(&mut out, s.len_slots);
+            put_varint(&mut out, s.pages.len() as u64);
+            for h in &s.pages {
+                out.extend_from_slice(&h.0);
+            }
+        }
+        put_varint(&mut out, self.extra.len() as u64);
+        out.extend_from_slice(&self.extra);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest> {
+        let mut r = Reader::new(bytes);
+        let name = r.str().map_err(DurableError::from)?.to_string();
+        let epoch = r.varint().map_err(DurableError::from)?;
+        let version = r.varint().map_err(DurableError::from)?;
+        let seq = r.varint().map_err(DurableError::from)?;
+        let flags = StoreFlags::from_byte(r.byte().map_err(DurableError::from)?);
+        let n = r.varint().map_err(DurableError::from)? as usize;
+        if n > gsdb::MAX_SHARDS {
+            return Err(DurableError::Corrupt(format!("manifest claims {n} shards")));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len_slots = r.varint().map_err(DurableError::from)?;
+            let pages_n = r.varint().map_err(DurableError::from)? as usize;
+            if pages_n > 1 << 24 {
+                return Err(DurableError::Corrupt(format!(
+                    "manifest claims {pages_n} pages"
+                )));
+            }
+            let mut pages = Vec::with_capacity(pages_n);
+            for _ in 0..pages_n {
+                let raw = r.bytes(16).map_err(DurableError::from)?;
+                pages.push(ChunkHash::from_slice(raw).unwrap());
+            }
+            shards.push(ShardManifest { len_slots, pages });
+        }
+        let extra_n = r.varint().map_err(DurableError::from)? as usize;
+        let extra = r.bytes(extra_n).map_err(DurableError::from)?.to_vec();
+        if r.remaining() != 0 {
+            return Err(DurableError::Corrupt("trailing bytes after manifest".into()));
+        }
+        Ok(Manifest {
+            name,
+            epoch,
+            version,
+            seq,
+            flags,
+            shards,
+            extra,
+        })
+    }
+}
+
+/// One scanned frame: where it sits plus its decoded manifest.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Frame start offset in the log media.
+    pub off: u64,
+    /// Whole-frame length (header + payload + CRC).
+    pub len: u32,
+    /// The decoded manifest.
+    pub manifest: Manifest,
+}
+
+struct LogState {
+    frames: Vec<Frame>,
+    end: u64,
+}
+
+/// The epoch log over one media: scan-validated frames, append-only.
+pub struct EpochLog {
+    media: Arc<dyn Media>,
+    state: Mutex<LogState>,
+}
+
+impl EpochLog {
+    /// Open the log, scanning the valid frame prefix. A torn tail is
+    /// tolerated and overwritten by the next append.
+    pub fn open(media: Arc<dyn Media>) -> Result<EpochLog> {
+        let mut frames = Vec::new();
+        let mut off = 0u64;
+        loop {
+            let header = media.read_at(off, HEADER)?;
+            if header.len() < HEADER || header[0] != FRAME_MAGIC {
+                break;
+            }
+            let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+            if len > MAX_FRAME {
+                break;
+            }
+            let body_len = len as usize + CRC_LEN;
+            let body = media.read_at(off + HEADER as u64, body_len)?;
+            if body.len() < body_len {
+                break;
+            }
+            let crc_stored =
+                u32::from_le_bytes(body[len as usize..].try_into().unwrap());
+            if crc32(&body[..len as usize]) != crc_stored {
+                break;
+            }
+            let manifest = match Manifest::decode(&body[..len as usize]) {
+                Ok(m) => m,
+                Err(_) => break,
+            };
+            let total = (HEADER + body_len) as u32;
+            frames.push(Frame {
+                off,
+                len: total,
+                manifest,
+            });
+            off += u64::from(total);
+        }
+        Ok(EpochLog {
+            media,
+            state: Mutex::new(LogState { frames, end: off }),
+        })
+    }
+
+    /// Append a manifest frame. Not durable until
+    /// [`sync`](EpochLog::sync). Returns the frame's offset and
+    /// whole-frame length.
+    pub fn append(&self, manifest: &Manifest) -> Result<(u64, u32)> {
+        let payload = manifest.encode();
+        let mut frame = Vec::with_capacity(HEADER + payload.len() + CRC_LEN);
+        frame.push(FRAME_MAGIC);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let mut st = self.state.lock().unwrap();
+        let off = st.end;
+        self.media.write_at(off, &frame, CrashPoint::FrameBytes)?;
+        let len = frame.len() as u32;
+        st.frames.push(Frame {
+            off,
+            len,
+            manifest: manifest.clone(),
+        });
+        st.end += u64::from(len);
+        Ok((off, len))
+    }
+
+    /// Durability barrier over every frame appended so far.
+    pub fn sync(&self) -> Result<()> {
+        self.media.sync(CrashPoint::FrameSync)
+    }
+
+    /// All valid frames, in log (= epoch) order.
+    pub fn frames(&self) -> Vec<Frame> {
+        self.state.lock().unwrap().frames.clone()
+    }
+
+    /// Valid frames belonging to one lineage, in log order.
+    pub fn frames_for(&self, name: &str) -> Vec<Frame> {
+        self.state
+            .lock()
+            .unwrap()
+            .frames
+            .iter()
+            .filter(|f| f.manifest.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// End of the valid frame prefix.
+    pub fn valid_end(&self) -> u64 {
+        self.state.lock().unwrap().end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MemMedia;
+
+    fn manifest(name: &str, epoch: u64) -> Manifest {
+        Manifest {
+            name: name.into(),
+            epoch,
+            version: epoch * 10,
+            seq: epoch * 3,
+            flags: StoreFlags {
+                parent_index: true,
+                label_index: false,
+                log_updates: true,
+                count_accesses: false,
+            },
+            shards: vec![ShardManifest {
+                len_slots: 7,
+                pages: vec![crate::hash::chunk_hash(&epoch.to_le_bytes())],
+            }],
+            extra: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn manifests_roundtrip_through_frames() {
+        let media: Arc<dyn Media> = Arc::new(MemMedia::new());
+        {
+            let log = EpochLog::open(Arc::clone(&media)).unwrap();
+            log.append(&manifest("src", 1)).unwrap();
+            log.append(&manifest("view.v1", 2)).unwrap();
+            log.append(&manifest("src", 3)).unwrap();
+        }
+        let log = EpochLog::open(Arc::clone(&media)).unwrap();
+        let all = log.frames();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].manifest, manifest("src", 1));
+        assert_eq!(all[2].manifest, manifest("src", 3));
+        let src = log.frames_for("src");
+        assert_eq!(src.len(), 2);
+        assert_eq!(src[1].manifest.epoch, 3);
+    }
+
+    #[test]
+    fn torn_tail_frame_is_dropped() {
+        let media: Arc<dyn Media> = Arc::new(MemMedia::new());
+        let log = EpochLog::open(Arc::clone(&media)).unwrap();
+        log.append(&manifest("src", 1)).unwrap();
+        let end = log.valid_end();
+        // A frame whose payload was half-written.
+        media
+            .write_at(end, &[FRAME_MAGIC, 100, 0, 0, 0, 5, 5], CrashPoint::Other)
+            .unwrap();
+        let log = EpochLog::open(Arc::clone(&media)).unwrap();
+        assert_eq!(log.frames().len(), 1);
+        assert_eq!(log.valid_end(), end);
+        // CRC-valid but undecodable payload also stops the scan.
+        let garbage = [0xFFu8; 8];
+        let mut frame = vec![FRAME_MAGIC, 8, 0, 0, 0];
+        frame.extend_from_slice(&garbage);
+        frame.extend_from_slice(&crate::hash::crc32(&garbage).to_le_bytes());
+        media.write_at(end, &frame, CrashPoint::Other).unwrap();
+        let log = EpochLog::open(Arc::clone(&media)).unwrap();
+        assert_eq!(log.frames().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_frames_coexist() {
+        let media: Arc<dyn Media> = Arc::new(MemMedia::new());
+        let log = EpochLog::open(Arc::clone(&media)).unwrap();
+        log.append(&manifest("src", 5)).unwrap();
+        log.append(&manifest("src", 5)).unwrap(); // retried append
+        let log = EpochLog::open(media).unwrap();
+        let frames = log.frames_for("src");
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].manifest, frames[1].manifest);
+    }
+}

@@ -1,0 +1,464 @@
+//! Storage media: real files, memory buffers, and the crash-fault
+//! injection layer.
+//!
+//! Everything durable is written through the [`Media`] trait — a flat
+//! byte space with positioned reads/writes and an explicit
+//! [`sync`](Media::sync) barrier. The durability argument only relies
+//! on what real disks give you:
+//!
+//! * a completed `sync` makes every earlier write durable;
+//! * **un-synced writes may do anything at a crash** — land fully,
+//!   vanish, land as a torn prefix, or land with flipped bits, each
+//!   independently of program order (reordering).
+//!
+//! [`ChaosMedia`] simulates exactly that model, deterministically:
+//! writes are staged until the next sync, and when the seeded
+//! [`CrashPlan`] fires, every staged write independently resolves to
+//! commit / drop / tear / bit-flip under the [`ChaosPolicy`]'s seeded
+//! RNG. One [`ChaosController`] coordinates a whole [`MediaSet`]
+//! (segment + log + root), so a crash tears across files the way a
+//! real power cut does. Mirrors the networking chaos layer in
+//! `warehouse/src/chaos.rs`: seeded, deterministic, and assertable.
+//!
+//! Every write carries a [`CrashPoint`] tag naming the logical
+//! operation, so the kill-at-every-write-point matrix can report *what*
+//! was mid-flight at the crash it survived.
+
+use crate::error::{DurableError, Result};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The logical operation a write or sync belongs to — reported by the
+/// chaos layer so crash-matrix failures name the mid-flight operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Appending a content-addressed chunk frame to the segment.
+    ChunkBytes,
+    /// The segment sync barrier after a persist's chunk appends.
+    ChunkSync,
+    /// Appending an epoch manifest frame to the log.
+    FrameBytes,
+    /// The log sync barrier after the frame append.
+    FrameSync,
+    /// Writing a root-pointer slot.
+    RootSwap,
+    /// The root sync barrier completing a persist.
+    RootSync,
+    /// Anything else (tests, maintenance).
+    Other,
+}
+
+/// A flat byte space with positioned I/O and a sync barrier.
+pub trait Media: Send + Sync {
+    /// Current length in bytes.
+    fn len(&self) -> u64;
+    /// True iff empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Read up to `len` bytes at `off`; shorter at end-of-media.
+    fn read_at(&self, off: u64, len: usize) -> Result<Vec<u8>>;
+    /// Write `data` at `off`, extending the media if needed. Not
+    /// durable until the next successful [`sync`](Media::sync).
+    fn write_at(&self, off: u64, data: &[u8], point: CrashPoint) -> Result<()>;
+    /// Durability barrier: all earlier writes survive a crash after
+    /// this returns.
+    fn sync(&self, point: CrashPoint) -> Result<()>;
+}
+
+// ----------------------------------------------------------------------
+// In-memory media
+// ----------------------------------------------------------------------
+
+/// A plain in-memory media (always "durable"; no fault injection).
+#[derive(Default)]
+pub struct MemMedia {
+    buf: RwLock<Vec<u8>>,
+}
+
+impl MemMedia {
+    /// An empty in-memory media.
+    pub fn new() -> MemMedia {
+        MemMedia::default()
+    }
+
+    /// An in-memory media seeded with existing bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> MemMedia {
+        MemMedia {
+            buf: RwLock::new(bytes),
+        }
+    }
+}
+
+fn read_slice(buf: &[u8], off: u64, len: usize) -> Vec<u8> {
+    let start = (off as usize).min(buf.len());
+    let end = start.saturating_add(len).min(buf.len());
+    buf[start..end].to_vec()
+}
+
+fn write_slice(buf: &mut Vec<u8>, off: u64, data: &[u8]) {
+    let off = off as usize;
+    if buf.len() < off + data.len() {
+        buf.resize(off + data.len(), 0);
+    }
+    buf[off..off + data.len()].copy_from_slice(data);
+}
+
+impl Media for MemMedia {
+    fn len(&self) -> u64 {
+        self.buf.read().unwrap().len() as u64
+    }
+    fn read_at(&self, off: u64, len: usize) -> Result<Vec<u8>> {
+        Ok(read_slice(&self.buf.read().unwrap(), off, len))
+    }
+    fn write_at(&self, off: u64, data: &[u8], _point: CrashPoint) -> Result<()> {
+        write_slice(&mut self.buf.write().unwrap(), off, data);
+        Ok(())
+    }
+    fn sync(&self, _point: CrashPoint) -> Result<()> {
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// File-backed media
+// ----------------------------------------------------------------------
+
+/// A file-backed media using positioned I/O and `fsync`.
+pub struct FsMedia {
+    file: std::fs::File,
+}
+
+impl FsMedia {
+    /// Open (or create) the file at `path` for durable read/write.
+    pub fn open(path: &std::path::Path) -> Result<FsMedia> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FsMedia { file })
+    }
+}
+
+impl Media for FsMedia {
+    fn len(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+    fn read_at(&self, off: u64, len: usize) -> Result<Vec<u8>> {
+        use std::os::unix::fs::FileExt;
+        let mut buf = vec![0u8; len];
+        let mut read = 0;
+        while read < len {
+            match self.file.read_at(&mut buf[read..], off + read as u64) {
+                Ok(0) => break,
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        buf.truncate(read);
+        Ok(buf)
+    }
+    fn write_at(&self, off: u64, data: &[u8], _point: CrashPoint) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(data, off)?;
+        Ok(())
+    }
+    fn sync(&self, _point: CrashPoint) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Chaos media
+// ----------------------------------------------------------------------
+
+/// How staged (un-synced) writes resolve when the crash fires. The
+/// four outcomes sum to 1: whatever probability the tear/drop/flip
+/// knobs leave over is the chance a staged write lands intact.
+/// Resolution is per-write and independent, which yields write
+/// *reordering* for free (an earlier write can drop while a later one
+/// lands).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosPolicy {
+    /// RNG seed — equal seeds replay identical fault schedules.
+    pub seed: u64,
+    /// Probability a staged write lands as a torn prefix.
+    pub p_tear: f64,
+    /// Probability a staged write vanishes entirely.
+    pub p_drop: f64,
+    /// Probability a staged write lands with one flipped bit.
+    pub p_flip: f64,
+}
+
+impl ChaosPolicy {
+    /// A balanced default: at a crash each staged write tears, drops,
+    /// flips, or lands with equal weight.
+    pub fn seeded(seed: u64) -> ChaosPolicy {
+        ChaosPolicy {
+            seed,
+            p_tear: 0.25,
+            p_drop: 0.25,
+            p_flip: 0.25,
+        }
+    }
+}
+
+/// When the crash fires: after `kill_at_op` tagged operations (writes
+/// and syncs) have been admitted, the next one crashes instead of
+/// executing. `0` disables the crash.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrashPlan {
+    /// 1-based index of the operation that crashes; 0 = never.
+    pub kill_at_op: u64,
+}
+
+/// splitmix64 stream — deterministic, seed-stable, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+}
+
+/// One simulated file: what is durable, what the live process sees,
+/// and the writes staged between the two.
+#[derive(Default)]
+struct ChaosFile {
+    durable: Vec<u8>,
+    live: Vec<u8>,
+    staged: Vec<(u64, Vec<u8>)>,
+}
+
+struct ChaosState {
+    policy: ChaosPolicy,
+    plan: CrashPlan,
+    rng: Rng,
+    ops: u64,
+    crashed: bool,
+    crash_point: Option<CrashPoint>,
+    files: Vec<ChaosFile>,
+}
+
+impl ChaosState {
+    /// The crash: resolve every staged write across every file under
+    /// the seeded policy, then freeze the media.
+    fn crash(&mut self, point: CrashPoint) {
+        for file in &mut self.files {
+            for (off, data) in std::mem::take(&mut file.staged) {
+                let roll = self.rng.f64();
+                let p = &self.policy;
+                if roll < p.p_drop {
+                    continue; // vanished
+                } else if roll < p.p_drop + p.p_tear {
+                    let keep = self.rng.below(data.len() as u64) as usize;
+                    write_slice(&mut file.durable, off, &data[..keep]);
+                } else if roll < p.p_drop + p.p_tear + p.p_flip {
+                    let mut data = data;
+                    if !data.is_empty() {
+                        let bit = self.rng.below(data.len() as u64 * 8);
+                        data[(bit / 8) as usize] ^= 1 << (bit % 8);
+                    }
+                    write_slice(&mut file.durable, off, &data);
+                } else {
+                    write_slice(&mut file.durable, off, &data);
+                }
+            }
+            // The "restarted process" view is what survived.
+            file.live = file.durable.clone();
+        }
+        self.crashed = true;
+        self.crash_point = Some(point);
+    }
+
+    /// Admit one tagged operation; returns `Err(Crashed)` if this is
+    /// the one the plan kills.
+    fn admit(&mut self, point: CrashPoint) -> Result<()> {
+        if self.crashed {
+            return Err(DurableError::Crashed);
+        }
+        self.ops += 1;
+        if self.plan.kill_at_op != 0 && self.ops == self.plan.kill_at_op {
+            self.crash(point);
+            return Err(DurableError::Crashed);
+        }
+        Ok(())
+    }
+}
+
+/// Coordinator for a set of [`ChaosMedia`] sharing one fault schedule
+/// (one operation counter, one RNG, one crash).
+#[derive(Clone)]
+pub struct ChaosController {
+    state: Arc<Mutex<ChaosState>>,
+}
+
+impl ChaosController {
+    /// A controller with the given policy and crash plan.
+    pub fn new(policy: ChaosPolicy, plan: CrashPlan) -> ChaosController {
+        ChaosController {
+            state: Arc::new(Mutex::new(ChaosState {
+                rng: Rng(policy.seed),
+                policy,
+                plan,
+                ops: 0,
+                crashed: false,
+                crash_point: None,
+                files: Vec::new(),
+            })),
+        }
+    }
+
+    /// Allocate a new simulated file under this controller.
+    pub fn media(&self) -> ChaosMedia {
+        let mut st = self.state.lock().unwrap();
+        st.files.push(ChaosFile::default());
+        ChaosMedia {
+            idx: st.files.len() - 1,
+            ctl: Arc::clone(&self.state),
+        }
+    }
+
+    /// True iff the planned crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// The operation that was mid-flight at the crash, if any.
+    pub fn crash_point(&self) -> Option<CrashPoint> {
+        self.state.lock().unwrap().crash_point
+    }
+
+    /// Tagged operations admitted so far — run a workload with a
+    /// never-firing plan to size the kill-at-every-point matrix.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// "Restart the process": clear the crashed flag (keeping durable
+    /// state exactly as the crash left it) and install the next crash
+    /// plan. The same media objects now serve the recovered process.
+    pub fn heal(&self, next: CrashPlan) {
+        let mut st = self.state.lock().unwrap();
+        st.crashed = false;
+        st.crash_point = None;
+        st.plan = next;
+        st.ops = 0;
+    }
+}
+
+/// One simulated file under a [`ChaosController`]. Reads observe the
+/// live (written-but-maybe-not-durable) state before the crash and the
+/// survived state after it; writes and syncs fail after the crash.
+pub struct ChaosMedia {
+    idx: usize,
+    ctl: Arc<Mutex<ChaosState>>,
+}
+
+impl Media for ChaosMedia {
+    fn len(&self) -> u64 {
+        let st = self.ctl.lock().unwrap();
+        st.files[self.idx].live.len() as u64
+    }
+    fn read_at(&self, off: u64, len: usize) -> Result<Vec<u8>> {
+        let st = self.ctl.lock().unwrap();
+        Ok(read_slice(&st.files[self.idx].live, off, len))
+    }
+    fn write_at(&self, off: u64, data: &[u8], point: CrashPoint) -> Result<()> {
+        let mut st = self.ctl.lock().unwrap();
+        st.admit(point)?;
+        let file = &mut st.files[self.idx];
+        write_slice(&mut file.live, off, data);
+        file.staged.push((off, data.to_vec()));
+        Ok(())
+    }
+    fn sync(&self, point: CrashPoint) -> Result<()> {
+        let mut st = self.ctl.lock().unwrap();
+        st.admit(point)?;
+        let file = &mut st.files[self.idx];
+        file.durable = file.live.clone();
+        file.staged.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_media_roundtrips_and_extends() {
+        let m = MemMedia::new();
+        m.write_at(3, b"abc", CrashPoint::Other).unwrap();
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.read_at(0, 6).unwrap(), b"\0\0\0abc");
+        assert_eq!(m.read_at(4, 100).unwrap(), b"bc");
+    }
+
+    #[test]
+    fn chaos_synced_writes_survive_any_crash() {
+        let ctl = ChaosController::new(ChaosPolicy::seeded(7), CrashPlan { kill_at_op: 3 });
+        let m = ctl.media();
+        m.write_at(0, b"durable!", CrashPoint::ChunkBytes).unwrap();
+        m.sync(CrashPoint::ChunkSync).unwrap();
+        // Op 3 kills this write; the synced prefix must survive.
+        assert_eq!(
+            m.write_at(8, b"lost", CrashPoint::FrameBytes),
+            Err(DurableError::Crashed)
+        );
+        assert!(ctl.crashed());
+        assert_eq!(ctl.crash_point(), Some(CrashPoint::FrameBytes));
+        assert_eq!(m.read_at(0, 8).unwrap(), b"durable!");
+        assert_eq!(m.write_at(0, b"x", CrashPoint::Other), Err(DurableError::Crashed));
+        ctl.heal(CrashPlan::default());
+        m.write_at(0, b"X", CrashPoint::Other).unwrap();
+        assert_eq!(m.read_at(0, 1).unwrap(), b"X");
+    }
+
+    #[test]
+    fn chaos_unsynced_writes_resolve_deterministically() {
+        let run = |seed| {
+            let ctl =
+                ChaosController::new(ChaosPolicy::seeded(seed), CrashPlan { kill_at_op: 5 });
+            let m = ctl.media();
+            for i in 0..5u64 {
+                let _ = m.write_at(i * 8, &[i as u8; 8], CrashPoint::ChunkBytes);
+            }
+            assert!(ctl.crashed());
+            m.read_at(0, 40).unwrap()
+        };
+        assert_eq!(run(1), run(1), "same seed, same wreckage");
+        // Reads before the crash see staged writes (read-your-writes).
+        let ctl = ChaosController::new(ChaosPolicy::seeded(1), CrashPlan::default());
+        let m = ctl.media();
+        m.write_at(0, b"abc", CrashPoint::ChunkBytes).unwrap();
+        assert_eq!(m.read_at(0, 3).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn one_controller_crashes_all_its_media_together() {
+        let ctl = ChaosController::new(ChaosPolicy::seeded(3), CrashPlan { kill_at_op: 2 });
+        let a = ctl.media();
+        let b = ctl.media();
+        a.write_at(0, b"a", CrashPoint::ChunkBytes).unwrap();
+        assert_eq!(b.write_at(0, b"b", CrashPoint::FrameBytes), Err(DurableError::Crashed));
+        assert_eq!(a.sync(CrashPoint::ChunkSync), Err(DurableError::Crashed));
+    }
+}

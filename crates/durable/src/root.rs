@@ -1,0 +1,167 @@
+//! The atomically-swapped root pointer.
+//!
+//! Two fixed 64-byte slots, written ping-pong: generation `g` goes to
+//! slot `g % 2`, so a torn root write can only destroy the slot being
+//! written — the *other* slot still holds the previous complete
+//! record. A reader takes the CRC-valid slot with the highest
+//! generation. This is the classic double-buffer commit cell: the
+//! swap is atomic **at recovery granularity** even though no single
+//! write is atomic at the media level.
+//!
+//! The record points at the epoch-log frame of the most recently
+//! committed persist. It is a *hint*, not an authority: recovery
+//! re-validates the designated frame (and its chunks) and falls back
+//! to scanning the log when the root points past a torn tail — which
+//! genuinely happens under write reordering, when the root lands but
+//! the frame it names does not.
+
+use crate::error::Result;
+use crate::hash::crc32;
+use crate::media::{CrashPoint, Media};
+use std::sync::{Arc, Mutex};
+
+const ROOT_MAGIC: u32 = 0x4753_5254; // "GSRT"
+const SLOT_LEN: usize = 64;
+const RECORD_LEN: usize = 4 + 8 + 8 + 8 + 4 + 4; // magic, gen, epoch, off, len, crc
+
+/// A committed root record: which epoch-log frame completes the most
+/// recent durable persist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RootRecord {
+    /// Monotonic write generation (ping-pong slot selector).
+    pub generation: u64,
+    /// Epoch of the persist this root committed.
+    pub epoch: u64,
+    /// Offset of the designated frame in the log media.
+    pub frame_off: u64,
+    /// Whole-frame length of the designated frame.
+    pub frame_len: u32,
+}
+
+impl RootRecord {
+    fn encode(&self) -> [u8; SLOT_LEN] {
+        let mut out = [0u8; SLOT_LEN];
+        out[0..4].copy_from_slice(&ROOT_MAGIC.to_le_bytes());
+        out[4..12].copy_from_slice(&self.generation.to_le_bytes());
+        out[12..20].copy_from_slice(&self.epoch.to_le_bytes());
+        out[20..28].copy_from_slice(&self.frame_off.to_le_bytes());
+        out[28..32].copy_from_slice(&self.frame_len.to_le_bytes());
+        let crc = crc32(&out[..RECORD_LEN - 4]);
+        out[RECORD_LEN - 4..RECORD_LEN].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<RootRecord> {
+        if bytes.len() < RECORD_LEN {
+            return None;
+        }
+        if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != ROOT_MAGIC {
+            return None;
+        }
+        let crc = u32::from_le_bytes(bytes[RECORD_LEN - 4..RECORD_LEN].try_into().unwrap());
+        if crc32(&bytes[..RECORD_LEN - 4]) != crc {
+            return None;
+        }
+        Some(RootRecord {
+            generation: u64::from_le_bytes(bytes[4..12].try_into().unwrap()),
+            epoch: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+            frame_off: u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+            frame_len: u32::from_le_bytes(bytes[28..32].try_into().unwrap()),
+        })
+    }
+}
+
+/// The double-slot root cell over one media.
+pub struct RootPointer {
+    media: Arc<dyn Media>,
+    state: Mutex<u64>, // next generation to write
+}
+
+impl RootPointer {
+    /// Open the root cell, recovering the best (highest-generation
+    /// CRC-valid) record if one exists.
+    pub fn open(media: Arc<dyn Media>) -> Result<RootPointer> {
+        let best = Self::read_best(&media)?;
+        let next_gen = best.map_or(1, |r| r.generation + 1);
+        Ok(RootPointer {
+            media,
+            state: Mutex::new(next_gen),
+        })
+    }
+
+    fn read_best(media: &Arc<dyn Media>) -> Result<Option<RootRecord>> {
+        let mut best: Option<RootRecord> = None;
+        for slot in 0..2u64 {
+            let bytes = media.read_at(slot * SLOT_LEN as u64, SLOT_LEN)?;
+            if let Some(rec) = RootRecord::decode(&bytes) {
+                if best.is_none_or(|b| rec.generation > b.generation) {
+                    best = Some(rec);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// The best committed record currently on media.
+    pub fn current(&self) -> Result<Option<RootRecord>> {
+        Self::read_best(&self.media)
+    }
+
+    /// Commit a new root: write the next generation into its ping-pong
+    /// slot and sync. After this returns, recovery will prefer the new
+    /// record; if the write tears, the previous slot still commits the
+    /// previous persist.
+    pub fn swap(&self, epoch: u64, frame_off: u64, frame_len: u32) -> Result<RootRecord> {
+        let mut gen = self.state.lock().unwrap();
+        let rec = RootRecord {
+            generation: *gen,
+            epoch,
+            frame_off,
+            frame_len,
+        };
+        let slot = (rec.generation % 2) * SLOT_LEN as u64;
+        self.media.write_at(slot, &rec.encode(), CrashPoint::RootSwap)?;
+        self.media.sync(CrashPoint::RootSync)?;
+        *gen += 1;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MemMedia;
+
+    #[test]
+    fn swap_alternates_slots_and_survives_reopen() {
+        let media: Arc<dyn Media> = Arc::new(MemMedia::new());
+        let root = RootPointer::open(Arc::clone(&media)).unwrap();
+        assert_eq!(root.current().unwrap(), None);
+        root.swap(1, 0, 10).unwrap();
+        root.swap(2, 100, 20).unwrap();
+        let rec = root.current().unwrap().unwrap();
+        assert_eq!(rec.epoch, 2);
+        assert_eq!(rec.frame_off, 100);
+        // Reopen continues the generation sequence.
+        let root = RootPointer::open(Arc::clone(&media)).unwrap();
+        let rec3 = root.swap(3, 200, 30).unwrap();
+        assert!(rec3.generation > rec.generation);
+        assert_eq!(root.current().unwrap().unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn torn_new_slot_leaves_previous_root_committed() {
+        let media: Arc<dyn Media> = Arc::new(MemMedia::new());
+        let root = RootPointer::open(Arc::clone(&media)).unwrap();
+        root.swap(1, 0, 10).unwrap();
+        let committed = root.current().unwrap().unwrap();
+        // Corrupt the *other* slot as a torn in-flight write would.
+        let victim = ((committed.generation + 1) % 2) * SLOT_LEN as u64;
+        media
+            .write_at(victim, &[0xAB; 13], CrashPoint::RootSwap)
+            .unwrap();
+        assert_eq!(root.current().unwrap().unwrap(), committed);
+        let reopened = RootPointer::open(media).unwrap();
+        assert_eq!(reopened.current().unwrap().unwrap(), committed);
+    }
+}

@@ -1,0 +1,248 @@
+//! The append-only, content-addressed chunk segment.
+//!
+//! Each chunk is one encoded slab page, stored once per distinct
+//! content hash. Frame layout:
+//!
+//! ```text
+//! ┌───────┬─────────┬───────────┬─────────┬───────────────────┐
+//! │ 0xC5  │ len u32 │ hash 16 B │ payload │ crc32(hash‖payload)│
+//! └───────┴─────────┴───────────┴─────────┴───────────────────┘
+//! ```
+//!
+//! Opening scans from the front and stops at the first frame that is
+//! short, mis-tagged, CRC-corrupt, or whose payload no longer matches
+//! its content hash — everything after that point is a torn tail from
+//! a crash mid-append, and the next append overwrites it. Dedup is an
+//! in-memory `hash → (offset, len)` index rebuilt by the same scan, so
+//! no separate index file can desynchronize from the data.
+
+use crate::error::Result;
+use crate::hash::{chunk_hash, crc32, ChunkHash};
+use crate::media::{CrashPoint, Media};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+const CHUNK_MAGIC: u8 = 0xC5;
+const HEADER: usize = 1 + 4; // magic + payload length
+const HASH_LEN: usize = 16;
+const CRC_LEN: usize = 4;
+
+/// Maximum chunk payload accepted at scan time; a length field beyond
+/// this is treated as torn-tail garbage rather than an allocation
+/// request.
+const MAX_CHUNK: u32 = 64 << 20;
+
+struct SegState {
+    /// hash → (payload offset, payload length) of every valid chunk.
+    index: HashMap<ChunkHash, (u64, u32)>,
+    /// End of the valid prefix (next append position).
+    end: u64,
+    /// Payload bytes appended (after dedup) over this handle's life
+    /// plus the scanned prefix.
+    appended_bytes: u64,
+    /// Payload bytes dedup avoided appending.
+    deduped_bytes: u64,
+}
+
+/// The chunk segment: content-addressed append, hash-verified reads.
+pub struct SegmentStore {
+    media: Arc<dyn Media>,
+    state: Mutex<SegState>,
+}
+
+impl SegmentStore {
+    /// Open a segment, scanning the valid frame prefix into the dedup
+    /// index. Torn tails are tolerated (and later overwritten); they
+    /// are the expected wreckage of a crash mid-persist.
+    pub fn open(media: Arc<dyn Media>) -> Result<SegmentStore> {
+        let mut index = HashMap::new();
+        let mut off = 0u64;
+        let mut appended = 0u64;
+        loop {
+            let header = media.read_at(off, HEADER)?;
+            if header.len() < HEADER || header[0] != CHUNK_MAGIC {
+                break;
+            }
+            let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+            if len > MAX_CHUNK {
+                break;
+            }
+            let body_len = HASH_LEN + len as usize + CRC_LEN;
+            let body = media.read_at(off + HEADER as u64, body_len)?;
+            if body.len() < body_len {
+                break;
+            }
+            let crc_stored =
+                u32::from_le_bytes(body[body_len - CRC_LEN..].try_into().unwrap());
+            if crc32(&body[..body_len - CRC_LEN]) != crc_stored {
+                break;
+            }
+            let hash = ChunkHash::from_slice(&body[..HASH_LEN]).unwrap();
+            let payload = &body[HASH_LEN..body_len - CRC_LEN];
+            if chunk_hash(payload) != hash {
+                break;
+            }
+            index.insert(hash, (off + (HEADER + HASH_LEN) as u64, len));
+            appended += u64::from(len);
+            off += (HEADER + body_len) as u64;
+        }
+        Ok(SegmentStore {
+            media,
+            state: Mutex::new(SegState {
+                index,
+                end: off,
+                appended_bytes: appended,
+                deduped_bytes: 0,
+            }),
+        })
+    }
+
+    /// Store a chunk payload, returning its content hash and whether
+    /// bytes were actually appended (`false` = dedup hit). Not durable
+    /// until [`sync`](SegmentStore::sync).
+    pub fn append(&self, payload: &[u8]) -> Result<(ChunkHash, bool)> {
+        let hash = chunk_hash(payload);
+        let mut st = self.state.lock().unwrap();
+        if st.index.contains_key(&hash) {
+            st.deduped_bytes += payload.len() as u64;
+            return Ok((hash, false));
+        }
+        let mut frame = Vec::with_capacity(HEADER + HASH_LEN + payload.len() + CRC_LEN);
+        frame.push(CHUNK_MAGIC);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&hash.0);
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(&frame[HEADER..]).to_le_bytes());
+        self.media.write_at(st.end, &frame, CrashPoint::ChunkBytes)?;
+        let payload_off = st.end + (HEADER + HASH_LEN) as u64;
+        st.index.insert(hash, (payload_off, payload.len() as u32));
+        st.end += frame.len() as u64;
+        st.appended_bytes += payload.len() as u64;
+        Ok((hash, true))
+    }
+
+    /// Durability barrier over every chunk appended so far.
+    pub fn sync(&self) -> Result<()> {
+        self.media.sync(CrashPoint::ChunkSync)
+    }
+
+    /// True iff a chunk with this hash is present and indexed.
+    pub fn contains(&self, hash: &ChunkHash) -> bool {
+        self.state.lock().unwrap().index.contains_key(hash)
+    }
+
+    /// Fetch and re-verify a chunk payload. `None` when absent **or**
+    /// when the stored bytes fail re-verification — a flipped bit in a
+    /// chunk makes it indistinguishable from a missing one, and the
+    /// recovery path falls back to an earlier epoch either way.
+    pub fn get(&self, hash: &ChunkHash) -> Result<Option<Vec<u8>>> {
+        let slot = { self.state.lock().unwrap().index.get(hash).copied() };
+        let (off, len) = match slot {
+            Some(s) => s,
+            None => return Ok(None),
+        };
+        let payload = self.media.read_at(off, len as usize)?;
+        if payload.len() != len as usize || chunk_hash(&payload) != *hash {
+            return Ok(None);
+        }
+        Ok(Some(payload))
+    }
+
+    /// `(chunk count, segment bytes, appended payload bytes, deduped
+    /// payload bytes)` — the durable footprint counters.
+    pub fn footprint(&self) -> (u64, u64, u64, u64) {
+        let st = self.state.lock().unwrap();
+        (
+            st.index.len() as u64,
+            st.end,
+            st.appended_bytes,
+            st.deduped_bytes,
+        )
+    }
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock().unwrap();
+        write!(f, "SegmentStore({} chunks, {} bytes)", st.index.len(), st.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MemMedia;
+
+    fn mem() -> Arc<dyn Media> {
+        Arc::new(MemMedia::new())
+    }
+
+    #[test]
+    fn append_get_roundtrip_with_dedup() {
+        let m = mem();
+        let seg = SegmentStore::open(Arc::clone(&m)).unwrap();
+        let (h1, fresh) = seg.append(b"page-one").unwrap();
+        assert!(fresh);
+        let (h2, fresh2) = seg.append(b"page-one").unwrap();
+        assert_eq!(h1, h2);
+        assert!(!fresh2, "identical payload dedups");
+        let (h3, _) = seg.append(b"page-two").unwrap();
+        assert_ne!(h1, h3);
+        assert_eq!(seg.get(&h1).unwrap().unwrap(), b"page-one");
+        assert_eq!(seg.get(&h3).unwrap().unwrap(), b"page-two");
+        let (chunks, _, appended, deduped) = seg.footprint();
+        assert_eq!(chunks, 2);
+        assert_eq!(appended, 16);
+        assert_eq!(deduped, 8);
+    }
+
+    #[test]
+    fn reopen_rebuilds_index_from_media() {
+        let m = mem();
+        let h = {
+            let seg = SegmentStore::open(Arc::clone(&m)).unwrap();
+            seg.append(b"persisted").unwrap().0
+        };
+        let seg = SegmentStore::open(Arc::clone(&m)).unwrap();
+        assert!(seg.contains(&h));
+        assert_eq!(seg.get(&h).unwrap().unwrap(), b"persisted");
+        // And appends continue past the existing frames.
+        let (h2, fresh) = seg.append(b"more").unwrap();
+        assert!(fresh);
+        assert_eq!(seg.get(&h2).unwrap().unwrap(), b"more");
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_overwritten() {
+        let m = mem();
+        let seg = SegmentStore::open(Arc::clone(&m)).unwrap();
+        let h1 = seg.append(b"good").unwrap().0;
+        let end = m.len();
+        // A torn frame: valid header claiming more bytes than exist.
+        m.write_at(end, &[CHUNK_MAGIC, 200, 0, 0, 0, 1, 2, 3], CrashPoint::Other)
+            .unwrap();
+        let seg = SegmentStore::open(Arc::clone(&m)).unwrap();
+        assert!(seg.contains(&h1));
+        let (chunks, seg_end, _, _) = seg.footprint();
+        assert_eq!(chunks, 1);
+        assert_eq!(seg_end, end, "torn tail excluded from valid prefix");
+        let h2 = seg.append(b"after-tear").unwrap().0;
+        assert_eq!(seg.get(&h2).unwrap().unwrap(), b"after-tear");
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_verification() {
+        let m = mem();
+        let seg = SegmentStore::open(Arc::clone(&m)).unwrap();
+        let h = seg.append(b"fragile").unwrap().0;
+        // Flip one payload bit behind the index's back.
+        let off = (HEADER + HASH_LEN) as u64;
+        let mut byte = m.read_at(off, 1).unwrap();
+        byte[0] ^= 0x40;
+        m.write_at(off, &byte, CrashPoint::Other).unwrap();
+        assert_eq!(seg.get(&h).unwrap(), None, "corrupt chunk reads as missing");
+        // Reopen: the scan rejects the frame entirely.
+        let seg = SegmentStore::open(Arc::clone(&m)).unwrap();
+        assert!(!seg.contains(&h));
+    }
+}

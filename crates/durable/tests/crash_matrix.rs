@@ -1,0 +1,301 @@
+//! Kill-at-every-write-point crash matrix.
+//!
+//! A fixed multi-epoch persist workload runs against [`ChaosMedia`]
+//! once with a never-firing plan to count its tagged write/sync
+//! operations, then once per operation with the crash planned exactly
+//! there. Every staged (un-synced) write at the crash independently
+//! drops, tears, bit-flips, or lands under the seeded policy — the
+//! full disk model, including reordering. After each crash the media
+//! heal (durable bytes kept, process restarted), the durable store
+//! reopens, and the recovered state must satisfy the
+//! [`check_crash_recovery`] oracle: recovery lands on a committed
+//! batch boundary, no torn or resurrected objects, structural sharing
+//! preserved (a re-persist of the recovered store appends zero
+//! chunks).
+//!
+//! Seeded and environment-tunable for the CI matrix: `DURABLE_SEED`
+//! picks the fault-resolution schedule, `DURABLE_SHARDS` the store's
+//! shard count. A proptest battery drives random (seed, kill-point,
+//! shard) triples beyond the exhaustive sweep, and edge-case tests pin
+//! the named recovery hazards: empty log, root pointer past a torn
+//! log tail, duplicate frames after a retried append, and shard
+//! counts 1/2/4/8.
+
+use gsdb::{Object, Store, StoreConfig, Update};
+use gsview_core::check_crash_recovery;
+use gsview_durable::{
+    ChaosController, ChaosPolicy, CrashPlan, DurableError, DurableStore, MediaSet, MemMedia,
+    PersistMeta,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The lineage every test persists under.
+const NAME: &str = "src";
+/// The pipeline epoch the workload starts from (arbitrary non-zero to
+/// catch base-epoch arithmetic mistakes).
+const BASE_EPOCH: u64 = 5;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The pre-crash base: a root set with enough members to span several
+/// slab pages per shard, so chunk writes dominate the op schedule.
+fn initial_store(shards: usize) -> Store {
+    let mut s = Store::with_config(StoreConfig::default().with_shards(shards));
+    s.create(Object::empty_set("R", "root")).unwrap();
+    for i in 0..48 {
+        let name = format!("o{i}");
+        s.create(Object::atom(name.as_str(), "x", i as i64)).unwrap();
+        s.apply(Update::insert("R", name.as_str())).unwrap();
+    }
+    s
+}
+
+/// The committed-batch workload: modifies, structural churn, a create,
+/// and one prefix-commit batch whose tail is rejected — every shape
+/// the recovery oracle's replay semantics must mirror.
+fn batches() -> Vec<Vec<Update>> {
+    let mut out = vec![
+        vec![Update::modify("o3", 1000i64), Update::modify("o17", -17i64)],
+        vec![Update::delete("R", "o5"), Update::insert("R", "o5")],
+        vec![
+            Update::Create {
+                object: Object::atom("fresh", "x", 99i64),
+            },
+            Update::insert("R", "fresh"),
+        ],
+        // Prefix commit: the NOPE modify rejects, the tail is dropped,
+        // the applied prefix still publishes one epoch.
+        vec![
+            Update::modify("o9", 9000i64),
+            Update::modify("NOPE", 1i64),
+            Update::modify("o9", 9999i64),
+        ],
+        vec![Update::delete("R", "o30")],
+    ];
+    // Enough single-modify epochs to push the op schedule past the
+    // 128-point floor the matrix promises.
+    for k in 0..18 {
+        out.push(vec![Update::modify(format!("o{}", k * 2).as_str(), (k as i64) - 500)]);
+    }
+    out
+}
+
+/// Run the workload against `media`: persist the base as `BASE_EPOCH`,
+/// then commit each batch with prefix semantics and persist every
+/// published epoch. Returns `Err(Crashed)` when the plan fires.
+fn run_workload(
+    media: &MediaSet,
+    initial: &Store,
+    batches: &[Vec<Update>],
+) -> gsview_durable::Result<()> {
+    let d = DurableStore::open(media.clone())?;
+    let mut epoch = BASE_EPOCH;
+    d.persist(NAME, &initial.fork(), meta(epoch))?;
+    let mut live = initial.clone();
+    for batch in batches {
+        let mut applied_any = false;
+        for u in batch {
+            match live.apply(u.clone()) {
+                Ok(_) => applied_any = true,
+                Err(_) => break, // prefix commit: drop the batch tail
+            }
+        }
+        if applied_any {
+            epoch += 1;
+            d.persist(NAME, &live.fork(), meta(epoch))?;
+        }
+    }
+    Ok(())
+}
+
+fn meta(epoch: u64) -> PersistMeta {
+    PersistMeta {
+        epoch,
+        seq: epoch * 3,
+        log_updates: false,
+        extra: Vec::new(),
+    }
+}
+
+/// Tagged ops the full workload admits (crash-free dry run), plus the
+/// ops consumed by the baseline persist alone — a recovery that finds
+/// *nothing* is legal only when the crash predates the end of that
+/// first persist.
+fn op_counts(seed: u64, shards: usize) -> (u64, u64) {
+    let initial = initial_store(shards);
+    let ctl = ChaosController::new(ChaosPolicy::seeded(seed), CrashPlan::default());
+    let media = MediaSet::chaos(&ctl);
+    let d = DurableStore::open(media.clone()).unwrap();
+    d.persist(NAME, &initial.fork(), meta(BASE_EPOCH)).unwrap();
+    let baseline = ctl.ops();
+    drop(d);
+    let ctl = ChaosController::new(ChaosPolicy::seeded(seed), CrashPlan::default());
+    let media = MediaSet::chaos(&ctl);
+    run_workload(&media, &initial, &batches()).unwrap();
+    assert!(!ctl.crashed());
+    (ctl.ops(), baseline)
+}
+
+/// One matrix cell: crash at `kill`, heal, reopen, recover, check.
+fn crash_recover_check(seed: u64, shards: usize, kill: u64, baseline_ops: u64) {
+    let initial = initial_store(shards);
+    let batches = batches();
+    let ctl = ChaosController::new(ChaosPolicy::seeded(seed), CrashPlan { kill_at_op: kill });
+    let media = MediaSet::chaos(&ctl);
+    let res = run_workload(&media, &initial, &batches);
+    assert_eq!(
+        res,
+        Err(DurableError::Crashed),
+        "seed {seed} shards {shards}: op {kill} must crash the workload"
+    );
+    let point = ctl.crash_point();
+
+    // Restart: durable bytes exactly as the crash resolved them.
+    ctl.heal(CrashPlan::default());
+    let d = DurableStore::open(media.clone())
+        .unwrap_or_else(|e| panic!("reopen after kill@{kill} ({point:?}): {e}"));
+    match d.recover(NAME).expect("recover reports cold starts, not errors") {
+        Some(rec) => {
+            let v = check_crash_recovery(
+                &initial,
+                &batches,
+                BASE_EPOCH,
+                rec.manifest.epoch,
+                &rec.store,
+            );
+            assert!(
+                v.ok(),
+                "seed {seed} shards {shards} kill@{kill} ({point:?}): {:#?}",
+                v.failures
+            );
+            // Structural sharing across the restart: re-persisting the
+            // recovered (unchanged) store appends nothing.
+            let r = d
+                .persist(NAME, &rec.store, meta(rec.manifest.epoch))
+                .expect("healed media persist");
+            assert_eq!(
+                r.chunks_appended, 0,
+                "seed {seed} shards {shards} kill@{kill} ({point:?}): recovery broke sharing"
+            );
+        }
+        None => {
+            // Nothing recoverable is legal only before the first
+            // persist ever completed.
+            assert!(
+                kill <= baseline_ops,
+                "seed {seed} shards {shards} kill@{kill} ({point:?}): \
+                 durable state vanished after a completed persist"
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_at_every_write_point_recovers_a_committed_epoch() {
+    let seed = env_u64("DURABLE_SEED", 42);
+    let shards = env_u64("DURABLE_SHARDS", 2) as usize;
+    let (total, baseline) = op_counts(seed, shards);
+    assert!(
+        total >= 128,
+        "workload admits only {total} ops — below the 128-case matrix floor"
+    );
+    for kill in 1..=total {
+        crash_recover_check(seed, shards, kill, baseline);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Beyond the exhaustive sweep: random fault-resolution seeds and
+    /// kill points, at both ends of the shard range.
+    #[test]
+    fn random_seeds_and_kill_points_recover(seed in 1u64..u64::MAX / 2, permille in 0u64..1000) {
+        for shards in [1usize, 8] {
+            let (total, baseline) = op_counts(seed, shards);
+            let kill = 1 + permille * (total - 1) / 1000;
+            crash_recover_check(seed, shards, kill, baseline);
+        }
+    }
+}
+
+#[test]
+fn kill_matrix_spot_checks_every_shard_count() {
+    // The full sweep runs at the CI matrix's shard counts; here every
+    // supported power of two gets first / early / middle / last ops.
+    let seed = env_u64("DURABLE_SEED", 42);
+    for shards in [1usize, 2, 4, 8] {
+        let (total, baseline) = op_counts(seed, shards);
+        for kill in [1, 2, total / 2, total] {
+            crash_recover_check(seed, shards, kill.max(1), baseline);
+        }
+    }
+}
+
+#[test]
+fn empty_log_is_a_cold_start() {
+    let d = DurableStore::open(MediaSet::memory()).unwrap();
+    assert!(d.recover(NAME).unwrap().is_none());
+    // Crashing inside the very first chunk write leaves the same
+    // verdict: nothing durable, nothing resurrected.
+    let ctl = ChaosController::new(ChaosPolicy::seeded(7), CrashPlan { kill_at_op: 1 });
+    let media = MediaSet::chaos(&ctl);
+    let initial = initial_store(2);
+    assert!(run_workload(&media, &initial, &batches()).is_err());
+    ctl.heal(CrashPlan::default());
+    let d = DurableStore::open(media).unwrap();
+    assert!(d.recover(NAME).unwrap().is_none());
+}
+
+#[test]
+fn root_pointer_past_a_torn_log_tail_falls_back_one_frame() {
+    // Persist two epochs cleanly, then hand-tear the tail of the log
+    // while keeping the root cell pointing at the (now unreadable)
+    // second frame — the write-reordering outcome the root-is-a-hint
+    // design exists for.
+    let media = MediaSet::memory();
+    let d = DurableStore::open(media.clone()).unwrap();
+    let mut s = initial_store(1);
+    d.persist(NAME, &s.fork(), meta(1)).unwrap();
+    s.apply(Update::modify("o3", -3i64)).unwrap();
+    d.persist(NAME, &s.fork(), meta(2)).unwrap();
+    drop(d);
+
+    let clone = |m: &Arc<dyn gsview_durable::Media>| m.read_at(0, m.len() as usize).unwrap();
+    let mut log_bytes = clone(&media.log);
+    log_bytes.truncate(log_bytes.len() - 5); // tear the epoch-2 frame
+    let torn = MediaSet {
+        segment: Arc::new(MemMedia::from_bytes(clone(&media.segment))),
+        log: Arc::new(MemMedia::from_bytes(log_bytes)),
+        root: Arc::new(MemMedia::from_bytes(clone(&media.root))),
+    };
+    let d = DurableStore::open(torn).unwrap();
+    let hint = d.root_record().unwrap().expect("root cell intact");
+    assert_eq!(hint.epoch, 2, "the hint still names the torn persist");
+    let rec = d.recover(NAME).unwrap().expect("previous frame recovers");
+    assert_eq!(rec.manifest.epoch, 1, "recovery scanned past the hint");
+    assert_eq!(rec.store.atom(gsdb::Oid::new("o3")), Some(&gsdb::Atom::Int(3)));
+}
+
+#[test]
+fn duplicate_frames_after_a_retried_append_recover_once() {
+    // A retried append (ack lost after a durable write) leaves two
+    // identical frames; recovery takes the newest and the oracle sees
+    // one committed epoch. Source::recover leans on exactly this when
+    // its re-attach baseline duplicates the recovered frame.
+    let d = DurableStore::open(MediaSet::memory()).unwrap();
+    let s = initial_store(2);
+    d.persist(NAME, &s.fork(), meta(1)).unwrap();
+    let r = d.persist(NAME, &s.fork(), meta(1)).unwrap();
+    assert_eq!(r.chunks_appended, 0, "the retry re-appends no chunks");
+    assert_eq!(d.frames_for(NAME).len(), 2, "both frames survive");
+    let rec = d.recover(NAME).unwrap().unwrap();
+    let v = check_crash_recovery(&s, &[], 1, rec.manifest.epoch, &rec.store);
+    assert!(v.ok(), "{:#?}", v.failures);
+}

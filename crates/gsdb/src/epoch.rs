@@ -65,6 +65,18 @@ impl EpochHandle {
         }
     }
 
+    /// Wrap a recovered snapshot, resuming the epoch counter at
+    /// `epoch` — the warm-restart constructor. A process that crashes
+    /// and recovers from a durable root must keep numbering epochs
+    /// where the durable log left off, or the log's frames would stop
+    /// being totally ordered by epoch across restarts.
+    pub fn with_epoch(initial: Store, epoch: u64) -> Self {
+        EpochHandle {
+            current: RwLock::new(Arc::new(initial)),
+            epoch: AtomicU64::new(epoch),
+        }
+    }
+
     /// The latest published snapshot. Never blocks on the writer's
     /// store mutex; the internal read guard is held only for an `Arc`
     /// clone.

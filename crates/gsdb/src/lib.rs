@@ -39,6 +39,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod codec;
 pub mod database;
 pub mod delta;
 pub mod display;
@@ -74,7 +75,8 @@ pub use snapshot::Snapshot;
 pub use stats::{stats, stats_at, StoreStats};
 pub use fxhash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use smallset::SmallSet;
-pub use shard::{CommitResult, ShardedStore};
-pub use store::{SlotSet, Store, StoreConfig, MAX_SHARDS};
+pub use shard::{CommitResult, PublishInfo, ShardedStore};
+pub use stats::DurableFootprint;
+pub use store::{ShardImage, SlotSet, Store, StoreConfig, MAX_SHARDS};
 pub use update::{AppliedUpdate, Update};
 pub use value::{Atom, OidSet, Value};

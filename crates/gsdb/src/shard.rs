@@ -135,6 +135,9 @@ pub struct ShardedStore {
     metrics: Vec<ShardMetrics>,
     /// Commits whose affected set spanned more than one shard.
     cross_shard_commits: Arc<Counter>,
+    /// Optional commit observer, called under the publish lock (after
+    /// the log lock is released — lock order publish → log → hook).
+    hook: Mutex<Option<PublishHook>>,
 }
 
 /// The locked-and-cloned view a commit applies its batch to: COW
@@ -165,6 +168,27 @@ impl ShardAccess for CommitView {
     }
 }
 
+/// What a publish hook is told about the commit it is observing.
+/// Every field is captured under the publish lock, so hooks see
+/// commits in epoch order with internally consistent metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishInfo {
+    /// The epoch this commit published.
+    pub epoch: u64,
+    /// The store version of the published snapshot.
+    pub version: u64,
+    /// Total sequence numbers assigned or pending at publish time:
+    /// the commit log's `next_seq` plus its undrained entries. A
+    /// recovered source resumes sequencing here, so a warehouse that
+    /// processed fewer reports sees a detectable tail gap — never a
+    /// silently reused sequence number.
+    pub assigned_seq_total: u64,
+}
+
+/// A commit observer invoked under the publish lock — the durability
+/// layer's attachment point (persist every published epoch).
+type PublishHook = Box<dyn Fn(&PublishInfo, &Store) + Send + Sync>;
+
 /// Why one apply attempt could not finish against its locked set.
 enum Attempt {
     /// A `Remove`'s current children live on shards outside the locked
@@ -178,6 +202,20 @@ impl ShardedStore {
     /// snapshot; any pending log entries become the commit log's
     /// initial feed.
     pub fn new(store: Store) -> ShardedStore {
+        Self::build(store, 0, 0)
+    }
+
+    /// Re-home a **recovered** store: the warm-restart constructor.
+    /// The store's state becomes the published snapshot at `epoch`
+    /// (not 0 — epoch numbering must continue where the durable log
+    /// left off), and report sequencing resumes at `next_seq` so
+    /// downstream gap detection sees continuity, or a genuine tail
+    /// gap, never a reused sequence number.
+    pub fn restore(store: Store, epoch: u64, next_seq: u64) -> ShardedStore {
+        Self::build(store, epoch, next_seq)
+    }
+
+    fn build(store: Store, epoch: u64, next_seq: u64) -> ShardedStore {
         let snapshot = store.fork();
         let log_enabled = store.logs_updates();
         let count_accesses = store.counts_accesses();
@@ -194,15 +232,29 @@ impl ShardedStore {
             shift,
             log_enabled,
             count_accesses,
-            epochs: Arc::new(EpochHandle::new(snapshot)),
+            epochs: Arc::new(EpochHandle::with_epoch(snapshot, epoch)),
             publish: Mutex::new(PublishState { version }),
-            log: Mutex::new(CommitLog {
-                entries,
-                next_seq: 0,
-            }),
+            log: Mutex::new(CommitLog { entries, next_seq }),
             metrics,
             cross_shard_commits: gsview_obs::registry().counter("store.commit.cross_shard"),
+            hook: Mutex::new(None),
         }
+    }
+
+    /// Install a commit observer, replacing any previous one. The hook
+    /// runs under the publish lock after every epoch publish (both
+    /// [`commit`](ShardedStore::commit) and
+    /// [`with_exclusive`](ShardedStore::with_exclusive)), receiving
+    /// the published snapshot — commits are observed in epoch order
+    /// with no gaps from installation onward. Keep hooks short: every
+    /// writer serializes behind them.
+    pub fn set_publish_hook(&self, hook: impl Fn(&PublishInfo, &Store) + Send + Sync + 'static) {
+        *self.hook.lock().unwrap() = Some(Box::new(hook));
+    }
+
+    /// Remove the commit observer, if any.
+    pub fn clear_publish_hook(&self) {
+        *self.hook.lock().unwrap() = None;
     }
 
     /// Number of shards (a power of two).
@@ -230,6 +282,22 @@ impl ShardedStore {
     /// The sequence number the next drained report will take.
     pub fn assigned_seq(&self) -> u64 {
         self.log.lock().unwrap().next_seq
+    }
+
+    /// Total sequence numbers assigned or pending: `next_seq` plus the
+    /// undrained commit-log entries — the same watermark a publish
+    /// hook sees in [`PublishInfo::assigned_seq_total`]. A durable
+    /// baseline taken here can never lead a recovered source to reuse
+    /// a sequence number the warehouse already consumed.
+    pub fn assigned_seq_total(&self) -> u64 {
+        let log = self.log.lock().unwrap();
+        log.next_seq + log.entries.len() as u64
+    }
+
+    /// True iff the live store logs applied updates (the feed a
+    /// source's monitor drains into reports).
+    pub fn logs_updates(&self) -> bool {
+        self.log_enabled
     }
 
     /// The home shard of an OID (same function every snapshot uses).
@@ -412,11 +480,25 @@ impl ShardedStore {
                         oidset_changed,
                     );
                     let epoch = self.epochs.publish(composed);
-                    if self.log_enabled {
+                    let seq_total = {
                         // Still under the publish lock: log order ==
                         // epoch order, which the monitor turns into
                         // sequence numbers.
-                        self.log.lock().unwrap().entries.extend(applied.iter().cloned());
+                        let mut log = self.log.lock().unwrap();
+                        if self.log_enabled {
+                            log.entries.extend(applied.iter().cloned());
+                        }
+                        log.next_seq + log.entries.len() as u64
+                    };
+                    if let Some(h) = self.hook.lock().unwrap().as_ref() {
+                        h(
+                            &PublishInfo {
+                                epoch,
+                                version: pub_state.version,
+                                assigned_seq_total: seq_total,
+                            },
+                            &self.epochs.load(),
+                        );
                     }
                     let shards_touched = mask.count_ones();
                     for i in 0..self.locks.len() {
@@ -485,6 +567,17 @@ impl ShardedStore {
         if let Some(snap) = snapshot {
             let epoch = self.epochs.publish(snap);
             gsview_obs::event!("store.commit", "epoch" = epoch, "exclusive" = true);
+            let seq_total = log.next_seq + log.entries.len() as u64;
+            if let Some(h) = self.hook.lock().unwrap().as_ref() {
+                h(
+                    &PublishInfo {
+                        epoch,
+                        version: pub_state.version,
+                        assigned_seq_total: seq_total,
+                    },
+                    &self.epochs.load(),
+                );
+            }
         }
         out
     }

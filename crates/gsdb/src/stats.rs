@@ -5,6 +5,28 @@
 use crate::{EpochHandle, Label, Store};
 use std::collections::HashMap;
 
+/// The durable footprint of a persisted store lineage: how much
+/// segment space its content-addressed chunks occupy and how much the
+/// chunk-level dedup saved. Produced by the durability layer
+/// (`gsview-durable`), which attaches it to [`StoreStats::durable`]
+/// and mirrors the figures into the obs metrics registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DurableFootprint {
+    /// Distinct content-addressed chunks in the segment.
+    pub chunks: u64,
+    /// Total segment bytes (chunk payloads plus framing).
+    pub segment_bytes: u64,
+    /// Chunk-payload bytes actually appended (after dedup).
+    pub appended_bytes: u64,
+    /// Chunk-payload bytes dedup avoided appending: bytes of persist
+    /// requests answered by an already-present chunk.
+    pub deduped_bytes: u64,
+    /// `deduped / (appended + deduped)` — the fraction of logical
+    /// persist traffic the content addressing absorbed (0 when
+    /// nothing has been persisted).
+    pub dedup_ratio: f64,
+}
+
 /// Summary statistics for a store.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StoreStats {
@@ -27,6 +49,10 @@ pub struct StoreStats {
     /// Reports how evenly the OID hash spreads the database across
     /// the commit pipeline's shards.
     pub shard_occupancy: Vec<usize>,
+    /// Durable footprint of this store's persisted lineage, when a
+    /// durability layer is attached (`None` for memory-only stores).
+    /// Filled in by `gsview-durable`'s `stats_with_footprint`.
+    pub durable: Option<DurableFootprint>,
 }
 
 /// Compute statistics over every object in the store.

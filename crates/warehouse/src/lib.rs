@@ -64,6 +64,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod colocated;
+pub mod durable;
 pub mod integrator;
 pub mod protocol;
 pub mod remote;
@@ -74,6 +75,7 @@ mod warehouse;
 pub use cache::{AuxCache, PathKnowledge};
 pub use colocated::ColocatedViews;
 pub use chaos::{ChaosPolicy, ChaosReport, ChaosScenario, ChaosStats, FaultyMonitor, FaultyWrapper};
+pub use durable::{ChunkCache, FetchStats};
 pub use integrator::{spawn_channel_integrator, BatchingIntegrator, Integrator};
 pub use protocol::{
     CostMeter, CostSnapshot, ObjectInfo, QueryFault, ReportLevel, RootPathInfo, SourceQuery,

@@ -331,6 +331,13 @@ pub struct ResyncOutcome {
     /// The diff repair did not verify clean and the full-recompute
     /// baseline was used instead.
     pub escalated: bool,
+    /// Chunks fetched over the durable port (durable resync only:
+    /// pages whose content hash changed since the warehouse last
+    /// reconstructed this source, or that it had never seen).
+    pub chunks_fetched: u64,
+    /// Chunks served from the warehouse's hash-keyed page cache
+    /// (durable resync only: unchanged pages, fetched for free).
+    pub chunks_reused: u64,
 }
 
 #[cfg(test)]

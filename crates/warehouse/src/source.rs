@@ -48,6 +48,7 @@ use crate::protocol::{
 use gsdb::{
     path, AppliedUpdate, EpochHandle, Oid, Result, ShardedStore, Store, StoreConfig, Update,
 };
+use gsview_durable::{DurableStore, PersistMeta, PersistReceipt};
 use std::sync::Arc;
 
 /// The warehouse side of the query protocol: anything that can be
@@ -218,6 +219,99 @@ impl Source {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    /// Attach a durable store: persist the current published epoch as
+    /// a baseline, then persist every subsequently published epoch
+    /// from inside the pipeline's publish hook — the source's lineage
+    /// in the epoch log tracks its epoch sequence one-to-one.
+    ///
+    /// Persistence runs *behind* the publish point: a failed persist
+    /// (media crash) never blocks or rolls back the in-memory commit —
+    /// it is counted (`durable.persist.hook_errors`) and the lineage
+    /// simply ends at the last durable epoch, which is exactly what a
+    /// process crash at that point would leave behind.
+    ///
+    /// Attach before concurrent writers start (setup time, or right
+    /// after [`Source::recover`]); the baseline snapshot and watermark
+    /// are read in two steps and assume no commit races between them.
+    pub fn attach_durable(
+        &self,
+        durable: Arc<DurableStore>,
+    ) -> gsview_durable::Result<PersistReceipt> {
+        let log_updates = self.store.logs_updates();
+        let receipt = durable.persist(
+            &self.name,
+            &self.store.snapshot(),
+            PersistMeta {
+                epoch: self.store.epoch(),
+                seq: self.store.assigned_seq_total(),
+                log_updates,
+                extra: Vec::new(),
+            },
+        )?;
+        let name = self.name.clone();
+        self.store.set_publish_hook(move |info, snapshot| {
+            let meta = PersistMeta {
+                epoch: info.epoch,
+                seq: info.assigned_seq_total,
+                log_updates,
+                extra: Vec::new(),
+            };
+            if let Err(e) = durable.persist(&name, snapshot, meta) {
+                gsview_obs::registry().counter("durable.persist.hook_errors").incr();
+                gsview_obs::event!(
+                    "durable.persist.failed",
+                    "name" = name.clone(),
+                    "epoch" = info.epoch,
+                    "error" = e.to_string()
+                );
+            }
+        });
+        Ok(receipt)
+    }
+
+    /// Reopen a source **warm** from its durable lineage: rebuild the
+    /// newest recoverable epoch, resume the commit pipeline at the
+    /// persisted epoch and sequence watermark (so report sequencing
+    /// continues without ever reusing a number the warehouse may have
+    /// consumed), and re-attach persistence so new epochs keep
+    /// flowing to the log. The re-attach baseline appends zero chunks
+    /// — recovery seeds the persist cache — and its duplicate
+    /// manifest frame is harmless by construction.
+    ///
+    /// `Ok(None)` is a cold start: nothing recoverable under `name`.
+    pub fn recover(
+        name: &str,
+        root: Oid,
+        level: ReportLevel,
+        durable: &Arc<DurableStore>,
+    ) -> gsview_durable::Result<Option<Source>> {
+        let Some(rec) = durable.recover(name)? else {
+            return Ok(None);
+        };
+        let src = Source {
+            name: name.to_owned(),
+            root,
+            store: Arc::new(ShardedStore::restore(
+                rec.store,
+                rec.manifest.epoch,
+                rec.manifest.seq,
+            )),
+            level,
+        };
+        src.attach_durable(Arc::clone(durable))?;
+        Ok(Some(src))
+    }
+
+    /// Store statistics over the latest published epoch with the
+    /// durable footprint filled in ([`gsdb::StoreStats::durable`]) and
+    /// mirrored into the obs metrics registry.
+    pub fn stats_with_footprint(&self, durable: &DurableStore) -> (u64, gsdb::StoreStats) {
+        gsview_durable::stats_with_footprint(&self.store.epoch_handle(), durable)
+    }
 }
 
 /// Build one update report against `store` (the monitor's view of the
@@ -352,26 +446,7 @@ impl Wrapper {
     /// source state" in the paper's sense, where the current state is
     /// the latest *committed* one.
     pub fn serve(&self, q: &SourceQuery) -> SourceReply {
-        let store = self.source.snapshot();
-        let reply = match q {
-            SourceQuery::Fetch(o) => SourceReply::Object(store.get(*o).map(ObjectInfo::of)),
-            SourceQuery::PathFromRoot { root, n } => {
-                SourceReply::PathResult(path::path_between(&store, *root, *n))
-            }
-            SourceQuery::Ancestor { n, p } => {
-                SourceReply::AncestorResult(path::ancestor(&store, *n, p))
-            }
-            SourceQuery::AncestorsAll { n, p } => {
-                SourceReply::Ancestors(path::ancestors_all(&store, *n, p))
-            }
-            SourceQuery::Reach { n, p } => SourceReply::Objects(
-                path::reach(&store, *n, p)
-                    .into_iter()
-                    .filter_map(|o| store.get(o).map(ObjectInfo::of))
-                    .collect(),
-            ),
-            SourceQuery::LabelOf(o) => SourceReply::LabelResult(store.label(*o)),
-        };
+        let reply = answer(&self.source.snapshot(), q);
         self.meter.record_query(q, &reply);
         reply
     }
@@ -401,6 +476,31 @@ impl Wrapper {
 impl QueryPort for Wrapper {
     fn query(&self, q: &SourceQuery) -> std::result::Result<SourceReply, QueryFault> {
         Ok(self.serve(q))
+    }
+}
+
+/// Evaluate one [`SourceQuery`] against a store snapshot — the one
+/// query semantics shared by [`Wrapper::serve`] and the warehouse's
+/// local replay of a recovered durable epoch.
+pub(crate) fn answer(store: &Store, q: &SourceQuery) -> SourceReply {
+    match q {
+        SourceQuery::Fetch(o) => SourceReply::Object(store.get(*o).map(ObjectInfo::of)),
+        SourceQuery::PathFromRoot { root, n } => {
+            SourceReply::PathResult(path::path_between(store, *root, *n))
+        }
+        SourceQuery::Ancestor { n, p } => {
+            SourceReply::AncestorResult(path::ancestor(store, *n, p))
+        }
+        SourceQuery::AncestorsAll { n, p } => {
+            SourceReply::Ancestors(path::ancestors_all(store, *n, p))
+        }
+        SourceQuery::Reach { n, p } => SourceReply::Objects(
+            path::reach(store, *n, p)
+                .into_iter()
+                .filter_map(|o| store.get(o).map(ObjectInfo::of))
+                .collect(),
+        ),
+        SourceQuery::LabelOf(o) => SourceReply::LabelResult(store.label(*o)),
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::cache::{AuxCache, PathKnowledge};
 use crate::chaos::ChaosPolicy;
+use crate::durable::{local_channel, ChunkCache};
 use crate::protocol::{CostMeter, UpdateReport};
 use crate::remote::{Channel, RemoteBase};
 use crate::resync::{
@@ -21,9 +22,10 @@ use crate::resync::{
 use crate::source::{QueryPort, Source};
 use gsdb::{AppliedUpdate, DeltaBatch, Label, Object, Oid, Result};
 use gsview_core::{
-    consistency, sweep_members, BaseAccess, BatchOutcome, MaintPlan, MaterializedView, Maintainer,
-    Outcome, SimpleViewDef,
+    consistency, sweep_members, BaseAccess, BatchOutcome, LocalBase, MaintPlan, MaterializedView,
+    Maintainer, Outcome, SimpleViewDef,
 };
+use gsview_durable::ChunkPort;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -100,6 +102,15 @@ pub struct Warehouse {
     retry: RetryPolicy,
     clock: SimClock,
     dead_letters: Arc<DeadLetterQueue>,
+    durable: Option<DurablePort>,
+}
+
+/// The warehouse's durable attachment: a chunk port (the segment
+/// itself when colocated, a wire proxy when not) plus the decoded
+/// pages already fetched through it.
+struct DurablePort {
+    port: Arc<dyn ChunkPort>,
+    cache: ChunkCache,
 }
 
 impl Warehouse {
@@ -111,6 +122,7 @@ impl Warehouse {
             retry: RetryPolicy::default(),
             clock: SimClock::new(),
             dead_letters: Arc::new(DeadLetterQueue::new()),
+            durable: None,
         }
     }
 
@@ -216,6 +228,106 @@ impl Warehouse {
             state: ViewState::default(),
         });
         Ok(view)
+    }
+
+    /// Attach a durable chunk port: warm view materialization
+    /// ([`Warehouse::add_view_warm`]) and chunk-diff resync
+    /// ([`Warehouse::resync_view_durable`]) become available. One
+    /// attachment serves every source lineage persisted into the
+    /// shared segment, and the page cache it carries dedups across
+    /// them by content hash.
+    pub fn attach_durable(&mut self, port: Arc<dyn ChunkPort>) {
+        self.durable = Some(DurablePort {
+            port,
+            cache: ChunkCache::new(),
+        });
+    }
+
+    /// Reconstruct the newest persisted epoch of `source` through the
+    /// durable attachment. `None` when there is no attachment, no
+    /// manifest for the lineage, or the chunks no longer verify — the
+    /// caller falls back to the query path.
+    fn reconstruct_source(
+        &mut self,
+        source: &str,
+    ) -> Option<(gsview_durable::Manifest, gsdb::Store, crate::durable::FetchStats)> {
+        let d = self.durable.as_mut()?;
+        let m = d.port.latest_manifest(source)?;
+        match d.cache.reconstruct(d.port.as_ref(), &m) {
+            Ok((store, stats)) => Some((m, store, stats)),
+            Err(e) => {
+                gsview_obs::event!(
+                    "warehouse.durable.reconstruct_failed",
+                    "source" = source.to_string(),
+                    "error" = e.to_string()
+                );
+                None
+            }
+        }
+    }
+
+    /// Define a view over a connected source and materialize it from
+    /// the source's **durable lineage** instead of querying the source
+    /// — the warm-restart path: after a crash, re-declared views load
+    /// from the last persisted epoch with zero source queries, which
+    /// is exactly the restart cost the paper's §3 architecture exists
+    /// to avoid. The auxiliary cache (when requested) is likewise
+    /// built against the reconstructed epoch through a local port.
+    ///
+    /// The source's sequence tracker is re-baselined at the manifest's
+    /// watermark: reports the persisted epoch already contains arrive
+    /// as duplicates and are dropped; anything committed after the
+    /// persist still arrives in order (or surfaces as a gap and heals
+    /// through resync).
+    ///
+    /// Returns `Ok(None)` when no durable state is available — a cold
+    /// start; fall back to [`Warehouse::add_view`].
+    pub fn add_view_warm(
+        &mut self,
+        source: &str,
+        def: SimpleViewDef,
+        options: ViewOptions,
+    ) -> Result<Option<Oid>> {
+        let _span = gsview_obs::span!(
+            "warehouse.add_view_warm",
+            "view" = def.view.name().to_string(),
+            "source" = source.to_string()
+        );
+        assert!(
+            self.connections.contains_key(source),
+            "source {source} not connected"
+        );
+        let Some((m, store, stats)) = self.reconstruct_source(source) else {
+            return Ok(None);
+        };
+        let store = Arc::new(store);
+        let mv = gsview_core::recompute::recompute(&def, &mut LocalBase::new(&store))?;
+        let cache = options.use_aux_cache.then(|| {
+            let chan = local_channel(source, Arc::clone(&store), self.clock.clone());
+            AuxCache::build(def.root, def.full_path(), &chan)
+        });
+        if let Some(conn) = self.connections.get_mut(source) {
+            conn.tracker = SeqTracker::with_baseline(m.seq);
+        }
+        gsview_obs::event!(
+            "warehouse.add_view_warm.done",
+            "view" = def.view.name().to_string(),
+            "epoch" = m.epoch,
+            "chunks_fetched" = stats.fetched,
+            "chunks_reused" = stats.reused
+        );
+        let view = def.view;
+        self.views.push(WarehouseView {
+            maintainer: Maintainer::new(def.clone()),
+            def,
+            mv,
+            source: source.to_owned(),
+            cache,
+            options,
+            stats: ViewStats::default(),
+            state: ViewState::default(),
+        });
+        Ok(Some(view))
     }
 
     /// Access a view's materialized state. Reads are served even while
@@ -654,6 +766,91 @@ impl Warehouse {
             "view" = view.name().to_string(),
             "healed" = healed,
             "escalated" = outcome.escalated);
+        Ok(outcome)
+    }
+
+    /// Heal one view from the source's **durable lineage**: reconstruct
+    /// the last persisted epoch (fetching only chunks whose hashes
+    /// changed since the previous reconstruction — [`ChunkCache`]),
+    /// then run the same diff-repair / escalate-to-recompute / verify
+    /// ladder as [`Warehouse::resync_view`], entirely against the
+    /// reconstructed store. Zero source queries; a crashed or
+    /// unreachable source can still have its stale views healed to its
+    /// last durable epoch.
+    ///
+    /// The healed view is consistent *with the persisted epoch*. The
+    /// tracker is re-baselined at the manifest's sequence watermark, so
+    /// if the source had committed past the persist, the next report
+    /// surfaces as a gap and sends the view back through resync — the
+    /// lag is detected, never silently absorbed.
+    ///
+    /// Falls back to the channel-query path ([`Warehouse::resync_view`])
+    /// when no durable attachment, manifest, or intact chunk set is
+    /// available.
+    pub fn resync_view_durable(&mut self, view: Oid) -> Result<ResyncOutcome> {
+        let _span = gsview_obs::span!(
+            "warehouse.resync_view_durable",
+            "view" = view.name().to_string()
+        );
+        let Some(idx) = self.views.iter().position(|v| v.def.view == view) else {
+            return Ok(ResyncOutcome::default());
+        };
+        let source = self.views[idx].source.clone();
+        let Some((m, store, stats)) = self.reconstruct_source(&source) else {
+            gsview_obs::event!(
+                "warehouse.resync_view_durable.fallback",
+                "view" = view.name().to_string()
+            );
+            return self.resync_view(view);
+        };
+        let store = Arc::new(store);
+        let wv = &mut self.views[idx];
+        let mut outcome = ResyncOutcome {
+            chunks_fetched: stats.fetched,
+            chunks_reused: stats.reused,
+            ..ResyncOutcome::default()
+        };
+
+        // Stage 1: snapshot-diff repair against the reconstructed epoch.
+        {
+            let mut base = LocalBase::new(&store);
+            let (ins, del) = gsview_core::recompute::refresh(&wv.def, &mut base, &mut wv.mv)?;
+            outcome.inserted = ins;
+            outcome.deleted = del;
+        }
+        let mut healed =
+            consistency::check(&wv.def, &mut LocalBase::new(&store), &wv.mv).is_empty();
+
+        // Stage 2: escalate to the full-recompute baseline.
+        if !healed {
+            outcome.escalated = true;
+            wv.mv = gsview_core::recompute::recompute(&wv.def, &mut LocalBase::new(&store))?;
+            healed = consistency::check(&wv.def, &mut LocalBase::new(&store), &wv.mv).is_empty();
+        }
+
+        // Rebuild the cache from the reconstruction — local, infallible.
+        if healed && wv.options.use_aux_cache {
+            let chan = local_channel(&source, Arc::clone(&store), self.clock.clone());
+            wv.cache = Some(AuxCache::build(wv.def.root, wv.def.full_path(), &chan));
+        }
+
+        if healed {
+            if wv.state.is_stale() {
+                wv.stats.resyncs += 1;
+            }
+            wv.state = ViewState::Consistent;
+            if let Some(conn) = self.connections.get_mut(&source) {
+                conn.tracker = SeqTracker::with_baseline(m.seq);
+            }
+        }
+        outcome.healed = healed;
+        gsview_obs::event!("warehouse.resync_view_durable.done",
+            "view" = view.name().to_string(),
+            "healed" = healed,
+            "escalated" = outcome.escalated,
+            "epoch" = m.epoch,
+            "chunks_fetched" = stats.fetched,
+            "chunks_reused" = stats.reused);
         Ok(outcome)
     }
 
@@ -1263,6 +1460,141 @@ mod tests {
         pump(&src, &mut wh);
         assert_eq!(wh.view(oid("YP")).unwrap().members_base(), vec![oid("P1")]);
         assert_eq!(wh.meter("persons").unwrap().queries(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Durable warm restart & chunk-diff resync
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn warm_view_materializes_with_zero_source_queries() {
+        use gsview_durable::{DurableStore, MediaSet};
+        let src = person_source(ReportLevel::WithValues);
+        let d = Arc::new(DurableStore::open(MediaSet::memory()).unwrap());
+        src.attach_durable(Arc::clone(&d)).unwrap();
+        src.apply(Update::modify("A1", 40i64)).unwrap();
+        let _ = src.monitor().poll(); // consumed before the "restart"
+
+        // Warehouse restart: reconnect, then materialize warm — from
+        // the durable lineage, not the source.
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.attach_durable(d);
+        wh.meter("persons").unwrap().reset();
+        let v = wh
+            .add_view_warm(
+                "persons",
+                yp_def(),
+                ViewOptions {
+                    use_aux_cache: true,
+                    ..ViewOptions::default()
+                },
+            )
+            .unwrap()
+            .expect("a persisted lineage exists");
+        assert_eq!(v, oid("YP"));
+        assert_eq!(wh.view(oid("YP")).unwrap().members_base(), vec![oid("P1")]);
+        assert_eq!(
+            wh.meter("persons").unwrap().queries(),
+            0,
+            "warm materialization (aux cache included) must not query the source"
+        );
+
+        // Maintenance continues seamlessly: the tracker was baselined
+        // at the manifest watermark, so the next report is in order.
+        src.apply(Update::modify("A1", 80i64)).unwrap();
+        pump(&src, &mut wh);
+        assert!(wh.view(oid("YP")).unwrap().is_empty());
+        assert!(wh.stale_views().is_empty());
+    }
+
+    #[test]
+    fn durable_resync_heals_without_source_queries_and_reuses_chunks() {
+        use gsview_durable::{DurableStore, MediaSet};
+        let src = person_source(ReportLevel::WithValues);
+        // Pad the store past one page so unchanged pages exist to reuse.
+        src.with_store(|s| {
+            for i in 0..600 {
+                s.create(Object::atom(format!("f{i}").as_str(), "x", i as i64))
+                    .unwrap();
+            }
+            s.drain_log();
+        });
+        let d = Arc::new(DurableStore::open(MediaSet::memory()).unwrap());
+        src.attach_durable(Arc::clone(&d)).unwrap();
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        wh.attach_durable(d);
+        wh.add_view("persons", yp_def(), ViewOptions::default())
+            .unwrap();
+
+        src.apply(Update::modify("A1", 80i64)).unwrap(); // P1 leaves
+        src.apply(Update::delete("ROOT", "P2")).unwrap();
+        let reports = src.monitor().poll();
+        wh.handle_report(&reports[1]).unwrap(); // seq 0 lost → stale
+        assert!(wh.view_state(oid("YP")).unwrap().is_stale());
+
+        wh.meter("persons").unwrap().reset();
+        let first = wh.resync_view_durable(oid("YP")).unwrap();
+        assert!(first.healed);
+        assert!(first.chunks_fetched > 0, "first reconstruction fetches");
+        assert_eq!(
+            wh.meter("persons").unwrap().queries(),
+            0,
+            "durable resync never queries the source"
+        );
+        assert_eq!(wh.view_state(oid("YP")).unwrap(), ViewState::Consistent);
+        assert!(wh.view(oid("YP")).unwrap().is_empty());
+
+        // Go stale again after one more source commit: the second
+        // reconstruction fetches only the chunks whose hashes changed.
+        src.apply(Update::modify("A1", 30i64)).unwrap(); // P1 returns
+        src.apply(Update::modify("N1", "Jon")).unwrap();
+        let reports = src.monitor().poll();
+        wh.handle_report(&reports[1]).unwrap(); // gap again
+        assert!(wh.view_state(oid("YP")).unwrap().is_stale());
+        let second = wh.resync_view_durable(oid("YP")).unwrap();
+        assert!(second.healed);
+        assert!(second.chunks_reused > 0, "unchanged pages come from cache");
+        assert!(
+            second.chunks_fetched <= first.chunks_fetched,
+            "only changed pages travel: {} vs {}",
+            second.chunks_fetched,
+            first.chunks_fetched
+        );
+        assert_eq!(wh.view(oid("YP")).unwrap().members_base(), vec![oid("P1")]);
+    }
+
+    #[test]
+    fn warm_paths_fall_back_cold_without_durable_state() {
+        use gsview_durable::{DurableStore, MediaSet};
+        let src = person_source(ReportLevel::WithValues);
+        let mut wh = Warehouse::new();
+        wh.connect(&src);
+        // No attachment at all → cold.
+        assert!(wh
+            .add_view_warm("persons", yp_def(), ViewOptions::default())
+            .unwrap()
+            .is_none());
+        // Attached, but nothing persisted under this lineage → cold.
+        wh.attach_durable(Arc::new(DurableStore::open(MediaSet::memory()).unwrap()));
+        assert!(wh
+            .add_view_warm("persons", yp_def(), ViewOptions::default())
+            .unwrap()
+            .is_none());
+        // A stale view still heals: durable resync degrades to the
+        // wire path instead of failing.
+        wh.add_view("persons", yp_def(), ViewOptions::default())
+            .unwrap();
+        src.apply(Update::modify("A1", 80i64)).unwrap();
+        src.apply(Update::delete("ROOT", "P2")).unwrap();
+        let reports = src.monitor().poll();
+        wh.handle_report(&reports[1]).unwrap(); // seq 0 lost
+        assert!(wh.view_state(oid("YP")).unwrap().is_stale());
+        let outcome = wh.resync_view_durable(oid("YP")).unwrap();
+        assert!(outcome.healed);
+        assert_eq!(outcome.chunks_fetched, 0, "nothing durable was read");
+        assert_eq!(wh.view_state(oid("YP")).unwrap(), ViewState::Consistent);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`views`] — virtual & materialized views and the maintenance
 //!   algorithms (§3–4, §6);
 //! * [`warehouse`] — the warehousing architecture (§5);
+//! * [`durable`] — the durable epoch log: content-addressed chunk
+//!   segment, CRC-framed manifests, crash-fault injection;
 //! * [`relbaseline`] — the relational-flattening comparator (§4.4);
 //! * [`workload`] — deterministic synthetic workloads;
 //! * [`obs`] — zero-dependency tracing, metrics, and the flight
@@ -24,6 +26,7 @@
 pub use gsdb;
 pub use gsview_query as query;
 pub use gsview_core as views;
+pub use gsview_durable as durable;
 pub use gsview_warehouse as warehouse;
 pub use gsview_obs as obs;
 pub use gsview_relbaseline as relbaseline;
