@@ -1,0 +1,22 @@
+//! Criterion companion to experiment E18: wall time of one
+//! maintenance flush, delta circuit vs Algorithm 1, per view shape at
+//! a fixed size and two selectivities. Each `measure` call times both
+//! backends on all four shapes and asserts backend parity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e18_circuit");
+    g.sample_size(10);
+    for &sel in &[0.01f64, 0.50] {
+        g.bench_with_input(
+            BenchmarkId::new("both_backends_all_shapes", format!("sel{sel}")),
+            &sel,
+            |b, &sel| b.iter(|| gsview_bench::e18::measure(24_000, sel)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -18,6 +18,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -33,7 +34,7 @@ pub use table::Table;
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17",
+    "e15", "e16", "e17", "e18",
 ];
 
 /// Run one experiment by id.
@@ -56,6 +57,7 @@ pub fn run(id: &str, quick: bool) -> Option<Table> {
         "e15" => Some(e15::run(quick)),
         "e16" => Some(e16::run(quick)),
         "e17" => Some(e17::run(quick)),
+        "e18" => Some(e18::run(quick)),
         _ => None,
     }
 }

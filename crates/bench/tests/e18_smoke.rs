@@ -1,0 +1,61 @@
+//! E18 regression smoke: the deterministic quick-mode backend facts
+//! must not drift from the checked-in baseline
+//! (`baselines/e18_quick.json`). The batch size and per-shape
+//! membership-change counts are exact — fixed strided workload — so
+//! any drift is a change in the workload, a backend's membership
+//! semantics, or the planner's lowering, not noise. Backend *parity*
+//! (circuit members == Algorithm 1 members on every shape, circuit
+//! stepped rather than rebuilt) is asserted inside
+//! `e18::quick_facts` itself. Wall times are deliberately NOT checked
+//! here (machine-dependent); EXPERIMENTS.md records them.
+
+use gsview_bench::e18;
+
+const BASELINE: &str = include_str!("../baselines/e18_quick.json");
+
+/// Minimal extraction of `"key": <integer>` from the baseline JSON —
+/// no serde in the dependency tree.
+fn baseline(key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = BASELINE
+        .split(&pat)
+        .nth(1)
+        .unwrap_or_else(|| panic!("baseline key {key} missing"));
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    num.parse()
+        .unwrap_or_else(|_| panic!("baseline key {key} not an integer"))
+}
+
+#[test]
+fn backend_facts_do_not_drift() {
+    let (delta_ops, single, multi, wildcard, aggregate) = e18::quick_facts();
+    assert_eq!(
+        delta_ops,
+        baseline("delta_ops"),
+        "consolidated batch size drifted from baseline"
+    );
+    assert_eq!(
+        single,
+        baseline("single_changed"),
+        "single-path membership churn drifted from baseline"
+    );
+    assert_eq!(
+        multi,
+        baseline("multi_changed"),
+        "multi-path union membership churn drifted from baseline"
+    );
+    assert_eq!(
+        wildcard,
+        baseline("wildcard_changed"),
+        "wildcard membership churn drifted from baseline"
+    );
+    assert_eq!(
+        aggregate,
+        baseline("aggregate_changed"),
+        "aggregate membership churn drifted from baseline"
+    );
+}

@@ -1,0 +1,140 @@
+//! Property tests for the Z-set algebra the circuit operators are
+//! built on. The operators' correctness argument leans on exactly
+//! these identities: weights consolidate by summation regardless of
+//! delivery order, inverse deltas annihilate, and the distinct clamp
+//! depends only on support signs — so any interleaving or batching of
+//! the same delta stream lands on the same state.
+
+use gsview_circuit::{distinct_delta, DistinctOp, ZSet};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn ops() -> impl Strategy<Value = Vec<(u8, i64)>> {
+    prop::collection::vec((0..12u8, -3..4i64), 0..160)
+}
+
+/// Deterministic permutation of indices from a seed (Fisher–Yates
+/// driven by a splitmix step; the shim has no shuffle helper).
+fn permute<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        out.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    out
+}
+
+fn build(ops: &[(u8, i64)]) -> ZSet<u8> {
+    let mut z = ZSet::new();
+    for &(k, w) in ops {
+        z.add(k, w);
+    }
+    z
+}
+
+fn as_map(z: &ZSet<u8>) -> HashMap<u8, i64> {
+    z.iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Duplicate keys consolidate to the arithmetic sum, and zero
+    /// weights never survive.
+    #[test]
+    fn weights_consolidate_to_sum(ops in ops()) {
+        let z = build(&ops);
+        let mut sums: HashMap<u8, i64> = HashMap::new();
+        for &(k, w) in &ops {
+            *sums.entry(k).or_insert(0) += w;
+        }
+        sums.retain(|_, w| *w != 0);
+        prop_assert_eq!(as_map(&z), sums);
+        prop_assert!(z.iter().all(|(_, w)| w != 0));
+    }
+
+    /// Delivery order never matters: any permutation of the same delta
+    /// stream builds the same Z-set.
+    #[test]
+    fn order_independent(ops in ops(), seed in any::<u64>()) {
+        let a = build(&ops);
+        let b = build(&permute(&ops, seed));
+        prop_assert_eq!(as_map(&a), as_map(&b));
+    }
+
+    /// Batching never matters: splitting the stream anywhere and
+    /// merging the two halves equals one-shot application — the
+    /// linearity that lets a circuit consume consolidated batches.
+    #[test]
+    fn split_and_merge_equals_one_shot(ops in ops(), cut in 0..161usize) {
+        let cut = cut.min(ops.len());
+        let mut merged = build(&ops[..cut]);
+        merged.merge(&build(&ops[cut..]));
+        prop_assert_eq!(as_map(&merged), as_map(&build(&ops)));
+    }
+
+    /// An insert and its inverse annihilate exactly: appending the
+    /// negated stream (in any order) empties the Z-set.
+    #[test]
+    fn inverse_stream_annihilates(ops in ops(), seed in any::<u64>()) {
+        let inverse: Vec<(u8, i64)> = ops.iter().map(|&(k, w)| (k, -w)).collect();
+        let mut z = build(&ops);
+        for (k, w) in permute(&inverse, seed) {
+            z.add(k, w);
+        }
+        prop_assert!(z.is_empty());
+    }
+
+    /// The distinct clamp is a function of support signs only.
+    #[test]
+    fn distinct_delta_tracks_sign_crossings(old in -5..6i64, new in -5..6i64) {
+        let d = distinct_delta(old, new);
+        prop_assert_eq!(d, (new > 0) as i64 - (old > 0) as i64);
+        // Clamped output is always a set delta.
+        prop_assert!((-1..=1).contains(&d));
+    }
+
+    /// `DistinctOp` state depends only on the support function, not on
+    /// the order dirty keys are synced in — and its emitted deltas per
+    /// key telescope to the state change.
+    #[test]
+    fn distinct_op_is_order_independent(ops in ops(), seed in any::<u64>()) {
+        let z = build(&ops);
+        let dirty: Vec<u8> = (0..12u8).collect();
+        let mut fwd = DistinctOp::new();
+        let out_fwd = fwd.sync(dirty.iter().copied(), |k| z.weight(k));
+        let mut shuffled = DistinctOp::new();
+        let out_shuf = shuffled.sync(permute(&dirty, seed), |k| z.weight(k));
+        let keys =
+            |mut v: Vec<(u8, i64)>| { v.sort_unstable(); v };
+        prop_assert_eq!(keys(out_fwd), keys(out_shuf));
+        for k in 0..12u8 {
+            prop_assert_eq!(fwd.contains(k), z.weight(k) > 0);
+            prop_assert_eq!(fwd.contains(k), shuffled.contains(k));
+        }
+    }
+
+    /// Incremental clamping across two rounds telescopes: total
+    /// emitted delta per key equals the overall sign transition.
+    #[test]
+    fn distinct_op_deltas_telescope(ops in ops(), cut in 0..161usize) {
+        let cut = cut.min(ops.len());
+        let mut z = ZSet::new();
+        let mut d = DistinctOp::new();
+        let dirty: Vec<u8> = (0..12u8).collect();
+        let mut net: HashMap<u8, i64> = HashMap::new();
+        for half in [&ops[..cut], &ops[cut..]] {
+            for &(k, w) in half {
+                z.add(k, w);
+            }
+            for (k, delta) in d.sync(dirty.iter().copied(), |k| z.weight(k)) {
+                *net.entry(k).or_insert(0) += delta;
+            }
+        }
+        for k in 0..12u8 {
+            prop_assert_eq!(net.get(&k).copied().unwrap_or(0), distinct_delta(0, z.weight(k)));
+        }
+    }
+}

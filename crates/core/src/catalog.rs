@@ -79,7 +79,9 @@ enum CatalogEntry {
         mv: MaterializedView,
     },
     General {
-        maintainer: GeneralMaintainer,
+        // Boxed: a circuit-backed general maintainer dwarfs the other
+        // variants.
+        maintainer: Box<GeneralMaintainer>,
         mv: MaterializedView,
     },
 }
@@ -129,9 +131,17 @@ impl Catalog {
                 mv,
             }
         } else if let Some(general) = GeneralViewDef::from_viewdef(def) {
-            let gm = GeneralMaintainer::new(general);
+            // Planner-selected backend: wildcard selections route to
+            // the delta circuit, constant paths stay on Algorithm 1.
+            // Single-update routing below always repairs locally; the
+            // circuit participates when batches flow through
+            // `GeneralMaintainer::apply_batch`.
+            let gm = GeneralMaintainer::planned(general);
             let mv = gm.recompute(store)?;
-            CatalogEntry::General { maintainer: gm, mv }
+            CatalogEntry::General {
+                maintainer: Box::new(gm),
+                mv,
+            }
         } else {
             return Err(CatalogError::Unsupported(format!(
                 "mview {} uses clauses the maintainers do not support",

@@ -10,12 +10,13 @@
 //!   than one path between two objects").
 
 use crate::base::{BaseAccess, LocalBase};
+use crate::circuitview::{CircuitMaintainer, CircuitSource};
 use crate::maintain::{BatchOutcome, MaintPlan, Maintainer, Outcome};
 use crate::mview::MaterializedView;
 use crate::sink::{MemberSet, ViewSink};
 use crate::viewdef::{CompoundViewDef, GeneralViewDef, SimpleViewDef};
 use gsdb::{AppliedUpdate, DeltaBatch, Oid, Path, Result, Store};
-use gsview_query::evaluate;
+use gsview_query::{choose_backend, evaluate, MaintBackend};
 use std::collections::HashSet;
 
 // ----------------------------------------------------------------------
@@ -179,12 +180,43 @@ impl CompoundMaintainer {
 #[derive(Clone, Debug)]
 pub struct GeneralMaintainer {
     def: GeneralViewDef,
+    backend: MaintBackend,
+    circuit: Option<CircuitMaintainer>,
 }
 
 impl GeneralMaintainer {
-    /// Build a maintainer.
+    /// Build a maintainer on the guarded-refresh (Algorithm 1 family)
+    /// backend.
     pub fn new(def: GeneralViewDef) -> Self {
-        GeneralMaintainer { def }
+        Self::with_backend(def, MaintBackend::Algorithm1)
+    }
+
+    /// Build a maintainer on the backend the planner picks for this
+    /// shape ([`choose_backend`]): constant single paths stay on
+    /// Algorithm 1, wildcard expressions go to the delta circuit.
+    pub fn planned(def: GeneralViewDef) -> Self {
+        let (backend, _why) = choose_backend(&def.sel_expr, 1, false);
+        Self::with_backend(def, backend)
+    }
+
+    /// Build a maintainer on an explicit backend.
+    pub fn with_backend(def: GeneralViewDef, backend: MaintBackend) -> Self {
+        let circuit = match backend {
+            MaintBackend::Algorithm1 => None,
+            MaintBackend::Circuit => Some(CircuitMaintainer::new(CircuitSource::General(
+                def.clone(),
+            ))),
+        };
+        GeneralMaintainer {
+            def,
+            backend,
+            circuit,
+        }
+    }
+
+    /// Which backend batches run on.
+    pub fn backend(&self) -> MaintBackend {
+        self.backend
     }
 
     /// The definition.
@@ -326,6 +358,9 @@ impl GeneralMaintainer {
         store: &Store,
         batch: &DeltaBatch,
     ) -> Result<BatchOutcome> {
+        if let Some(circuit) = &self.circuit {
+            return circuit.apply_batch(mv, store, batch);
+        }
         let delta = batch.consolidate();
         let _span = gsview_obs::span!(
             "maint.general.plan",
@@ -791,6 +826,40 @@ mod tests {
         assert!(out.relevant);
         assert_eq!(out.inserted, vec![oid("HOB")]);
         assert_eq!(mv.len(), before + 1);
+    }
+
+    #[test]
+    fn wildcard_planned_backend_is_circuit_and_agrees() {
+        let mut a1 = Store::new();
+        samples::person_db(&mut a1).unwrap();
+        let mut b1 = a1.clone();
+        let def = GeneralViewDef::new("MVJ", "ROOT", PathExpr::parse("*").unwrap())
+            .with_cond(PathExpr::parse("name").unwrap(), Pred::new(CmpOp::Eq, "John"));
+        let alg = GeneralMaintainer::new(def.clone());
+        let cir = GeneralMaintainer::planned(def);
+        assert_eq!(alg.backend(), gsview_query::MaintBackend::Algorithm1);
+        assert_eq!(cir.backend(), gsview_query::MaintBackend::Circuit);
+        let mut mv_a = alg.recompute(&a1).unwrap();
+        let mut mv_c = cir.recompute(&b1).unwrap();
+
+        for round in 0..3 {
+            let mut batch_a = gsdb::DeltaBatch::new();
+            let mut batch_b = gsdb::DeltaBatch::new();
+            let ops = [
+                gsdb::Update::modify("N2", "John"),
+                gsdb::Update::modify("N2", "Sally"),
+                gsdb::Update::modify("N4", "John"),
+            ];
+            for u in ops {
+                batch_a.push(a1.apply(u.clone()).unwrap());
+                batch_b.push(b1.apply(u).unwrap());
+            }
+            let out_a = alg.apply_batch(&mut mv_a, &a1, &batch_a).unwrap();
+            let out_c = cir.apply_batch(&mut mv_c, &b1, &batch_b).unwrap();
+            assert_eq!(mv_a.members_base(), mv_c.members_base(), "round {round}");
+            assert_eq!(out_a.inserted, out_c.inserted, "round {round}");
+            assert_eq!(out_a.deleted, out_c.deleted, "round {round}");
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod annotate;
 mod base;
 pub mod bulk;
 pub mod catalog;
+pub mod circuitview;
 pub mod cluster;
 pub mod consistency;
 pub mod general;
@@ -72,6 +73,7 @@ pub use aggregate::{AggFn, AggregateView, AggregateViewDef};
 pub use base::{BaseAccess, LocalBase};
 pub use bulk::{view_unaffected, BulkUpdate};
 pub use catalog::{Catalog, CatalogError};
+pub use circuitview::{CircuitMaintainer, CircuitSource};
 pub use cluster::ViewCluster;
 pub use general::{CompoundMaintainer, DagMaintainer, GeneralMaintainer};
 pub use maintain::{sweep_members, BatchOutcome, MaintPlan, Maintainer, Outcome};

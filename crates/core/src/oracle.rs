@@ -1,13 +1,15 @@
 //! A reusable differential-testing oracle for view maintenance.
 //!
-//! Three independent routes to the post-update view state must agree:
+//! Four independent routes to the post-update view state must agree:
 //!
 //! 1. **Sequential** — Algorithm 1, one [`Maintainer::apply`] per
 //!    update, each against the base state right after that update;
 //! 2. **Batched** — one [`MaintPlan::apply_batch`] over the whole
 //!    update run, against the final base state;
 //! 3. **Recompute** — materialize the definition from scratch on the
-//!    final base state.
+//!    final base state;
+//! 4. **Circuit** — a [`CircuitMaintainer`] stepping the compiled
+//!    delta circuit by the consolidated batch.
 //!
 //! Each route's view is additionally validated with
 //! [`consistency::check`] (membership *and* delegate content against
@@ -15,6 +17,7 @@
 //! replay: the update run, which routes diverged, and how.
 
 use crate::base::LocalBase;
+use crate::circuitview::{CircuitMaintainer, CircuitSource};
 use crate::consistency;
 use crate::maintain::{BatchOutcome, MaintPlan, Maintainer};
 use crate::recompute::recompute;
@@ -100,9 +103,12 @@ pub fn check_equivalence(
 ) -> Result<OracleVerdict> {
     let mut verdict = OracleVerdict::default();
 
-    // Both maintained views start from the same initial materialization.
+    // All maintained views start from the same initial materialization.
     let mut mv_seq = recompute(def, &mut LocalBase::new(initial))?;
     let mut mv_batched = recompute(def, &mut LocalBase::new(initial))?;
+    let mut mv_circuit = recompute(def, &mut LocalBase::new(initial))?;
+    let circuit = CircuitMaintainer::new(CircuitSource::Simple(def.clone()));
+    circuit.initialize(&mut mv_circuit, initial)?;
 
     // Route 1 (sequential) drives the store forward and collects the
     // applied updates for route 2.
@@ -128,15 +134,36 @@ pub fn check_equivalence(
     let mv_full = recompute(def, &mut LocalBase::new(&store))?;
     verdict.members = mv_full.members_base();
 
+    // Route 4 (circuit): one incremental step by the consolidated
+    // batch. An unexpected rebuild would make this leg vacuously agree
+    // with recompute, so it counts as a failure.
+    circuit.apply_batch(&mut mv_circuit, &store, &batch)?;
+    if circuit.steps() != 1 || circuit.rebuilds() != 1 {
+        verdict.failures.push(format!(
+            "circuit: expected one incremental step after the initial build, got steps={} rebuilds={}",
+            circuit.steps(),
+            circuit.rebuilds()
+        ));
+    }
+
     let seq = mv_seq.members_base();
     let batched = mv_batched.members_base();
+    let circ = mv_circuit.members_base();
     verdict
         .failures
         .extend(diff_members("sequential vs recompute", &seq, &verdict.members));
     verdict
         .failures
         .extend(diff_members("batched vs recompute", &batched, &verdict.members));
-    for (name, mv) in [("sequential", &mv_seq), ("batched", &mv_batched), ("recompute", &mv_full)] {
+    verdict
+        .failures
+        .extend(diff_members("circuit vs recompute", &circ, &verdict.members));
+    for (name, mv) in [
+        ("sequential", &mv_seq),
+        ("batched", &mv_batched),
+        ("recompute", &mv_full),
+        ("circuit", &mv_circuit),
+    ] {
         for problem in consistency::check(def, &mut LocalBase::new(&store), mv) {
             verdict.failures.push(format!("{name}: {problem}"));
         }

@@ -13,7 +13,10 @@
 //! * repeated modifies of one OID fold into a single
 //!   `modify(oid, first_old, last_new)`, dropped entirely when the
 //!   value returns to where it started;
-//! * a create and a remove of the same object record cancel;
+//! * a create followed by a remove of the same object record cancels
+//!   (the record existed neither before nor after); a remove followed
+//!   by a re-create survives as both, because the record was
+//!   *replaced*, not preserved;
 //! * the *touched set* (directly affected source objects, paper §5.1)
 //!   is deduplicated.
 //!
@@ -81,8 +84,13 @@ impl DeltaBatch {
         let mut edge_net: HashMap<(Oid, Oid), (i64, usize)> = HashMap::new();
         // Per modified OID: value before the batch, value after it.
         let mut mods: HashMap<Oid, (Atom, Atom, usize)> = HashMap::new();
-        // Net record count per OID: +1 per create, -1 per remove.
-        let mut record_net: HashMap<Oid, (i64, usize)> = HashMap::new();
+        // Net record count per OID: +1 per create, -1 per remove. The
+        // bool remembers whether the *first* record op was a remove:
+        // remove-then-create nets to zero record churn but is a
+        // *replacement* (the re-created object starts from a fresh
+        // value), not a no-op, and must survive consolidation as a
+        // remove plus a create.
+        let mut record_net: HashMap<Oid, (i64, usize, bool)> = HashMap::new();
 
         for (i, op) in self.ops.iter().enumerate() {
             match op {
@@ -98,10 +106,10 @@ impl DeltaBatch {
                         .or_insert((old.clone(), new.clone(), i));
                 }
                 AppliedUpdate::Create { oid } => {
-                    record_net.entry(*oid).or_insert((0, i)).0 += 1;
+                    record_net.entry(*oid).or_insert((0, i, false)).0 += 1;
                 }
                 AppliedUpdate::Remove { oid } => {
-                    record_net.entry(*oid).or_insert((0, i)).0 -= 1;
+                    record_net.entry(*oid).or_insert((0, i, true)).0 -= 1;
                 }
             }
         }
@@ -125,11 +133,18 @@ impl DeltaBatch {
 
         let mut created: Vec<(usize, Oid)> = Vec::new();
         let mut removed: Vec<(usize, Oid)> = Vec::new();
-        for (oid, (net, i)) in record_net {
+        for (oid, (net, i, first_was_remove)) in record_net {
             if net > 0 {
                 created.push((i, oid));
             } else if net < 0 {
                 removed.push((i, oid));
+            } else if first_was_remove {
+                // Remove-then-create: the record existed before and
+                // after, but it was replaced — downstream maintenance
+                // must retract the old record's contributions and
+                // rebuild from the final store.
+                removed.push((i, oid));
+                created.push((i, oid));
             }
         }
         created.sort_by_key(|&(i, _)| i);
@@ -313,6 +328,20 @@ mod tests {
         let mut b2 = DeltaBatch::new();
         b2.push(AppliedUpdate::Create { oid: oid("X") });
         assert_eq!(b2.consolidate().created, vec![oid("X")]);
+    }
+
+    #[test]
+    fn remove_then_recreate_survives_as_replacement() {
+        // The record exists before and after, but it was replaced —
+        // the old record's contributions (children, atom value) are
+        // gone, so both the remove and the create must survive.
+        let mut b = DeltaBatch::new();
+        b.push(AppliedUpdate::Remove { oid: oid("X") });
+        b.push(AppliedUpdate::Create { oid: oid("X") });
+        let d = b.consolidate();
+        assert_eq!(d.removed, vec![oid("X")]);
+        assert_eq!(d.created, vec![oid("X")]);
+        assert_eq!(d.touched, vec![oid("X")]);
     }
 
     #[test]

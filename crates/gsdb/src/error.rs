@@ -21,6 +21,17 @@ pub enum GsdbError {
         /// The non-child.
         child: Oid,
     },
+    /// `insert(N1, N2)` where `N2` is already a child of `N1`. A
+    /// silently-accepted duplicate insert would still be logged as an
+    /// applied update, and any consumer that nets edge counts from the
+    /// log (delta consolidation, circuit ingest) would then double
+    /// count an edge that set semantics stored only once.
+    AlreadyAChild {
+        /// The parent object.
+        parent: Oid,
+        /// The existing child.
+        child: Oid,
+    },
     /// An object with this OID already exists.
     DuplicateOid(Oid),
     /// The operation requires a tree-structured database but the store
@@ -36,6 +47,9 @@ impl fmt::Display for GsdbError {
             GsdbError::NotAtomic(o) => write!(f, "object {o} is not an atomic object"),
             GsdbError::NotAChild { parent, child } => {
                 write!(f, "{child} is not a child of {parent}")
+            }
+            GsdbError::AlreadyAChild { parent, child } => {
+                write!(f, "{child} is already a child of {parent}")
             }
             GsdbError::DuplicateOid(o) => write!(f, "an object with OID {o} already exists"),
             GsdbError::NotATree(o) => {

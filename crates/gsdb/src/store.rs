@@ -212,7 +212,16 @@ pub(crate) fn apply_update<V: ShardAccess>(view: &mut V, update: Update) -> Resu
                 let st = view.state_mut(ps);
                 let pobj = st.obj_mut(pslot >> shift).as_mut().unwrap();
                 let set = pobj.value.as_set_mut().ok_or(GsdbError::NotASet(parent))?;
-                set.insert(child);
+                if !set.insert(child) {
+                    // A duplicate insert is a no-op on the set, but if
+                    // accepted it would be logged as applied — and
+                    // delta consolidation nets edge counts from the
+                    // log, so a later delete would be cancelled (or
+                    // double-counted) against an edge that was only
+                    // ever stored once. Reject it like a delete of an
+                    // absent edge.
+                    return Err(GsdbError::AlreadyAChild { parent, child });
+                }
             }
             let st = view.state_mut(cs);
             if let Some(idx) = st.parent_index.as_mut() {
@@ -1453,6 +1462,26 @@ mod tests {
         let mut s = tiny_store();
         let err = s.create(Object::atom("A1", "age", 1i64)).unwrap_err();
         assert_eq!(err, GsdbError::DuplicateOid(oid("A1")));
+    }
+
+    #[test]
+    fn duplicate_edge_insert_rejected() {
+        let mut s = tiny_store();
+        s.create(Object::atom("N1", "name", "John")).unwrap();
+        s.insert_edge(oid("P1"), oid("N1")).unwrap();
+        let err = s.insert_edge(oid("P1"), oid("N1")).unwrap_err();
+        assert_eq!(
+            err,
+            GsdbError::AlreadyAChild {
+                parent: oid("P1"),
+                child: oid("N1"),
+            }
+        );
+        // The rejected insert is not logged and does not bump the
+        // version — consolidation never sees a phantom +1.
+        let v = s.version();
+        assert!(s.insert_edge(oid("P1"), oid("N1")).is_err());
+        assert_eq!(s.version(), v);
     }
 
     #[test]

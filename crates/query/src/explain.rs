@@ -12,7 +12,7 @@
 use crate::ast::{Entry, Query};
 use crate::eval::EvalError;
 use crate::pathexpr::{Elem, PathExpr};
-use crate::plan::{choose_explained, evaluate_planned};
+use crate::plan::{choose_backend, choose_explained, evaluate_planned};
 use gsdb::Store;
 use std::fmt::Write;
 
@@ -51,6 +51,12 @@ pub fn explain(
         writeln!(out, "select  {sel_expr}").unwrap();
     }
     writeln!(out, "plan    {strategy} ({reason})").unwrap();
+    // If this query's selection were materialized as a view, which
+    // maintenance backend would the planner pick?  A plain SELECT has
+    // one branch and no aggregate; the maintainer layer passes its own
+    // shape when it plans CompoundViewDef / AggregateViewDef sources.
+    let (backend, why) = choose_backend(&sel_expr, 1, false);
+    writeln!(out, "maint   {backend} ({why})").unwrap();
     if let Some(db) = query.within {
         let members = store
             .get(db)
@@ -98,6 +104,7 @@ mod tests {
         assert!(report.contains("entry   object ROOT\n"));
         assert!(report.contains("select  professor.age\n"));
         assert!(report.contains("plan    backward(age) (label index:"));
+        assert!(report.contains("maint   algorithm1 (constant single-path"));
         assert!(report.contains("answers=1 "));
     }
 
@@ -108,6 +115,7 @@ mod tests {
         let report = explain(&s, &q, 0.25).unwrap();
         println!("{report}");
         assert!(report.contains("plan    forward (tail element is not a constant label)\n"));
+        assert!(report.contains("maint   circuit (wildcard selection"));
         assert!(report.contains("select  professor.*\n"));
     }
 

@@ -110,6 +110,73 @@ pub fn choose_explained(
     }
 }
 
+/// The maintenance backend the planner selects for a materialized
+/// view: the paper's Algorithm 1 family (local repair against the
+/// base), or the delta-circuit engine (per-view arranged operator
+/// state stepped in O(|Δ|) per batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaintBackend {
+    /// Localized repair (Algorithm 1 and its batched/guarded variants).
+    Algorithm1,
+    /// Compiled delta circuit over Z-set deltas with arranged state.
+    Circuit,
+}
+
+impl fmt::Display for MaintBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintBackend::Algorithm1 => write!(f, "algorithm1"),
+            MaintBackend::Circuit => write!(f, "circuit"),
+        }
+    }
+}
+
+/// Choose a maintenance backend for a view shape, with a one-line
+/// reason (rendered by [`explain`](crate::explain::explain) and the
+/// maintainer layer's `StrategyReason`-style reporting).
+///
+/// The heuristic mirrors where each backend's cost model wins:
+///
+/// * **aggregates** — Algorithm 1 re-aggregates affected members from
+///   the base per batch; the circuit keeps per-member arranged flows
+///   and pays only for touched product states;
+/// * **multi-branch unions** — the circuit shares one arrangement
+///   across branches, Algorithm 1 runs one repair pass per branch;
+/// * **non-constant expressions** (wildcards, alternations with
+///   closure) — Algorithm 1 has no local repair rule and escalates to
+///   a centralized refresh on any relevant update; the circuit's
+///   product-state counts stay local;
+/// * **constant single paths** — Algorithm 1's repair is already
+///   O(local) and carries no operator state, so it stays the default.
+pub fn choose_backend(
+    sel_expr: &PathExpr,
+    branches: usize,
+    aggregated: bool,
+) -> (MaintBackend, String) {
+    if aggregated {
+        return (
+            MaintBackend::Circuit,
+            "aggregate view: per-member delta flows beat re-aggregation".into(),
+        );
+    }
+    if branches > 1 {
+        return (
+            MaintBackend::Circuit,
+            format!("multi-path union: one arrangement shared by {branches} branches"),
+        );
+    }
+    if sel_expr.as_path().is_none() {
+        return (
+            MaintBackend::Circuit,
+            "wildcard selection: no local repair rule for Algorithm 1".into(),
+        );
+    }
+    (
+        MaintBackend::Algorithm1,
+        "constant single-path selection: Algorithm 1 repairs locally".into(),
+    )
+}
+
 /// Reverse a path expression: since our expressions are concatenations
 /// of self-symmetric elements, `L(rev(e))` is the set of reversed
 /// words of `L(e)`.
@@ -322,6 +389,31 @@ mod tests {
         assert_eq!(choose(&s, &PathExpr::parse("professor.*").unwrap(), 0.25), SelStrategy::Forward);
         // Unselective label (above cutoff) → forward.
         assert_eq!(choose(&s, &PathExpr::parse("name").unwrap(), 0.01), SelStrategy::Forward);
+    }
+
+    #[test]
+    fn backend_chooser_covers_all_shapes() {
+        let constant = PathExpr::parse("professor.student").unwrap();
+        let wildcard = PathExpr::parse("professor.*").unwrap();
+
+        let (b, why) = choose_backend(&constant, 1, false);
+        assert_eq!(b, MaintBackend::Algorithm1);
+        assert!(why.contains("single-path"), "{why}");
+
+        let (b, why) = choose_backend(&wildcard, 1, false);
+        assert_eq!(b, MaintBackend::Circuit);
+        assert!(why.contains("wildcard"), "{why}");
+
+        let (b, why) = choose_backend(&constant, 3, false);
+        assert_eq!(b, MaintBackend::Circuit);
+        assert!(why.contains("3 branches"), "{why}");
+
+        let (b, why) = choose_backend(&constant, 1, true);
+        assert_eq!(b, MaintBackend::Circuit);
+        assert!(why.contains("aggregate"), "{why}");
+
+        assert_eq!(MaintBackend::Algorithm1.to_string(), "algorithm1");
+        assert_eq!(MaintBackend::Circuit.to_string(), "circuit");
     }
 
     #[test]

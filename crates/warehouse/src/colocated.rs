@@ -25,6 +25,7 @@ use crate::source::Source;
 use gsdb::{DeltaBatch, Oid, Result};
 use gsview_core::recompute::recompute;
 use gsview_core::{BatchOutcome, LocalBase, MaterializedView, ParallelMaintainer, SimpleViewDef};
+use gsview_query::MaintBackend;
 
 /// A portfolio of materialized views colocated with one source.
 pub struct ColocatedViews {
@@ -41,7 +42,35 @@ impl ColocatedViews {
     /// `threads` workers maintain the portfolio on each flush (clamped
     /// to the number of views; `0` means one).
     pub fn new(source: &Source, defs: Vec<SimpleViewDef>, threads: usize) -> Result<Self> {
-        let pm = ParallelMaintainer::new(defs);
+        Self::from_maintainer(source, ParallelMaintainer::new(defs), threads)
+    }
+
+    /// Like [`ColocatedViews::new`], but with one explicit maintenance
+    /// backend per definition (in order): `Algorithm1` lanes run the
+    /// batched repair plan on their partitioned delta slice, `Circuit`
+    /// lanes step a delta circuit over the full consolidated delta.
+    ///
+    /// Circuit state is epoch-consistent by construction: it is
+    /// (re)built from a published snapshot on the first flush, and its
+    /// version guard forces the same rebuild whenever a flush arrives
+    /// against an epoch the circuit did not step through — which is
+    /// exactly what happens on a **warm restart**, where the portfolio
+    /// is rebuilt against a source recovered from the durable epoch
+    /// log ([`Source::recover`]).
+    pub fn with_backends(
+        source: &Source,
+        defs: Vec<SimpleViewDef>,
+        backends: Vec<MaintBackend>,
+        threads: usize,
+    ) -> Result<Self> {
+        Self::from_maintainer(
+            source,
+            ParallelMaintainer::with_backends(defs, backends),
+            threads,
+        )
+    }
+
+    fn from_maintainer(source: &Source, pm: ParallelMaintainer, threads: usize) -> Result<Self> {
         let snapshot = source.snapshot();
         let views = pm
             .defs()
@@ -53,6 +82,14 @@ impl ColocatedViews {
             pending: DeltaBatch::new(),
             threads,
         })
+    }
+
+    /// Which maintenance backend the view named `name` runs on.
+    pub fn backend_of(&self, name: &str) -> Option<MaintBackend> {
+        self.pm
+            .defs()
+            .position(|d| d.view == Oid::new(name))
+            .map(|i| self.pm.backend(i))
     }
 
     /// Buffer one update report for the next flush. The report is not
@@ -166,6 +203,73 @@ mod tests {
             assert_eq!(cv.view("YP").unwrap().members_base(), vec![oid("P2")]);
             assert!(cv.view("ST").unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn circuit_backed_portfolio_matches_recompute_and_restarts_warm() {
+        use gsview_durable::{DurableStore, MediaSet};
+        use gsview_query::MaintBackend::{Algorithm1, Circuit};
+        use std::sync::Arc;
+
+        let durable = Arc::new(DurableStore::open(MediaSet::memory()).unwrap());
+        let src = person_source();
+        src.attach_durable(Arc::clone(&durable)).unwrap();
+        let mut cv =
+            ColocatedViews::with_backends(&src, defs(), vec![Circuit, Algorithm1, Circuit], 2)
+                .unwrap();
+        assert_eq!(cv.backend_of("YP"), Some(Circuit));
+        assert_eq!(cv.backend_of("ST"), Some(Algorithm1));
+
+        let check = |cv: &ColocatedViews, src: &Source, tag: &str| {
+            src.with_store(|s| {
+                for (def, mv) in defs().iter().zip(cv.views()) {
+                    let want = recompute(def, &mut LocalBase::new(s)).unwrap();
+                    assert_eq!(
+                        mv.members_base(),
+                        want.members_base(),
+                        "view {} {tag}",
+                        def.view
+                    );
+                }
+            })
+        };
+
+        // Round 1: mixed batch, flushed against the live source.
+        src.with_store(|s| s.create(Object::atom("A2", "age", 40i64)))
+            .unwrap();
+        src.apply(Update::insert("P2", "A2")).unwrap();
+        src.apply(Update::modify("A1", 80i64)).unwrap();
+        for r in src.monitor().poll() {
+            cv.absorb(&r);
+        }
+        cv.flush(&src).unwrap();
+        check(&cv, &src, "after first flush");
+        assert_eq!(cv.view("YP").unwrap().members_base(), vec![oid("P2")]);
+
+        // Crash: drop the source; only the durable epoch log survives.
+        drop(src);
+        let src = Source::recover("persons", oid("ROOT"), ReportLevel::OidsOnly, &durable)
+            .unwrap()
+            .expect("lineage is recoverable");
+
+        // Warm restart: rebuild the portfolio against the recovered
+        // epoch. Circuit lanes start unstepped and rebuild
+        // epoch-consistently on their first flush.
+        let mut cv =
+            ColocatedViews::with_backends(&src, defs(), vec![Circuit, Algorithm1, Circuit], 2)
+                .unwrap();
+        check(&cv, &src, "after warm restart");
+
+        // Round 2: the recovered pipeline keeps flowing through the
+        // same circuit-backed flush path.
+        src.apply(Update::modify("A1", 30i64)).unwrap();
+        src.apply(Update::delete("P2", "A2")).unwrap();
+        for r in src.monitor().poll() {
+            cv.absorb(&r);
+        }
+        cv.flush(&src).unwrap();
+        check(&cv, &src, "after post-recovery flush");
+        assert_eq!(cv.view("YP").unwrap().members_base(), vec![oid("P1")]);
     }
 
     #[test]
