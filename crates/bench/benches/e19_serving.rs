@@ -1,0 +1,23 @@
+//! Criterion companion to experiment E19: wall time of a burst of
+//! framed TCP reads against the serving tier while a writer thread
+//! commits at the source. Each `measure` call spawns a fresh server,
+//! times every round trip, and re-checks networked equivalence after
+//! quiescing — so the numbers only count runs with correct answers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e19_serving");
+    g.sample_size(10);
+    for &reads in &[100usize, 400] {
+        g.bench_with_input(
+            BenchmarkId::new("clean_read_burst", reads),
+            &reads,
+            |b, &reads| b.iter(|| gsview_bench::e19::measure(reads)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -243,7 +243,11 @@ fn measure_shape(
             let out_a = alg.apply_batch(&mut mv_a, store, batch).unwrap();
             let ms_a = t0.elapsed().as_secs_f64() * 1e3;
 
-            let planned = GeneralMaintainer::planned(def);
+            // The planner now routes wildcard shapes to Algorithm 1
+            // (this experiment is why); force the circuit backend so
+            // the head-to-head keeps measuring both sides.
+            let planned =
+                GeneralMaintainer::with_backend(def, gsview_query::MaintBackend::Circuit);
             let mut mv_c = planned.recompute(initial).unwrap();
             let t0 = Instant::now();
             let out_c = planned.apply_batch(&mut mv_c, store, batch).unwrap();

@@ -19,6 +19,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -34,7 +35,7 @@ pub use table::Table;
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18",
+    "e15", "e16", "e17", "e18", "e19",
 ];
 
 /// Run one experiment by id.
@@ -58,6 +59,7 @@ pub fn run(id: &str, quick: bool) -> Option<Table> {
         "e16" => Some(e16::run(quick)),
         "e17" => Some(e17::run(quick)),
         "e18" => Some(e18::run(quick)),
+        "e19" => Some(e19::run(quick)),
         _ => None,
     }
 }

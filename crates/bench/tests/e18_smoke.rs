@@ -30,6 +30,39 @@ fn baseline(key: &str) -> u64 {
         .unwrap_or_else(|_| panic!("baseline key {key} not an integer"))
 }
 
+/// Extraction of `"key": "<string>"` from the baseline JSON.
+fn baseline_str(key: &str) -> &'static str {
+    let pat = format!("\"{key}\":");
+    let rest = BASELINE
+        .split(&pat)
+        .nth(1)
+        .unwrap_or_else(|| panic!("baseline key {key} missing"))
+        .trim_start()
+        .strip_prefix('"')
+        .unwrap_or_else(|| panic!("baseline key {key} not a string"));
+    rest.split('"').next().unwrap()
+}
+
+/// Regression pin for the E18 routing fix: the planner must route
+/// wildcard selection shapes to Algorithm 1 — the circuit's
+/// product-state lost to scoped recomputation at every measured size.
+/// The expected backend lives in the baseline file so flipping the
+/// routing rule back requires touching the checked-in baseline too.
+#[test]
+fn wildcard_routing_decision_is_pinned() {
+    let sel = gsview_query::pathexpr::PathExpr::parse("*.student").unwrap();
+    let (backend, why) = gsview_query::choose_backend(&sel, 1, false);
+    assert_eq!(
+        format!("{backend}"),
+        baseline_str("wildcard_backend"),
+        "wildcard routing decision drifted from baseline"
+    );
+    assert!(
+        why.contains("E18"),
+        "routing reason must cite the measurement that justifies it: {why}"
+    );
+}
+
 #[test]
 fn backend_facts_do_not_drift() {
     let (delta_ops, single, multi, wildcard, aggregate) = e18::quick_facts();

@@ -1,0 +1,54 @@
+//! E19 regression smoke: the serving tier's deterministic quick-mode
+//! facts must match the checked-in baseline
+//! (`baselines/e19_quick.json`), and the measured p99 read latency
+//! must stay under the baseline's SLO budget. The budget is
+//! deliberately generous (everything shares one core in CI), so a
+//! trip means a structural regression — reactor starvation, a lost
+//! wakeup, a stall in the in-flight window — not machine noise.
+
+use gsview_bench::e19;
+
+const BASELINE: &str = include_str!("../baselines/e19_quick.json");
+
+/// Minimal extraction of `"key": <integer>` from the baseline JSON —
+/// no serde in the dependency tree.
+fn baseline(key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = BASELINE
+        .split(&pat)
+        .nth(1)
+        .unwrap_or_else(|| panic!("baseline key {key} missing"));
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    num.parse()
+        .unwrap_or_else(|_| panic!("baseline key {key} not an integer"))
+}
+
+#[test]
+fn serving_facts_hold_and_p99_meets_the_slo() {
+    let (requests, ok, equivalence_failures, p99_us, shed) = e19::quick_facts();
+    assert_eq!(requests as u64, baseline("requests"), "request count drifted");
+    assert_eq!(
+        ok as u64,
+        baseline("ok"),
+        "a clean-network round trip was dropped"
+    );
+    assert_eq!(
+        equivalence_failures as u64,
+        baseline("equivalence_failures"),
+        "remote answers diverged from colocated evaluation"
+    );
+    assert_eq!(
+        shed,
+        baseline("shed"),
+        "admission shed count drifted from baseline"
+    );
+    let budget = baseline("p99_budget_us");
+    assert!(
+        p99_us <= budget,
+        "p99 read latency {p99_us}us blew the {budget}us SLO budget"
+    );
+}

@@ -192,8 +192,9 @@ impl GeneralMaintainer {
     }
 
     /// Build a maintainer on the backend the planner picks for this
-    /// shape ([`choose_backend`]): constant single paths stay on
-    /// Algorithm 1, wildcard expressions go to the delta circuit.
+    /// shape ([`choose_backend`]): constant single paths and wildcard
+    /// expressions stay on Algorithm 1 (E18 measured the circuit's
+    /// product-state losing on wildcard shapes at every size).
     pub fn planned(def: GeneralViewDef) -> Self {
         let (backend, _why) = choose_backend(&def.sel_expr, 1, false);
         Self::with_backend(def, backend)
@@ -829,14 +830,22 @@ mod tests {
     }
 
     #[test]
-    fn wildcard_planned_backend_is_circuit_and_agrees() {
+    fn wildcard_backends_agree_and_planner_picks_algorithm1() {
         let mut a1 = Store::new();
         samples::person_db(&mut a1).unwrap();
         let mut b1 = a1.clone();
         let def = GeneralViewDef::new("MVJ", "ROOT", PathExpr::parse("*").unwrap())
             .with_cond(PathExpr::parse("name").unwrap(), Pred::new(CmpOp::Eq, "John"));
         let alg = GeneralMaintainer::new(def.clone());
-        let cir = GeneralMaintainer::planned(def);
+        // Regression pin (E18 routing fix): `planned` must route
+        // wildcard shapes to Algorithm 1, not the circuit.
+        assert_eq!(
+            GeneralMaintainer::planned(def.clone()).backend(),
+            gsview_query::MaintBackend::Algorithm1
+        );
+        // Force the circuit leg explicitly so the parity check below
+        // still exercises both backends.
+        let cir = GeneralMaintainer::with_backend(def, gsview_query::MaintBackend::Circuit);
         assert_eq!(alg.backend(), gsview_query::MaintBackend::Algorithm1);
         assert_eq!(cir.backend(), gsview_query::MaintBackend::Circuit);
         let mut mv_a = alg.recompute(&a1).unwrap();

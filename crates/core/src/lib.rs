@@ -80,9 +80,10 @@ pub use maintain::{sweep_members, BatchOutcome, MaintPlan, Maintainer, Outcome};
 pub use mview::{MaterializedView, ViewDelta};
 pub use oracle::{
     assert_crash_recovery, assert_cross_shard_isolated, assert_equivalent,
-    assert_parallel_equivalent, assert_sharded_commit_equivalent, assert_snapshot_isolated,
-    check_crash_recovery, check_cross_shard_isolation, check_equivalence,
-    check_parallel_equivalence, check_sharded_commit_equivalence, check_snapshot_isolation,
+    assert_networked_equivalence, assert_parallel_equivalent, assert_sharded_commit_equivalent,
+    assert_snapshot_isolated, check_crash_recovery, check_cross_shard_isolation,
+    check_equivalence, check_networked_equivalence, check_parallel_equivalence,
+    check_sharded_commit_equivalence, check_snapshot_isolation,
     diff_members, reference_members, IsolationReport, OracleVerdict, RecoveryVerdict,
     ShardedVerdict,
 };

@@ -157,7 +157,11 @@ const VALUE_SET: u8 = 1;
 const SLOT_FREE: u8 = 0;
 const SLOT_LIVE: u8 = 1;
 
-fn put_atom(out: &mut Vec<u8>, a: &Atom) {
+/// Encode one atom (tag byte + payload). Public for wire codecs
+/// (the serving tier's protocol frames carry atoms inside update
+/// reports) — the encoding is the same one the durable page format
+/// uses, so cross-process decode re-interns by name.
+pub fn put_atom(out: &mut Vec<u8>, a: &Atom) {
     match a {
         Atom::Int(v) => {
             out.push(ATOM_INT);
@@ -183,7 +187,8 @@ fn put_atom(out: &mut Vec<u8>, a: &Atom) {
     }
 }
 
-fn get_atom(r: &mut Reader<'_>) -> Result<Atom, CodecError> {
+/// Decode one atom written by [`put_atom`].
+pub fn get_atom(r: &mut Reader<'_>) -> Result<Atom, CodecError> {
     Ok(match r.byte()? {
         ATOM_INT => Atom::Int(r.zigzag()?),
         ATOM_REAL => {

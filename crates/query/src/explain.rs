@@ -115,7 +115,7 @@ mod tests {
         let report = explain(&s, &q, 0.25).unwrap();
         println!("{report}");
         assert!(report.contains("plan    forward (tail element is not a constant label)\n"));
-        assert!(report.contains("maint   circuit (wildcard selection"));
+        assert!(report.contains("maint   algorithm1 (wildcard selection"));
         assert!(report.contains("select  professor.*\n"));
     }
 

@@ -144,8 +144,10 @@ impl fmt::Display for MaintBackend {
 ///   across branches, Algorithm 1 runs one repair pass per branch;
 /// * **non-constant expressions** (wildcards, alternations with
 ///   closure) — Algorithm 1 has no local repair rule and escalates to
-///   a centralized refresh on any relevant update; the circuit's
-///   product-state counts stay local;
+///   a *scoped* recomputation on any relevant update; E18 measures
+///   that scoped refresh beating the circuit's wildcard product-state
+///   bookkeeping at every size and selectivity, so wildcard shapes
+///   route to Algorithm 1 (the measured winner), not the circuit;
 /// * **constant single paths** — Algorithm 1's repair is already
 ///   O(local) and carries no operator state, so it stays the default.
 pub fn choose_backend(
@@ -167,8 +169,8 @@ pub fn choose_backend(
     }
     if sel_expr.as_path().is_none() {
         return (
-            MaintBackend::Circuit,
-            "wildcard selection: no local repair rule for Algorithm 1".into(),
+            MaintBackend::Algorithm1,
+            "wildcard selection: scoped recomputation beats circuit product-state (E18)".into(),
         );
     }
     (
@@ -400,9 +402,13 @@ mod tests {
         assert_eq!(b, MaintBackend::Algorithm1);
         assert!(why.contains("single-path"), "{why}");
 
+        // Regression pin (E18): wildcard shapes lost to scoped
+        // recomputation at every measured size, so the router must NOT
+        // send them to the circuit.
         let (b, why) = choose_backend(&wildcard, 1, false);
-        assert_eq!(b, MaintBackend::Circuit);
+        assert_eq!(b, MaintBackend::Algorithm1);
         assert!(why.contains("wildcard"), "{why}");
+        assert!(why.contains("E18"), "{why}");
 
         let (b, why) = choose_backend(&constant, 3, false);
         assert_eq!(b, MaintBackend::Circuit);

@@ -1,0 +1,68 @@
+//! Socket-level fault realization.
+//!
+//! The *decision* of which fault to inject lives in
+//! [`SocketChaosPolicy`](gsview_warehouse::SocketChaosPolicy) — pure,
+//! seeded, and dependency-free in the warehouse crate, so the same
+//! policy drives differential runs. This module *realizes* a decided
+//! [`SocketFault`] against a live client socket:
+//!
+//! * [`SocketFault::TruncateWrite`] — send a strict prefix of the
+//!   frame, then shut the socket down: the server sees a mid-frame
+//!   disconnect (its decoder is left `mid_frame`, the connection
+//!   drops cleanly).
+//! * [`SocketFault::Stall`] — send a strict prefix and then go
+//!   silent, socket open: the server's stalled-read sweep must reap
+//!   us; the client sees its own read timeout.
+//! * [`SocketFault::Disconnect`] — shut down before sending anything.
+//!
+//! Faults are injected on the **client** side because that is where
+//! a real deployment's network sits: the server must survive
+//! whatever arrives (or fails to arrive) at its socket.
+
+use gsview_warehouse::SocketFault;
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpStream};
+
+/// What a chaos-mediated frame write left behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The whole frame went out; await the reply normally.
+    Sent,
+    /// A prefix went out and the socket is still open but will carry
+    /// nothing more of this frame: the peer sees a stalled read, we
+    /// will see our own read timeout.
+    Stalled,
+    /// The socket is dead (truncated-then-closed, or closed outright).
+    Broken,
+}
+
+/// Write `frame` subject to `fault`. Never returns an `Err` for the
+/// *injected* failure modes — those are reported through
+/// [`WriteOutcome`]; only a genuine unexpected I/O error surfaces.
+pub fn chaos_write(
+    stream: &mut TcpStream,
+    frame: &[u8],
+    fault: SocketFault,
+) -> io::Result<WriteOutcome> {
+    match fault {
+        SocketFault::None => {
+            stream.write_all(frame)?;
+            Ok(WriteOutcome::Sent)
+        }
+        SocketFault::TruncateWrite(cut) => {
+            let cut = cut.min(frame.len().saturating_sub(1));
+            let _ = stream.write_all(&frame[..cut]);
+            let _ = stream.shutdown(Shutdown::Both);
+            Ok(WriteOutcome::Broken)
+        }
+        SocketFault::Stall(cut) => {
+            let cut = cut.min(frame.len().saturating_sub(1));
+            stream.write_all(&frame[..cut])?;
+            Ok(WriteOutcome::Stalled)
+        }
+        SocketFault::Disconnect => {
+            let _ = stream.shutdown(Shutdown::Both);
+            Ok(WriteOutcome::Broken)
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The blocking client: the warehouse's end of the wire.
+//!
+//! [`FrameClient`] speaks the framed protocol over one `TcpStream`
+//! and implements the two port traits the warehouse already consumes
+//! — [`QueryPort`] and [`ReportSource`] — so
+//! `Warehouse::connect_port` works over a real network boundary with
+//! **zero changes** to the retry, dead-letter, gap-detection, or
+//! resync machinery. Faults map onto the existing taxonomy:
+//!
+//! * a `Busy` frame (admission shed) → [`QueryFault::Overloaded`];
+//! * a read/write timeout → [`QueryFault::Timeout`];
+//! * everything else (EOF, reset, framing desync, id mismatch) →
+//!   [`QueryFault::Unavailable`].
+//!
+//! Any error poisons the cached connection: the next call redials.
+//! Report polls that fail return an empty batch — indistinguishable
+//! from "no updates yet", which is exactly the point: a *lost* batch
+//! (served by the source, dropped on the floor by the network) is
+//! genuine report loss, and the warehouse's sequence-gap detection +
+//! resync is what heals it, same as with the in-process chaos
+//! wrapper.
+//!
+//! An optional [`SocketChaosPolicy`] injects socket-level faults on
+//! the client side (see [`crate::chaos`]); the op counter feeding the
+//! policy advances once per RPC, so a seeded policy produces the
+//! same fault schedule run over run.
+
+use crate::chaos::{chaos_write, WriteOutcome};
+use crate::frame::{encode_frame, FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::msg::{Reply, ReplyBody, Request, RequestBody};
+use gsview_warehouse::protocol::{QueryFault, SourceQuery, SourceReply, UpdateReport};
+use gsview_warehouse::source::{QueryPort, ReportSource};
+use gsview_warehouse::{SocketChaosPolicy, SocketFault};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Client-side connection state: one cached stream plus its decoder.
+struct ClientState {
+    stream: Option<TcpStream>,
+    decoder: FrameDecoder,
+    next_id: u64,
+}
+
+/// A blocking protocol client over one (re-dialed as needed) TCP
+/// connection. Thread-safe: calls serialize on an internal lock, as
+/// the underlying protocol is one-request-at-a-time per connection.
+pub struct FrameClient {
+    addr: SocketAddr,
+    state: Mutex<ClientState>,
+    timeout: Duration,
+    chaos: Mutex<Option<SocketChaosPolicy>>,
+    /// RPC counter: feeds the chaos policy's per-op decision.
+    op: AtomicU64,
+    /// Last successfully fetched checkpoint — the fallback when the
+    /// network eats a checkpoint round trip ([`ReportSource`] models
+    /// checkpoints as control-plane metadata that always answers).
+    checkpoint: Mutex<(String, u64)>,
+}
+
+impl FrameClient {
+    /// Dial the serving tier and fetch an initial control-plane
+    /// checkpoint (verifying liveness in the process).
+    pub fn connect(addr: SocketAddr) -> io::Result<FrameClient> {
+        FrameClient::connect_with_timeout(addr, Duration::from_millis(1_000))
+    }
+
+    /// [`FrameClient::connect`] with an explicit per-read/write
+    /// timeout (feeds [`QueryFault::Timeout`]).
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<FrameClient> {
+        let client = FrameClient {
+            addr,
+            state: Mutex::new(ClientState {
+                stream: None,
+                decoder: FrameDecoder::new(DEFAULT_MAX_FRAME),
+                next_id: 1,
+            }),
+            timeout,
+            chaos: Mutex::new(None),
+            op: AtomicU64::new(0),
+            checkpoint: Mutex::new((String::new(), 0)),
+        };
+        match client.rpc(RequestBody::Checkpoint) {
+            Ok(ReplyBody::Checkpoint { source, next_seq }) => {
+                *client.checkpoint.lock().unwrap() = (source, next_seq);
+                Ok(client)
+            }
+            Ok(ReplyBody::Busy) | Err(QueryFault::Overloaded) => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "serving tier shed the connection at admission",
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("checkpoint handshake failed: {other:?}"),
+            )),
+        }
+    }
+
+    /// Inject socket-level chaos on subsequent calls (pass `None` to
+    /// heal). The policy decides per-RPC from its seed and the
+    /// client's op counter.
+    pub fn set_chaos(&self, policy: Option<SocketChaosPolicy>) {
+        *self.chaos.lock().unwrap() = policy;
+    }
+
+    /// The server's current published epoch.
+    pub fn epoch(&self) -> Result<u64, QueryFault> {
+        match self.rpc(RequestBody::Epoch)? {
+            ReplyBody::Epoch(e) => Ok(e),
+            _ => Err(QueryFault::Unavailable),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), QueryFault> {
+        match self.rpc(RequestBody::Ping)? {
+            ReplyBody::Pong => Ok(()),
+            _ => Err(QueryFault::Unavailable),
+        }
+    }
+
+    /// One request/reply round trip, re-dialing if the cached
+    /// connection is gone. Any failure drops the connection.
+    fn rpc(&self, body: RequestBody) -> Result<ReplyBody, QueryFault> {
+        let op = self.op.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        if st.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+                .map_err(|_| QueryFault::Unavailable)?;
+            stream
+                .set_read_timeout(Some(self.timeout))
+                .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+                .and_then(|()| stream.set_nodelay(true))
+                .map_err(|_| QueryFault::Unavailable)?;
+            st.stream = Some(stream);
+            st.decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let frame = encode_frame(&Request { id, body }.encode());
+
+        let fault = self
+            .chaos
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|p| p.decide(op, frame.len()))
+            .unwrap_or(SocketFault::None);
+        let stream = st.stream.as_mut().expect("dialed above");
+        match chaos_write(stream, &frame, fault) {
+            Ok(WriteOutcome::Sent) | Ok(WriteOutcome::Stalled) => {
+                // Stalled: the rest of the frame will never go out; the
+                // read below times out and poisons the connection —
+                // the same shape as a peer that wedged mid-send.
+            }
+            Ok(WriteOutcome::Broken) | Err(_) => {
+                st.stream = None;
+                return Err(QueryFault::Unavailable);
+            }
+        }
+
+        match read_reply(&mut st) {
+            Ok(reply) => {
+                match reply.body {
+                    ReplyBody::Busy => {
+                        // The server sheds and closes; don't reuse.
+                        st.stream = None;
+                        Err(QueryFault::Overloaded)
+                    }
+                    _ if reply.id != id => {
+                        // Correlation mismatch: the stream is confused.
+                        st.stream = None;
+                        Err(QueryFault::Unavailable)
+                    }
+                    ReplyBody::Err(_) => Err(QueryFault::Unavailable),
+                    body => Ok(body),
+                }
+            }
+            Err(fault) => {
+                st.stream = None;
+                Err(fault)
+            }
+        }
+    }
+}
+
+/// Block until one complete reply frame decodes (or the read times
+/// out / the stream dies).
+fn read_reply(st: &mut ClientState) -> Result<Reply, QueryFault> {
+    let stream = st.stream.as_mut().expect("caller checked");
+    let mut buf = [0u8; 16 << 10];
+    loop {
+        match st.decoder.next_frame() {
+            Ok(Some(payload)) => {
+                return Reply::decode(&payload).map_err(|_| QueryFault::Unavailable);
+            }
+            Ok(None) => {}
+            Err(_) => return Err(QueryFault::Unavailable),
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(QueryFault::Unavailable),
+            Ok(n) => st.decoder.extend(&buf[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(QueryFault::Timeout)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(QueryFault::Unavailable),
+        }
+    }
+}
+
+impl QueryPort for FrameClient {
+    fn query(&self, q: &SourceQuery) -> Result<SourceReply, QueryFault> {
+        match self.rpc(RequestBody::Query(q.clone()))? {
+            ReplyBody::Query(reply) => Ok(reply),
+            _ => Err(QueryFault::Unavailable),
+        }
+    }
+}
+
+impl ReportSource for FrameClient {
+    fn poll_reports(&self) -> Vec<UpdateReport> {
+        match self.rpc(RequestBody::PollReports) {
+            Ok(ReplyBody::Reports(reports)) => reports,
+            // A failed poll *is* report loss if the server had already
+            // drained its log into the reply: gap detection + resync
+            // heal it, exactly like the in-process lossy monitor.
+            _ => Vec::new(),
+        }
+    }
+
+    fn checkpoint(&self) -> (String, u64) {
+        match self.rpc(RequestBody::Checkpoint) {
+            Ok(ReplyBody::Checkpoint { source, next_seq }) => {
+                let mut cached = self.checkpoint.lock().unwrap();
+                *cached = (source.clone(), next_seq);
+                (source, next_seq)
+            }
+            _ => self.checkpoint.lock().unwrap().clone(),
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! Wire encoding of the §5 protocol messages.
+//!
+//! Built on `gsdb::codec`'s varint/string primitives and its
+//! object/atom encoders, so OIDs and labels cross the process
+//! boundary **by name** — interned symbol ids are process-local and
+//! must never touch the wire. Every message is a tag byte followed by
+//! its fields; decoding is fully bounds-checked and returns
+//! [`CodecError`] on any malformed input (never panics — pinned by
+//! the proptest fuzz suite).
+//!
+//! Requests carry a client-chosen correlation id that the reply
+//! echoes; the current client issues one request at a time per
+//! connection, but the id makes pipelined clients possible without a
+//! framing change.
+
+use gsdb::codec::{
+    get_atom, get_object, put_atom, put_object, put_str, put_varint, CodecError, Reader,
+};
+use gsdb::{AppliedUpdate, Label, Oid, Path};
+use gsview_warehouse::protocol::{
+    ObjectInfo, RootPathInfo, SourceQuery, SourceReply, UpdateReport,
+};
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+// ----------------------------------------------------------------------
+// Shared field helpers
+// ----------------------------------------------------------------------
+
+fn put_oid(out: &mut Vec<u8>, o: Oid) {
+    put_str(out, o.name());
+}
+
+fn get_oid(r: &mut Reader<'_>) -> Result<Oid, CodecError> {
+    Ok(Oid::new(r.str()?))
+}
+
+fn put_path(out: &mut Vec<u8>, p: &Path) {
+    put_varint(out, p.len() as u64);
+    for l in p.labels() {
+        put_str(out, l.as_str());
+    }
+}
+
+fn get_path(r: &mut Reader<'_>) -> Result<Path, CodecError> {
+    let n = r.varint()? as usize;
+    let mut labels = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        labels.push(Label::new(r.str()?));
+    }
+    Ok(Path(labels))
+}
+
+fn put_info(out: &mut Vec<u8>, i: &ObjectInfo) {
+    put_object(out, &i.to_object());
+}
+
+fn get_info(r: &mut Reader<'_>) -> Result<ObjectInfo, CodecError> {
+    Ok(ObjectInfo::of(&get_object(r)?))
+}
+
+fn put_infos(out: &mut Vec<u8>, infos: &[ObjectInfo]) {
+    put_varint(out, infos.len() as u64);
+    for i in infos {
+        put_info(out, i);
+    }
+}
+
+fn get_infos(r: &mut Reader<'_>) -> Result<Vec<ObjectInfo>, CodecError> {
+    let n = r.varint()? as usize;
+    let mut infos = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        infos.push(get_info(r)?);
+    }
+    Ok(infos)
+}
+
+fn put_oids(out: &mut Vec<u8>, oids: &[Oid]) {
+    put_varint(out, oids.len() as u64);
+    for &o in oids {
+        put_oid(out, o);
+    }
+}
+
+fn get_oids(r: &mut Reader<'_>) -> Result<Vec<Oid>, CodecError> {
+    let n = r.varint()? as usize;
+    let mut oids = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        oids.push(get_oid(r)?);
+    }
+    Ok(oids)
+}
+
+// ----------------------------------------------------------------------
+// SourceQuery / SourceReply
+// ----------------------------------------------------------------------
+
+const Q_FETCH: u8 = 0;
+const Q_PATH_FROM_ROOT: u8 = 1;
+const Q_ANCESTOR: u8 = 2;
+const Q_ANCESTORS_ALL: u8 = 3;
+const Q_REACH: u8 = 4;
+const Q_LABEL_OF: u8 = 5;
+
+fn put_query(out: &mut Vec<u8>, q: &SourceQuery) {
+    match q {
+        SourceQuery::Fetch(o) => {
+            out.push(Q_FETCH);
+            put_oid(out, *o);
+        }
+        SourceQuery::PathFromRoot { root, n } => {
+            out.push(Q_PATH_FROM_ROOT);
+            put_oid(out, *root);
+            put_oid(out, *n);
+        }
+        SourceQuery::Ancestor { n, p } => {
+            out.push(Q_ANCESTOR);
+            put_oid(out, *n);
+            put_path(out, p);
+        }
+        SourceQuery::AncestorsAll { n, p } => {
+            out.push(Q_ANCESTORS_ALL);
+            put_oid(out, *n);
+            put_path(out, p);
+        }
+        SourceQuery::Reach { n, p } => {
+            out.push(Q_REACH);
+            put_oid(out, *n);
+            put_path(out, p);
+        }
+        SourceQuery::LabelOf(o) => {
+            out.push(Q_LABEL_OF);
+            put_oid(out, *o);
+        }
+    }
+}
+
+fn get_query(r: &mut Reader<'_>) -> Result<SourceQuery, CodecError> {
+    Ok(match r.byte()? {
+        Q_FETCH => SourceQuery::Fetch(get_oid(r)?),
+        Q_PATH_FROM_ROOT => SourceQuery::PathFromRoot {
+            root: get_oid(r)?,
+            n: get_oid(r)?,
+        },
+        Q_ANCESTOR => SourceQuery::Ancestor {
+            n: get_oid(r)?,
+            p: get_path(r)?,
+        },
+        Q_ANCESTORS_ALL => SourceQuery::AncestorsAll {
+            n: get_oid(r)?,
+            p: get_path(r)?,
+        },
+        Q_REACH => SourceQuery::Reach {
+            n: get_oid(r)?,
+            p: get_path(r)?,
+        },
+        Q_LABEL_OF => SourceQuery::LabelOf(get_oid(r)?),
+        t => return err(format!("unknown query tag {t}")),
+    })
+}
+
+const R_OBJECT: u8 = 0;
+const R_PATH: u8 = 1;
+const R_ANCESTOR: u8 = 2;
+const R_ANCESTORS: u8 = 3;
+const R_OBJECTS: u8 = 4;
+const R_LABEL: u8 = 5;
+
+const OPT_NONE: u8 = 0;
+const OPT_SOME: u8 = 1;
+
+fn put_reply(out: &mut Vec<u8>, rep: &SourceReply) {
+    match rep {
+        SourceReply::Object(o) => {
+            out.push(R_OBJECT);
+            match o {
+                None => out.push(OPT_NONE),
+                Some(i) => {
+                    out.push(OPT_SOME);
+                    put_info(out, i);
+                }
+            }
+        }
+        SourceReply::PathResult(p) => {
+            out.push(R_PATH);
+            match p {
+                None => out.push(OPT_NONE),
+                Some(p) => {
+                    out.push(OPT_SOME);
+                    put_path(out, p);
+                }
+            }
+        }
+        SourceReply::AncestorResult(o) => {
+            out.push(R_ANCESTOR);
+            match o {
+                None => out.push(OPT_NONE),
+                Some(o) => {
+                    out.push(OPT_SOME);
+                    put_oid(out, *o);
+                }
+            }
+        }
+        SourceReply::Ancestors(os) => {
+            out.push(R_ANCESTORS);
+            put_oids(out, os);
+        }
+        SourceReply::Objects(infos) => {
+            out.push(R_OBJECTS);
+            put_infos(out, infos);
+        }
+        SourceReply::LabelResult(l) => {
+            out.push(R_LABEL);
+            match l {
+                None => out.push(OPT_NONE),
+                Some(l) => {
+                    out.push(OPT_SOME);
+                    put_str(out, l.as_str());
+                }
+            }
+        }
+    }
+}
+
+fn get_opt(r: &mut Reader<'_>) -> Result<bool, CodecError> {
+    match r.byte()? {
+        OPT_NONE => Ok(false),
+        OPT_SOME => Ok(true),
+        t => err(format!("bad option tag {t}")),
+    }
+}
+
+fn get_reply(r: &mut Reader<'_>) -> Result<SourceReply, CodecError> {
+    Ok(match r.byte()? {
+        R_OBJECT => SourceReply::Object(if get_opt(r)? { Some(get_info(r)?) } else { None }),
+        R_PATH => SourceReply::PathResult(if get_opt(r)? { Some(get_path(r)?) } else { None }),
+        R_ANCESTOR => {
+            SourceReply::AncestorResult(if get_opt(r)? { Some(get_oid(r)?) } else { None })
+        }
+        R_ANCESTORS => SourceReply::Ancestors(get_oids(r)?),
+        R_OBJECTS => SourceReply::Objects(get_infos(r)?),
+        R_LABEL => SourceReply::LabelResult(if get_opt(r)? {
+            Some(Label::new(r.str()?))
+        } else {
+            None
+        }),
+        t => return err(format!("unknown reply tag {t}")),
+    })
+}
+
+// ----------------------------------------------------------------------
+// UpdateReport
+// ----------------------------------------------------------------------
+
+const U_INSERT: u8 = 0;
+const U_DELETE: u8 = 1;
+const U_MODIFY: u8 = 2;
+const U_CREATE: u8 = 3;
+const U_REMOVE: u8 = 4;
+
+fn put_update(out: &mut Vec<u8>, u: &AppliedUpdate) {
+    match u {
+        AppliedUpdate::Insert { parent, child } => {
+            out.push(U_INSERT);
+            put_oid(out, *parent);
+            put_oid(out, *child);
+        }
+        AppliedUpdate::Delete { parent, child } => {
+            out.push(U_DELETE);
+            put_oid(out, *parent);
+            put_oid(out, *child);
+        }
+        AppliedUpdate::Modify { oid, old, new } => {
+            out.push(U_MODIFY);
+            put_oid(out, *oid);
+            put_atom(out, old);
+            put_atom(out, new);
+        }
+        AppliedUpdate::Create { oid } => {
+            out.push(U_CREATE);
+            put_oid(out, *oid);
+        }
+        AppliedUpdate::Remove { oid } => {
+            out.push(U_REMOVE);
+            put_oid(out, *oid);
+        }
+    }
+}
+
+fn get_update(r: &mut Reader<'_>) -> Result<AppliedUpdate, CodecError> {
+    Ok(match r.byte()? {
+        U_INSERT => AppliedUpdate::Insert {
+            parent: get_oid(r)?,
+            child: get_oid(r)?,
+        },
+        U_DELETE => AppliedUpdate::Delete {
+            parent: get_oid(r)?,
+            child: get_oid(r)?,
+        },
+        U_MODIFY => AppliedUpdate::Modify {
+            oid: get_oid(r)?,
+            old: get_atom(r)?,
+            new: get_atom(r)?,
+        },
+        U_CREATE => AppliedUpdate::Create { oid: get_oid(r)? },
+        U_REMOVE => AppliedUpdate::Remove { oid: get_oid(r)? },
+        t => return err(format!("unknown update tag {t}")),
+    })
+}
+
+fn put_report(out: &mut Vec<u8>, rep: &UpdateReport) {
+    put_str(out, &rep.source);
+    put_varint(out, rep.seq);
+    put_update(out, &rep.update);
+    put_infos(out, &rep.info);
+    put_varint(out, rep.paths.len() as u64);
+    for rp in &rep.paths {
+        put_oid(out, rp.target);
+        put_path(out, &rp.path);
+        put_oids(out, &rp.oids);
+    }
+}
+
+fn get_report(r: &mut Reader<'_>) -> Result<UpdateReport, CodecError> {
+    let source = r.str()?.to_owned();
+    let seq = r.varint()?;
+    let update = get_update(r)?;
+    let info = get_infos(r)?;
+    let n = r.varint()? as usize;
+    let mut paths = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        paths.push(RootPathInfo {
+            target: get_oid(r)?,
+            path: get_path(r)?,
+            oids: get_oids(r)?,
+        });
+    }
+    Ok(UpdateReport {
+        source,
+        seq,
+        update,
+        info,
+        paths,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Request / Reply envelopes
+// ----------------------------------------------------------------------
+
+const REQ_QUERY: u8 = 0;
+const REQ_POLL_REPORTS: u8 = 1;
+const REQ_CHECKPOINT: u8 = 2;
+const REQ_EPOCH: u8 = 3;
+const REQ_PING: u8 = 4;
+
+/// What a client asks of the serving tier.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestBody {
+    /// A §5 source query, answered at the latest published epoch.
+    Query(SourceQuery),
+    /// Drain the source monitor's pending update reports.
+    PollReports,
+    /// Control-plane checkpoint: `(source name, next seq)`.
+    Checkpoint,
+    /// The source's current published epoch number.
+    Epoch,
+    /// Liveness probe.
+    Ping,
+}
+
+/// One framed request: a correlation id plus the body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed by the reply.
+    pub id: u64,
+    /// The request itself.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, self.id);
+        match &self.body {
+            RequestBody::Query(q) => {
+                out.push(REQ_QUERY);
+                put_query(&mut out, q);
+            }
+            RequestBody::PollReports => out.push(REQ_POLL_REPORTS),
+            RequestBody::Checkpoint => out.push(REQ_CHECKPOINT),
+            RequestBody::Epoch => out.push(REQ_EPOCH),
+            RequestBody::Ping => out.push(REQ_PING),
+        }
+        out
+    }
+
+    /// Parse a frame payload. Trailing bytes are a protocol error.
+    pub fn decode(bytes: &[u8]) -> Result<Request, CodecError> {
+        let mut r = Reader::new(bytes);
+        let id = r.varint()?;
+        let body = match r.byte()? {
+            REQ_QUERY => RequestBody::Query(get_query(&mut r)?),
+            REQ_POLL_REPORTS => RequestBody::PollReports,
+            REQ_CHECKPOINT => RequestBody::Checkpoint,
+            REQ_EPOCH => RequestBody::Epoch,
+            REQ_PING => RequestBody::Ping,
+            t => return err(format!("unknown request tag {t}")),
+        };
+        if r.remaining() != 0 {
+            return err(format!("{} trailing bytes after request", r.remaining()));
+        }
+        Ok(Request { id, body })
+    }
+}
+
+const REP_QUERY: u8 = 0;
+const REP_REPORTS: u8 = 1;
+const REP_CHECKPOINT: u8 = 2;
+const REP_EPOCH: u8 = 3;
+const REP_PONG: u8 = 4;
+const REP_BUSY: u8 = 5;
+const REP_ERR: u8 = 6;
+
+/// What the serving tier answers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplyBody {
+    /// Answer to [`RequestBody::Query`].
+    Query(SourceReply),
+    /// Answer to [`RequestBody::PollReports`].
+    Reports(Vec<UpdateReport>),
+    /// Answer to [`RequestBody::Checkpoint`].
+    Checkpoint {
+        /// Source name.
+        source: String,
+        /// Next report sequence number.
+        next_seq: u64,
+    },
+    /// Answer to [`RequestBody::Epoch`].
+    Epoch(u64),
+    /// Answer to [`RequestBody::Ping`].
+    Pong,
+    /// Admission control shed this connection (sent with id 0 before
+    /// the server closes it).
+    Busy,
+    /// The server could not serve the request (description attached).
+    Err(String),
+}
+
+/// One framed reply: the echoed correlation id plus the body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// Correlation id echoed from the request (0 for unsolicited
+    /// replies such as [`ReplyBody::Busy`]).
+    pub id: u64,
+    /// The reply itself.
+    pub body: ReplyBody,
+}
+
+impl Reply {
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, self.id);
+        match &self.body {
+            ReplyBody::Query(rep) => {
+                out.push(REP_QUERY);
+                put_reply(&mut out, rep);
+            }
+            ReplyBody::Reports(reports) => {
+                out.push(REP_REPORTS);
+                put_varint(&mut out, reports.len() as u64);
+                for rep in reports {
+                    put_report(&mut out, rep);
+                }
+            }
+            ReplyBody::Checkpoint { source, next_seq } => {
+                out.push(REP_CHECKPOINT);
+                put_str(&mut out, source);
+                put_varint(&mut out, *next_seq);
+            }
+            ReplyBody::Epoch(e) => {
+                out.push(REP_EPOCH);
+                put_varint(&mut out, *e);
+            }
+            ReplyBody::Pong => out.push(REP_PONG),
+            ReplyBody::Busy => out.push(REP_BUSY),
+            ReplyBody::Err(msg) => {
+                out.push(REP_ERR);
+                put_str(&mut out, msg);
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload. Trailing bytes are a protocol error.
+    pub fn decode(bytes: &[u8]) -> Result<Reply, CodecError> {
+        let mut r = Reader::new(bytes);
+        let id = r.varint()?;
+        let body = match r.byte()? {
+            REP_QUERY => ReplyBody::Query(get_reply(&mut r)?),
+            REP_REPORTS => {
+                let n = r.varint()? as usize;
+                let mut reports = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    reports.push(get_report(&mut r)?);
+                }
+                ReplyBody::Reports(reports)
+            }
+            REP_CHECKPOINT => ReplyBody::Checkpoint {
+                source: r.str()?.to_owned(),
+                next_seq: r.varint()?,
+            },
+            REP_EPOCH => ReplyBody::Epoch(r.varint()?),
+            REP_PONG => ReplyBody::Pong,
+            REP_BUSY => ReplyBody::Busy,
+            REP_ERR => ReplyBody::Err(r.str()?.to_owned()),
+            t => return err(format!("unknown reply tag {t}")),
+        };
+        if r.remaining() != 0 {
+            return err(format!("{} trailing bytes after reply", r.remaining()));
+        }
+        Ok(Reply { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsdb::{Atom, Value};
+
+    #[test]
+    fn request_roundtrip_all_kinds() {
+        let bodies = vec![
+            RequestBody::Query(SourceQuery::Reach {
+                n: Oid::new("ROOT"),
+                p: Path::parse("professor.student"),
+            }),
+            RequestBody::PollReports,
+            RequestBody::Checkpoint,
+            RequestBody::Epoch,
+            RequestBody::Ping,
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let req = Request {
+                id: i as u64 * 7 + 1,
+                body,
+            };
+            let decoded = Request::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip_with_report_payload() {
+        let report = UpdateReport {
+            source: "persons".into(),
+            seq: 42,
+            update: AppliedUpdate::Modify {
+                oid: Oid::new("A1"),
+                old: Atom::Int(30),
+                new: Atom::Str("thirty".into()),
+            },
+            info: vec![ObjectInfo {
+                oid: Oid::new("A1"),
+                label: Label::new("age"),
+                value: Value::Atom(Atom::Real(1.5)),
+            }],
+            paths: vec![RootPathInfo {
+                target: Oid::new("P1"),
+                path: Path::parse("professor"),
+                oids: vec![Oid::new("ROOT"), Oid::new("P1")],
+            }],
+        };
+        let rep = Reply {
+            id: 9,
+            body: ReplyBody::Reports(vec![report]),
+        };
+        assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request {
+            id: 1,
+            body: RequestBody::Ping,
+        }
+        .encode();
+        bytes.push(0xAA);
+        assert!(Request::decode(&bytes).is_err());
+    }
+}

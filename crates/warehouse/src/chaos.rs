@@ -83,6 +83,106 @@ impl ChaosPolicy {
     }
 }
 
+// ----------------------------------------------------------------------
+// Socket-level faults (the serving tier's transport chaos)
+// ----------------------------------------------------------------------
+
+/// What a socket-chaos injector does to one outbound frame. Decided
+/// per frame by [`SocketChaosPolicy::decide`]; realized by the
+/// serving tier's chaotic client (`gsview-serve`), which owns the
+/// actual socket — this crate only owns the *decision*, so the
+/// differential harness and the transport share one seeded schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Deliver the frame intact.
+    None,
+    /// Write only the given number of bytes of the frame, then close
+    /// the connection — the peer sees a mid-frame disconnect.
+    TruncateWrite(usize),
+    /// Write a prefix of the frame and then go silent without
+    /// closing — the peer's stalled-read sweep must reap the
+    /// connection; the sender's read deadline turns into a timeout.
+    Stall(usize),
+    /// Close the connection before writing anything.
+    Disconnect,
+}
+
+/// A seeded description of transport unreliability, decided per
+/// outbound frame. Deterministic: fault `k` for a given seed is a
+/// pure function of `(seed, k)`, so a failing networked scenario
+/// replays exactly from its seed — no RNG state to thread through the
+/// socket layer.
+#[derive(Clone, Copy, Debug)]
+pub struct SocketChaosPolicy {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Probability a frame is truncated mid-write and the connection
+    /// closed (mid-frame disconnect at the peer).
+    pub p_truncate: f64,
+    /// Probability the sender stalls mid-frame without closing.
+    pub p_stall: f64,
+    /// Probability the connection is closed before the frame is sent.
+    pub p_disconnect: f64,
+}
+
+impl Default for SocketChaosPolicy {
+    fn default() -> Self {
+        SocketChaosPolicy {
+            seed: 0,
+            p_truncate: 0.0,
+            p_stall: 0.0,
+            p_disconnect: 0.0,
+        }
+    }
+}
+
+impl SocketChaosPolicy {
+    /// A transparent policy with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        SocketChaosPolicy {
+            seed,
+            ..SocketChaosPolicy::default()
+        }
+    }
+
+    /// Equal probability `p` for each fault flavor.
+    pub fn uniform(seed: u64, p: f64) -> Self {
+        SocketChaosPolicy {
+            seed,
+            p_truncate: p,
+            p_stall: p,
+            p_disconnect: p,
+        }
+    }
+
+    /// The fault to inject on outbound frame number `op` of
+    /// `frame_len` bytes. Pure: same `(seed, op)` → same decision.
+    pub fn decide(&self, op: u64, frame_len: usize) -> SocketFault {
+        // splitmix64 of (seed, op): cheap, stateless, well-mixed.
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(op.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let roll = (z >> 11) as f64 / (1u64 << 53) as f64;
+        // A truncated/stalled frame keeps at least one byte (the peer
+        // must observe a *partial* frame, not an empty read) and
+        // drops at least one (otherwise it would be a clean delivery).
+        let cut = 1 + (z as usize % frame_len.max(2).saturating_sub(1));
+        if roll < self.p_truncate {
+            SocketFault::TruncateWrite(cut)
+        } else if roll < self.p_truncate + self.p_stall {
+            SocketFault::Stall(cut)
+        } else if roll < self.p_truncate + self.p_stall + self.p_disconnect {
+            SocketFault::Disconnect
+        } else {
+            SocketFault::None
+        }
+    }
+}
+
 /// What the fault injectors actually did (for experiment reporting and
 /// test assertions).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

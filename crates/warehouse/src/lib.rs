@@ -74,7 +74,10 @@ mod warehouse;
 
 pub use cache::{AuxCache, PathKnowledge};
 pub use colocated::ColocatedViews;
-pub use chaos::{ChaosPolicy, ChaosReport, ChaosScenario, ChaosStats, FaultyMonitor, FaultyWrapper};
+pub use chaos::{
+    ChaosPolicy, ChaosReport, ChaosScenario, ChaosStats, FaultyMonitor, FaultyWrapper,
+    SocketChaosPolicy, SocketFault,
+};
 pub use durable::{ChunkCache, FetchStats};
 pub use integrator::{spawn_channel_integrator, BatchingIntegrator, Integrator};
 pub use protocol::{
@@ -86,5 +89,5 @@ pub use resync::{
     DeadLetter, DeadLetterQueue, ResyncOutcome, RetryPolicy, SeqTracker, SeqVerdict, SimClock,
     StaleCause, ViewState,
 };
-pub use source::{Monitor, QueryPort, ReportSource, Source, Wrapper};
+pub use source::{answer, Monitor, QueryPort, ReportSource, Source, Wrapper};
 pub use warehouse::{ViewOptions, ViewStats, Warehouse};

@@ -208,6 +208,12 @@ pub enum QueryFault {
     Timeout,
     /// The source refused or the connection dropped.
     Unavailable,
+    /// The serving tier shed the request at admission control (a
+    /// `Busy` reply): the source is healthy but over its connection
+    /// limit. Retrying immediately is pointless — the retrying
+    /// [`Channel`](crate::remote::Channel) jumps straight to its
+    /// backoff ceiling for this fault.
+    Overloaded,
 }
 
 impl fmt::Display for QueryFault {
@@ -215,6 +221,7 @@ impl fmt::Display for QueryFault {
         match self {
             QueryFault::Timeout => write!(f, "timeout"),
             QueryFault::Unavailable => write!(f, "unavailable"),
+            QueryFault::Overloaded => write!(f, "overloaded (admission shed)"),
         }
     }
 }

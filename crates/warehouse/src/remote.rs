@@ -130,7 +130,15 @@ impl Channel {
                         "source" = self.source.clone(),
                         "attempt" = attempt + 1,
                         "fault" = fault.to_string());
-                    self.clock.advance_ms(self.retry.backoff_ms(attempt));
+                    // An admission shed is an explicit "go away": the
+                    // server is healthy but over its limit, so skip
+                    // the exponential ramp and back off at the
+                    // ceiling immediately.
+                    let backoff = match fault {
+                        crate::protocol::QueryFault::Overloaded => self.retry.max_backoff_ms,
+                        _ => self.retry.backoff_ms(attempt),
+                    };
+                    self.clock.advance_ms(backoff);
                     attempt += 1;
                 }
             }

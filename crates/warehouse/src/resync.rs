@@ -95,6 +95,19 @@ impl RetryPolicy {
         }
     }
 
+    /// Tuned for a real network transport: a timed-out attempt has
+    /// already cost its full read deadline in wall-clock before the
+    /// retry accounting even starts, so the ramp starts higher and
+    /// retries are fewer than the in-process default — retrying a
+    /// dead TCP peer five times just multiplies the outage.
+    pub fn network() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+        }
+    }
+
     /// Backoff before retry number `attempt` (0-based): `base << attempt`,
     /// capped at `max_backoff_ms`.
     pub fn backoff_ms(&self, attempt: u32) -> u64 {

@@ -49,7 +49,55 @@ use gsdb::{
     path, AppliedUpdate, EpochHandle, Oid, Result, ShardedStore, Store, StoreConfig, Update,
 };
 use gsview_durable::{DurableStore, PersistMeta, PersistReceipt};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many times the publish-point persist hook retries a failed
+/// epoch persist before declaring durability degraded. Retries are
+/// synchronous and immediate: the hook runs behind the publish lock,
+/// so the only faults worth retrying are transient media hiccups, not
+/// long outages.
+const PERSIST_HOOK_RETRIES: usize = 3;
+
+/// Sticky durability health, shared between the publish-point persist
+/// hook and the [`Source`] handles that want to ask about it.
+///
+/// Once the hook exhausts its retries the flag latches: background
+/// successes on later epochs do **not** clear it, because the lineage
+/// already has a hole and warm recovery from it would silently lose
+/// the failed epochs. Only an explicit, acknowledged
+/// [`Source::persist_now`] re-baseline clears the flag.
+#[derive(Default)]
+struct DurabilityHealth {
+    degraded: AtomicBool,
+    /// The first unsurfaced persist error. Taken (and cleared) by the
+    /// next explicit persist call; `degraded` stays latched until a
+    /// fresh baseline lands.
+    pending_error: Mutex<Option<String>>,
+}
+
+impl DurabilityHealth {
+    fn record_failure(&self, msg: String) {
+        self.degraded.store(true, Ordering::Release);
+        let mut slot = self.pending_error.lock().unwrap();
+        // Keep the *first* error: it names the epoch where the lineage
+        // hole starts, which is what the operator needs.
+        slot.get_or_insert(msg);
+    }
+
+    fn take_pending(&self) -> Option<String> {
+        self.pending_error.lock().unwrap().take()
+    }
+
+    fn peek(&self) -> Option<String> {
+        self.pending_error.lock().unwrap().clone()
+    }
+
+    fn clear(&self) {
+        *self.pending_error.lock().unwrap() = None;
+        self.degraded.store(false, Ordering::Release);
+    }
+}
 
 /// The warehouse side of the query protocol: anything that can be
 /// asked a [`SourceQuery`] and may fail to answer.
@@ -89,6 +137,10 @@ pub struct Source {
     /// log the monitor drains.
     store: Arc<ShardedStore>,
     level: ReportLevel,
+    /// Sticky durability health fed by the publish-point persist hook
+    /// (see [`Source::attach_durable`]). Shared across clones so the
+    /// monitor/wrapper handles observe the same state.
+    durability: Arc<DurabilityHealth>,
 }
 
 impl Source {
@@ -102,6 +154,7 @@ impl Source {
             root,
             store: Arc::new(ShardedStore::new(store)),
             level,
+            durability: Arc::new(DurabilityHealth::default()),
         }
     }
 
@@ -229,10 +282,16 @@ impl Source {
     /// in the epoch log tracks its epoch sequence one-to-one.
     ///
     /// Persistence runs *behind* the publish point: a failed persist
-    /// (media crash) never blocks or rolls back the in-memory commit —
-    /// it is counted (`durable.persist.hook_errors`) and the lineage
-    /// simply ends at the last durable epoch, which is exactly what a
-    /// process crash at that point would leave behind.
+    /// (media crash) never blocks or rolls back the in-memory commit.
+    /// The hook retries up to [`PERSIST_HOOK_RETRIES`] times
+    /// (`durable.persist.hook_retries`); if every attempt fails it
+    /// counts the loss (`durable.persist.hook_errors`) and latches the
+    /// sticky [`Source::durability_degraded`] flag — the lineage now
+    /// has a hole, and the recorded error is surfaced on the next
+    /// explicit [`Source::persist_now`] call. The in-memory source
+    /// keeps serving either way: the lineage simply ends at the last
+    /// durable epoch, which is exactly what a process crash at that
+    /// point would leave behind.
     ///
     /// Attach before concurrent writers start (setup time, or right
     /// after [`Source::recover`]); the baseline snapshot and watermark
@@ -253,6 +312,7 @@ impl Source {
             },
         )?;
         let name = self.name.clone();
+        let health = Arc::clone(&self.durability);
         self.store.set_publish_hook(move |info, snapshot| {
             let meta = PersistMeta {
                 epoch: info.epoch,
@@ -260,16 +320,77 @@ impl Source {
                 log_updates,
                 extra: Vec::new(),
             };
-            if let Err(e) = durable.persist(&name, snapshot, meta) {
-                gsview_obs::registry().counter("durable.persist.hook_errors").incr();
-                gsview_obs::event!(
-                    "durable.persist.failed",
-                    "name" = name.clone(),
-                    "epoch" = info.epoch,
-                    "error" = e.to_string()
-                );
+            let mut last_err = None;
+            for attempt in 0..=PERSIST_HOOK_RETRIES {
+                if attempt > 0 {
+                    gsview_obs::registry().counter("durable.persist.hook_retries").incr();
+                }
+                match durable.persist(&name, snapshot, meta.clone()) {
+                    Ok(_) => return,
+                    Err(e) => last_err = Some(e),
+                }
             }
+            let e = last_err.expect("loop ran at least once");
+            gsview_obs::registry().counter("durable.persist.hook_errors").incr();
+            gsview_obs::event!(
+                "durable.persist.failed",
+                "name" = name.clone(),
+                "epoch" = info.epoch,
+                "error" = e.to_string()
+            );
+            health.record_failure(format!(
+                "epoch {} of source {name} failed to persist after {} attempts: {e}",
+                info.epoch,
+                PERSIST_HOOK_RETRIES + 1
+            ));
         });
+        Ok(receipt)
+    }
+
+    /// Has the publish-point persist hook exhausted its retries on
+    /// some epoch since the last successful [`Source::persist_now`]
+    /// re-baseline? Sticky: later background successes do **not**
+    /// clear it — the durable lineage already has a hole.
+    pub fn durability_degraded(&self) -> bool {
+        self.durability.degraded.load(Ordering::Acquire)
+    }
+
+    /// The recorded error from the first unsurfaced persist failure,
+    /// if any. Peeks without consuming; [`Source::persist_now`] is
+    /// what surfaces (and consumes) it.
+    pub fn durability_error(&self) -> Option<String> {
+        self.durability.peek()
+    }
+
+    /// Explicitly persist the current published epoch.
+    ///
+    /// If the background hook recorded a failure since the last
+    /// successful explicit persist, this call **surfaces that error
+    /// first** and does not write: the caller must observe the
+    /// lineage hole before re-baselining. Calling again then attempts
+    /// a fresh full persist; on success the sticky
+    /// [`Source::durability_degraded`] flag clears — the new baseline
+    /// supersedes the lost epochs.
+    pub fn persist_now(
+        &self,
+        durable: &Arc<DurableStore>,
+    ) -> gsview_durable::Result<PersistReceipt> {
+        if let Some(msg) = self.durability.take_pending() {
+            return Err(gsview_durable::DurableError::Io(format!(
+                "durability degraded: {msg}"
+            )));
+        }
+        let receipt = durable.persist(
+            &self.name,
+            &self.store.snapshot(),
+            PersistMeta {
+                epoch: self.store.epoch(),
+                seq: self.store.assigned_seq_total(),
+                log_updates: self.store.logs_updates(),
+                extra: Vec::new(),
+            },
+        )?;
+        self.durability.clear();
         Ok(receipt)
     }
 
@@ -301,6 +422,7 @@ impl Source {
                 rec.manifest.seq,
             )),
             level,
+            durability: Arc::new(DurabilityHealth::default()),
         };
         src.attach_durable(Arc::clone(durable))?;
         Ok(Some(src))
@@ -480,9 +602,12 @@ impl QueryPort for Wrapper {
 }
 
 /// Evaluate one [`SourceQuery`] against a store snapshot — the one
-/// query semantics shared by [`Wrapper::serve`] and the warehouse's
-/// local replay of a recovered durable epoch.
-pub(crate) fn answer(store: &Store, q: &SourceQuery) -> SourceReply {
+/// query semantics shared by [`Wrapper::serve`], the warehouse's
+/// local replay of a recovered durable epoch, and the serving tier's
+/// epoch front-end (which answers thousands of remote readers from a
+/// pinned [`EpochHandle`] snapshot without ever touching the store
+/// locks).
+pub fn answer(store: &Store, q: &SourceQuery) -> SourceReply {
     match q {
         SourceQuery::Fetch(o) => SourceReply::Object(store.get(*o).map(ObjectInfo::of)),
         SourceQuery::PathFromRoot { root, n } => {

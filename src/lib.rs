@@ -13,6 +13,9 @@
 //! * [`views`] — virtual & materialized views and the maintenance
 //!   algorithms (§3–4, §6);
 //! * [`warehouse`] — the warehousing architecture (§5);
+//! * [`serve`] — the async serving tier: the §5 protocol over a real
+//!   network boundary (minimal epoll reactor, framed codec,
+//!   backpressure and admission control);
 //! * [`durable`] — the durable epoch log: content-addressed chunk
 //!   segment, CRC-framed manifests, crash-fault injection;
 //! * [`relbaseline`] — the relational-flattening comparator (§4.4);
@@ -28,6 +31,7 @@ pub use gsview_query as query;
 pub use gsview_core as views;
 pub use gsview_durable as durable;
 pub use gsview_warehouse as warehouse;
+pub use gsview_serve as serve;
 pub use gsview_obs as obs;
 pub use gsview_relbaseline as relbaseline;
 pub use gsview_workload as workload;
