@@ -1,0 +1,23 @@
+//! Criterion companion to experiment E20: wall time of the same read
+//! burst as E19, with the telemetry exporter installed and a live
+//! subscriber draining batches — the overhead the export pipeline is
+//! allowed to add is the delta against `e19_serving`'s clean burst.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsview_bench::e20::{run_route, ExportMode, QUICK_ITEMS};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e20_export");
+    g.sample_size(10);
+    for &reads in &[100usize, 400] {
+        g.bench_with_input(
+            BenchmarkId::new("export_read_burst", reads),
+            &reads,
+            |b, &reads| b.iter(|| run_route(QUICK_ITEMS, reads, ExportMode::Active)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

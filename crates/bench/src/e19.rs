@@ -9,8 +9,9 @@
 //!
 //! * **`read/clean`** — a client issues a fixed query mix while a
 //!   writer thread commits updates at the source as fast as it can;
-//!   every round trip is timed client-side and the p50/p99 come from
-//!   the exact sorted latencies (no histogram buckets).
+//!   every round trip is timed client-side into an obs log₂
+//!   [`Histogram`] and the p50/p99 are its interpolated estimates —
+//!   the same estimator `gsview-top` renders live.
 //! * **`read/chaos`** — the same mix with a seeded
 //!   [`SocketChaosPolicy`] tearing at the client's socket (partial
 //!   writes, stalls, disconnects). Faulted round trips count as
@@ -33,6 +34,7 @@
 use crate::table::{fnum, Table};
 use gsdb::{Object, Oid, Path, Update};
 use gsview_core::check_networked_equivalence;
+use gsview_obs::metrics::Histogram;
 use gsview_serve::{Admission, FrameClient, ServeConfig, Server, SourceService};
 use gsview_warehouse::protocol::{CostMeter, ReportLevel, SourceQuery};
 use gsview_warehouse::source::QueryPort;
@@ -70,7 +72,9 @@ pub struct ServeRow {
 }
 
 /// An item store: `items` sets under ROOT, each with one age atom.
-fn build_source(items: usize) -> Source {
+/// Shared with E20, which measures the same read path with the
+/// telemetry exporter attached.
+pub(crate) fn build_source(items: usize) -> Source {
     let src = Source::empty("e19", Oid::new("ROOT"), ReportLevel::WithValues);
     src.with_store(|s| -> gsdb::Result<()> {
         s.create(Object::empty_set("ROOT", "db"))?;
@@ -93,7 +97,7 @@ fn build_source(items: usize) -> Source {
 
 /// The read mix: rotate object fetches, label lookups, a path walk
 /// and a reachability probe across the item population.
-fn query_mix(items: usize, i: usize) -> SourceQuery {
+pub(crate) fn query_mix(items: usize, i: usize) -> SourceQuery {
     let it = Oid::new(&format!("it{}", i % items));
     let ag = Oid::new(&format!("ag{}", i % items));
     match i % 5 {
@@ -109,15 +113,6 @@ fn query_mix(items: usize, i: usize) -> SourceQuery {
             p: Path::parse("item.age"),
         },
     }
-}
-
-fn quantiles(lat_us: &mut [u64]) -> (u64, u64) {
-    if lat_us.is_empty() {
-        return (0, 0);
-    }
-    lat_us.sort_unstable();
-    let p = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q) as usize];
-    (p(0.50), p(0.99))
 }
 
 /// Run one read route: spawn the server, hammer it with `reads` timed
@@ -153,13 +148,13 @@ fn run_reads(items: usize, reads: usize, chaos_seed: Option<u64>) -> ServeRow {
         })
     };
 
-    let mut lat_us = Vec::with_capacity(reads);
+    let lat = Histogram::new("e19.read.lat_us");
     let mut errors = 0usize;
     for i in 0..reads {
         let q = query_mix(items, i);
         let t0 = Instant::now();
         match client.query(&q) {
-            Ok(_) => lat_us.push(t0.elapsed().as_micros() as u64),
+            Ok(_) => lat.record(t0.elapsed().as_micros() as u64),
             Err(_) => errors += 1, // redials lazily on the next call
         }
     }
@@ -178,8 +173,9 @@ fn run_reads(items: usize, reads: usize, chaos_seed: Option<u64>) -> ServeRow {
         |q| gsview_warehouse::answer(&snapshot, q),
     );
 
-    let ok = lat_us.len();
-    let (p50_us, p99_us) = quantiles(&mut lat_us);
+    let snap = lat.read();
+    let ok = snap.count as usize;
+    let (p50_us, p99_us) = (snap.p50(), snap.p99());
     server.shutdown();
     ServeRow {
         route: if chaos_seed.is_some() {

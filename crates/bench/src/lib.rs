@@ -21,6 +21,7 @@ pub mod e17;
 pub mod e18;
 pub mod e19;
 pub mod e2;
+pub mod e20;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -35,7 +36,7 @@ pub use table::Table;
 /// All experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19",
+    "e15", "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Run one experiment by id.
@@ -60,6 +61,7 @@ pub fn run(id: &str, quick: bool) -> Option<Table> {
         "e17" => Some(e17::run(quick)),
         "e18" => Some(e18::run(quick)),
         "e19" => Some(e19::run(quick)),
+        "e20" => Some(e20::run(quick)),
         _ => None,
     }
 }

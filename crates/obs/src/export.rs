@@ -13,6 +13,7 @@
 //! own span id for start/end and the enclosing span for events;
 //! `parent` is the enclosing span for start records (0 at the root).
 
+use crate::metrics::MetricsSnapshot;
 use crate::{FieldValue, RecordedEvent};
 use std::fmt::Write as _;
 
@@ -22,8 +23,8 @@ pub fn human_table(events: &[RecordedEvent]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>8} {:>12} {:>4} {:>6} {:>6} {:>6}  name / fields",
-        "ticket", "ts(us)", "thr", "kind", "span", "parent"
+        "{:>8} {:>12} {:>4} {:>6} {:>6} {:>6} {:>6}  name / fields",
+        "ticket", "ts(us)", "thr", "kind", "span", "parent", "trace"
     );
     for r in events {
         let e = &r.event;
@@ -33,13 +34,14 @@ pub fn human_table(events: &[RecordedEvent]) -> String {
         }
         let _ = writeln!(
             out,
-            "{:>8} {:>12.1} {:>4} {:>6} {:>6} {:>6}  {}{}",
+            "{:>8} {:>12.1} {:>4} {:>6} {:>6} {:>6} {:>6}  {}{}",
             r.ticket,
             e.ts_ns as f64 / 1_000.0,
             e.thread,
             e.kind.as_str(),
             e.span,
             e.parent,
+            e.trace,
             e.name,
             fields,
         );
@@ -101,7 +103,11 @@ pub fn json_lines(events: &[RecordedEvent]) -> String {
             e.kind.as_str()
         );
         json_escape_into(&mut out, e.name);
-        let _ = write!(out, "\",\"span\":{},\"parent\":{},\"fields\":{{", e.span, e.parent);
+        let _ = write!(
+            out,
+            "\",\"span\":{},\"parent\":{},\"trace\":{},\"fields\":{{",
+            e.span, e.parent, e.trace
+        );
         for (i, f) in e.fields.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -112,6 +118,70 @@ pub fn json_lines(events: &[RecordedEvent]) -> String {
             json_value_into(&mut out, &f.value);
         }
         out.push_str("}}\n");
+    }
+    out
+}
+
+/// Render a metrics snapshot as an aligned table: one line per
+/// counter, one per histogram (with interpolated p50/p90/p99). The
+/// failure dump appends this under the event table so a crashed run's
+/// counters are never invisible.
+pub fn metrics_human_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if snap.counters.is_empty() && snap.histograms.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "{:>42} {:>12}  counter", "name", "value");
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "{name:>42} {v:>12}");
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:>42} {:>12} {:>10} {:>10} {:>10}  histogram",
+            "name", "count", "p50", "p90", "p99"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{:>42} {:>12} {:>10} {:>10} {:>10}",
+                name,
+                h.count,
+                h.p50(),
+                h.p90(),
+                h.p99()
+            );
+        }
+    }
+    out
+}
+
+/// Render a metrics snapshot as JSON-lines in the failure-dump metric
+/// schema (see [`validate_json_lines`]): counters as
+/// `{"metric":…,"kind":"counter","value":…}`, histograms as
+/// `{"metric":…,"kind":"histogram","count":…,…}` with interpolated
+/// quantile estimates.
+pub fn metrics_json_lines(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str("{\"metric\":\"");
+        json_escape_into(&mut out, name);
+        let _ = writeln!(out, "\",\"kind\":\"counter\",\"value\":{v}}}");
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str("{\"metric\":\"");
+        json_escape_into(&mut out, name);
+        let _ = writeln!(
+            out,
+            "\",\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
     }
     out
 }
@@ -326,10 +396,17 @@ pub fn parse_json(input: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-/// Validate a flight-recorder JSON-lines dump: every non-empty line
-/// must parse as an object with `ticket`/`ts_ns`/`thread` numbers,
-/// a known `kind`, a non-empty `name` string, `span`/`parent`
-/// numbers, and a `fields` object. Returns the number of valid lines.
+/// Validate a flight-recorder JSON-lines dump. Two line schemas are
+/// legal:
+///
+/// * **event lines** — an object with `ticket`/`ts_ns`/`thread`
+///   numbers, a known `kind`, a non-empty `name` string,
+///   `span`/`parent`/`trace` numbers, and a `fields` object;
+/// * **metric lines** (appended by the failure dump) — an object with
+///   a non-empty `metric` string, `kind` of `counter` or `histogram`,
+///   and a numeric `value` (counters) or `count` (histograms).
+///
+/// Returns the number of valid lines.
 pub fn validate_json_lines(dump: &str) -> Result<usize, String> {
     let mut n = 0;
     for (lineno, line) in dump.lines().enumerate() {
@@ -343,11 +420,29 @@ pub fn validate_json_lines(dump: &str) -> Result<usize, String> {
                 other => Err(format!("line {}: \"{key}\" not a number: {other:?}", lineno + 1)),
             }
         };
+        if let Some(metric) = v.get("metric") {
+            match metric {
+                Json::Str(name) if !name.is_empty() => {}
+                other => return Err(format!("line {}: bad \"metric\": {other:?}", lineno + 1)),
+            }
+            match v.get("kind") {
+                Some(Json::Str(k)) if k == "counter" => {
+                    num("value")?;
+                }
+                Some(Json::Str(k)) if k == "histogram" => {
+                    num("count")?;
+                }
+                other => return Err(format!("line {}: bad metric \"kind\": {other:?}", lineno + 1)),
+            }
+            n += 1;
+            continue;
+        }
         num("ticket")?;
         num("ts_ns")?;
         num("thread")?;
         num("span")?;
         num("parent")?;
+        num("trace")?;
         match v.get("kind") {
             Some(Json::Str(k)) if matches!(k.as_str(), "start" | "end" | "event") => {}
             other => return Err(format!("line {}: bad \"kind\": {other:?}", lineno + 1)),
@@ -381,6 +476,7 @@ mod tests {
                     name: "warehouse.handle_report",
                     span: 7,
                     parent: 0,
+                    trace: 7,
                     fields: vec![Field::new("source", "s\"1\""), Field::new("seq", 4u64)],
                 },
             },
@@ -393,6 +489,7 @@ mod tests {
                     name: "store.apply",
                     span: 7,
                     parent: 0,
+                    trace: 7,
                     fields: vec![
                         Field::new("ok", true),
                         Field::new("delta", -3i64),
@@ -417,6 +514,28 @@ mod tests {
             Some(&Json::Str("s\"1\"".into()))
         );
         assert_eq!(first.get("fields").unwrap().get("seq"), Some(&Json::Num(4.0)));
+    }
+
+    #[test]
+    fn metric_lines_round_trip_through_validator() {
+        let r = crate::metrics::Registry::new();
+        r.counter("serve.requests").add(42);
+        r.histogram("serve.request.micros").record(120);
+        let snap = r.snapshot();
+        let dump = metrics_json_lines(&snap);
+        assert_eq!(validate_json_lines(&dump).unwrap(), 2);
+        // Event lines and metric lines coexist in one dump.
+        let mut combined = json_lines(&sample());
+        combined.push_str(&dump);
+        assert_eq!(validate_json_lines(&combined).unwrap(), 4);
+        let table = metrics_human_table(&snap);
+        assert!(table.contains("serve.requests"));
+        assert!(table.contains("42"));
+        assert!(table.contains("serve.request.micros"));
+        // Bad metric lines are rejected.
+        assert!(validate_json_lines("{\"metric\":\"x\",\"kind\":\"counter\"}").is_err());
+        assert!(validate_json_lines("{\"metric\":\"\",\"kind\":\"counter\",\"value\":1}").is_err());
+        assert!(validate_json_lines("{\"metric\":\"x\",\"kind\":\"gauge\",\"value\":1}").is_err());
     }
 
     #[test]

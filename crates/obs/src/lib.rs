@@ -63,6 +63,7 @@ pub mod export;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
+pub mod telemetry;
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -75,6 +76,10 @@ use std::time::Instant;
 pub use metrics::{registry, Counter, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use profile::PhaseProfile;
 pub use recorder::{FlightRecorder, RecordedEvent};
+pub use telemetry::{
+    CounterPoint, ExportQueue, HistogramPoint, MetricsDiffer, Resource, SpanExporter, SpanRecord,
+    TailSampler, TelemetryBatch,
+};
 
 // ---------------------------------------------------------------------
 // Fields
@@ -201,6 +206,12 @@ pub struct Event {
     /// For [`EventKind::SpanStart`]: the enclosing span's id (0 at the
     /// root). 0 for other kinds.
     pub parent: u64,
+    /// Trace id this record belongs to. A root span mints a fresh
+    /// trace id (its own span id); children inherit it, and
+    /// [`span_with_parent`] adopts one carried across a process
+    /// boundary — so one warehouse resync over the wire renders as a
+    /// single trace spanning client and server. 0 outside any span.
+    pub trace: u64,
     /// Key/value payload.
     pub fields: Vec<Field>,
 }
@@ -330,11 +341,36 @@ pub fn thread_id() -> u64 {
 static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// `(span id, trace id)` of every open span on this thread.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
-fn current_span() -> u64 {
-    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+/// Position in a trace: the ids a caller stamps into an outgoing
+/// request so the remote side can parent its spans under ours.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id (0 when no span is open).
+    pub trace: u64,
+    /// Innermost open span's id (0 when none).
+    pub span: u64,
+}
+
+impl TraceContext {
+    /// True when this context carries a live trace.
+    pub fn is_active(&self) -> bool {
+        self.trace != 0
+    }
+}
+
+/// The calling thread's current trace position — what a client stamps
+/// into a request frame. `(0, 0)` outside any span.
+pub fn current_context() -> TraceContext {
+    SPAN_STACK.with(|s| {
+        s.borrow()
+            .last()
+            .map(|&(span, trace)| TraceContext { trace, span })
+            .unwrap_or_default()
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -345,13 +381,15 @@ fn current_span() -> u64 {
 /// construction when disabled.
 pub fn emit_event(name: &'static str, fields: Vec<Field>) {
     with_collector(|c| {
+        let ctx = current_context();
         c.record(Event {
             ts_ns: now_ns(),
             thread: thread_id(),
             kind: EventKind::Instant,
             name,
-            span: current_span(),
+            span: ctx.span,
             parent: 0,
+            trace: ctx.trace,
             fields,
         });
     });
@@ -360,15 +398,41 @@ pub fn emit_event(name: &'static str, fields: Vec<Field>) {
 /// Open a span. Prefer [`span!`], which skips field construction when
 /// disabled.
 pub fn span_with(name: &'static str, fields: Vec<Field>) -> SpanGuard {
+    open_span(name, None, fields)
+}
+
+/// Open a span whose parent lives on the *other side of a wire*: the
+/// span adopts `ctx`'s trace id and parents under `ctx`'s span id
+/// instead of the thread-local stack. This is how a reactor request
+/// span joins the client's trace — the client stamps
+/// [`current_context`] into the frame, the server opens its span with
+/// this. Falls back to a plain root span when `ctx` is inactive.
+pub fn span_with_parent(name: &'static str, ctx: TraceContext, fields: Vec<Field>) -> SpanGuard {
+    if ctx.is_active() {
+        open_span(name, Some(ctx), fields)
+    } else {
+        open_span(name, None, fields)
+    }
+}
+
+fn open_span(name: &'static str, remote: Option<TraceContext>, fields: Vec<Field>) -> SpanGuard {
     if !enabled() {
         return SpanGuard::disabled();
     }
     let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
-    let parent = SPAN_STACK.with(|s| {
+    let (parent, trace) = SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        let parent = stack.last().copied().unwrap_or(0);
-        stack.push(id);
-        parent
+        let (parent, trace) = match remote {
+            Some(ctx) => (ctx.span, ctx.trace),
+            // A root span mints a fresh trace id (its own span id);
+            // children inherit the enclosing trace.
+            None => match stack.last() {
+                Some(&(parent, trace)) => (parent, trace),
+                None => (0, id),
+            },
+        };
+        stack.push((id, trace));
+        (parent, trace)
     });
     let start_ns = now_ns();
     with_collector(|c| {
@@ -379,11 +443,13 @@ pub fn span_with(name: &'static str, fields: Vec<Field>) -> SpanGuard {
             name,
             span: id,
             parent,
+            trace,
             fields,
         });
     });
     SpanGuard {
         id,
+        trace,
         name,
         start_ns,
         active: true,
@@ -396,6 +462,7 @@ pub fn span_with(name: &'static str, fields: Vec<Field>) -> SpanGuard {
 #[must_use = "dropping the guard immediately closes the span"]
 pub struct SpanGuard {
     id: u64,
+    trace: u64,
     name: &'static str,
     start_ns: u64,
     active: bool,
@@ -409,6 +476,7 @@ impl SpanGuard {
     pub fn disabled() -> SpanGuard {
         SpanGuard {
             id: 0,
+            trace: 0,
             name: "",
             start_ns: 0,
             active: false,
@@ -419,6 +487,14 @@ impl SpanGuard {
     /// This span's id (0 when disabled).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// This span's position in its trace (all-zero when disabled).
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace: self.trace,
+            span: self.id,
+        }
     }
 }
 
@@ -431,7 +507,7 @@ impl Drop for SpanGuard {
             let mut stack = s.borrow_mut();
             // Guards drop LIFO in straight-line code; search anyway so
             // an out-of-order drop cannot corrupt unrelated spans.
-            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+            if let Some(pos) = stack.iter().rposition(|&(id, _)| id == self.id) {
                 stack.remove(pos);
             }
         });
@@ -444,6 +520,7 @@ impl Drop for SpanGuard {
                 name: self.name,
                 span: self.id,
                 parent: 0,
+                trace: self.trace,
                 fields: vec![Field::new("elapsed_ns", end_ns.saturating_sub(self.start_ns))],
             });
         });
@@ -553,6 +630,57 @@ mod tests {
             events[3].field("elapsed_ns"),
             Some(FieldValue::U64(_))
         ));
+    }
+
+    #[test]
+    fn trace_ids_mint_inherit_and_adopt() {
+        let c = Arc::new(VecCollector::default());
+        let _g = install(c.clone());
+        let remote_ctx;
+        {
+            // A root span mints trace = its own id; children inherit.
+            let root = span!("client.request");
+            assert_eq!(root.context().trace, root.id());
+            {
+                let child = span!("client.encode");
+                assert_eq!(child.context().trace, root.context().trace);
+                assert_eq!(current_context().span, child.id());
+            }
+            remote_ctx = root.context();
+        }
+        assert!(!current_context().is_active(), "stack empty again");
+        {
+            // The "server side": adopts the wire context instead of
+            // minting a new trace.
+            let served = span_with_parent("serve.request", remote_ctx, vec![]);
+            assert_eq!(served.context().trace, remote_ctx.trace);
+            event!("serve.step");
+        }
+        drop(_g);
+        let events = c.events.lock().unwrap();
+        let trace = events[0].trace;
+        assert_ne!(trace, 0);
+        assert!(
+            events.iter().all(|e| e.trace == trace),
+            "every event in the causal chain shares one trace id"
+        );
+        let served_start = events
+            .iter()
+            .find(|e| e.name == "serve.request" && e.kind == EventKind::SpanStart)
+            .unwrap();
+        assert_eq!(served_start.parent, remote_ctx.span, "parents under the wire span");
+    }
+
+    #[test]
+    fn inactive_remote_context_falls_back_to_root() {
+        let c = Arc::new(VecCollector::default());
+        let _g = install(c.clone());
+        {
+            let s = span_with_parent("serve.request", TraceContext::default(), vec![]);
+            assert_eq!(s.context().trace, s.id(), "minted a fresh trace");
+        }
+        drop(_g);
+        assert_eq!(c.events.lock().unwrap()[0].parent, 0);
     }
 
     #[test]

@@ -207,6 +207,55 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Estimate the `q`-quantile sample (`q` in `[0, 1]`) by linear
+    /// interpolation *inside* the covering log₂ bucket, clamped to the
+    /// observed `[min, max]`. Much tighter than [`Self::quantile`]'s
+    /// bucket upper bound: the worst-case error is the bucket width
+    /// around the true value (a factor of 2), and in practice far less
+    /// because the clamp pins the tails to real samples. This is the
+    /// estimator `gsview-top` and the E19/E20 smoke gates use.
+    pub fn estimate(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Bucket i covers [2^(i-1), 2^i); bucket 0 is the
+                // exact value 0. Place the rank-th sample uniformly
+                // within the bucket (midpoint convention).
+                let lo = if i == 0 { 0.0 } else { bucket_upper(i - 1) as f64 };
+                let hi = bucket_upper(i) as f64;
+                let into = (rank - seen) as f64 - 0.5;
+                let frac = (into / c as f64).clamp(0.0, 1.0);
+                let est = lo + (hi - lo) * frac;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Interpolated median estimate (see [`Self::estimate`]).
+    pub fn p50(&self) -> u64 {
+        self.estimate(0.50)
+    }
+
+    /// Interpolated 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.estimate(0.90)
+    }
+
+    /// Interpolated 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.estimate(0.99)
+    }
 }
 
 /// A registry of named counters and histograms with consistent
@@ -413,6 +462,52 @@ mod tests {
         assert!(s.quantile(0.5) <= 4);
         assert_eq!(s.quantile(1.0), 1000);
         assert_eq!(Histogram::new("e").read().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn interpolated_estimates_track_known_distributions() {
+        // Uniform 1..=1000: within a log₂ bucket the samples really
+        // are uniform, so interpolation should land within a few
+        // percent of the exact order statistics (500 / 900 / 990).
+        let h = Histogram::new("u");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.read();
+        assert!((480..=520).contains(&s.p50()), "p50 = {}", s.p50());
+        assert!((850..=950).contains(&s.p90()), "p90 = {}", s.p90());
+        assert!((950..=1000).contains(&s.p99()), "p99 = {}", s.p99());
+        // Estimates are monotone in q and never exceed the max.
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+        assert!(s.p99() <= s.max);
+
+        // Constant distribution: the clamp pins every estimate to the
+        // one observed value, regardless of bucket width.
+        let c = Histogram::new("c");
+        for _ in 0..100 {
+            c.record(777);
+        }
+        let cs = c.read();
+        assert_eq!(cs.p50(), 777);
+        assert_eq!(cs.p99(), 777);
+        assert_eq!(cs.estimate(0.0), 777);
+        assert_eq!(cs.estimate(1.0), 777);
+
+        // Bimodal: 99 fast samples at ~16, one slow outlier at 4096.
+        // p50 sits in the fast mode; p99+ reaches toward the outlier
+        // without the coarse bucket bound's 2x overshoot.
+        let b = Histogram::new("b");
+        for _ in 0..99 {
+            b.record(16);
+        }
+        b.record(4096);
+        let bs = b.read();
+        assert!((16..=31).contains(&bs.p50()), "p50 = {}", bs.p50());
+        assert!(bs.estimate(0.995) >= 2048, "tail = {}", bs.estimate(0.995));
+        assert!(bs.estimate(1.0) <= 4096);
+
+        // Empty histogram estimates 0 everywhere.
+        assert_eq!(Histogram::new("e").read().p99(), 0);
     }
 
     #[test]

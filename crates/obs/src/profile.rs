@@ -89,6 +89,7 @@ mod tests {
             name,
             span: 1,
             parent: 0,
+            trace: 1,
             fields: vec![Field::new("elapsed_ns", ns)],
         }
     }

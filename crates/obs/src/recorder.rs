@@ -124,15 +124,27 @@ impl Collector for FlightRecorder {
 
     fn on_failure(&self, context: &str) {
         let events = self.drain();
+        // The event trace says *what happened*; the metrics say *how
+        // much* — a failure dump without counters has repeatedly
+        // proven blind, so take a torn-free snapshot of the global
+        // registry and ship both.
+        let metrics = crate::metrics::registry().snapshot();
         eprintln!(
             "=== flight recorder: {} event(s), {} evicted — {context} ===",
             events.len(),
             self.evicted()
         );
         eprint!("{}", export::human_table(&events));
+        let metrics_table = export::metrics_human_table(&metrics);
+        if !metrics_table.is_empty() {
+            eprintln!("=== metrics at failure ===");
+            eprint!("{metrics_table}");
+        }
         if let Ok(path) = std::env::var("OBS_DUMP_PATH") {
             if !path.is_empty() {
-                match std::fs::write(&path, export::json_lines(&events)) {
+                let mut dump = export::json_lines(&events);
+                dump.push_str(&export::metrics_json_lines(&metrics));
+                match std::fs::write(&path, dump) {
                     Ok(()) => eprintln!("flight recorder: JSON-lines dump written to {path}"),
                     Err(e) => eprintln!("flight recorder: could not write {path}: {e}"),
                 }
@@ -155,6 +167,7 @@ mod tests {
             name,
             span: 0,
             parent: 0,
+            trace: 0,
             fields: vec![Field::new("k", 1u64)],
         }
     }

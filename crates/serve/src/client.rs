@@ -27,7 +27,7 @@
 
 use crate::chaos::{chaos_write, WriteOutcome};
 use crate::frame::{encode_frame, FrameDecoder, DEFAULT_MAX_FRAME};
-use crate::msg::{Reply, ReplyBody, Request, RequestBody};
+use crate::msg::{Reply, ReplyBody, Request, RequestBody, ServedStats};
 use gsview_warehouse::protocol::{QueryFault, SourceQuery, SourceReply, UpdateReport};
 use gsview_warehouse::source::{QueryPort, ReportSource};
 use gsview_warehouse::{SocketChaosPolicy, SocketFault};
@@ -121,6 +121,14 @@ impl FrameClient {
         }
     }
 
+    /// Store statistics at the server's latest published epoch.
+    pub fn stats(&self) -> Result<ServedStats, QueryFault> {
+        match self.rpc(RequestBody::Stats)? {
+            ReplyBody::Stats(s) => Ok(s),
+            _ => Err(QueryFault::Unavailable),
+        }
+    }
+
     /// One request/reply round trip, re-dialing if the cached
     /// connection is gone. Any failure drops the connection.
     fn rpc(&self, body: RequestBody) -> Result<ReplyBody, QueryFault> {
@@ -139,7 +147,9 @@ impl FrameClient {
         }
         let id = st.next_id;
         st.next_id += 1;
-        let frame = encode_frame(&Request { id, body }.encode());
+        // Request::new stamps the calling thread's trace context into
+        // the frame, so the server's request span joins our trace.
+        let frame = encode_frame(&Request::new(id, body).encode());
 
         let fault = self
             .chaos

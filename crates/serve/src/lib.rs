@@ -62,10 +62,12 @@ pub mod msg;
 pub mod reactor;
 pub mod service;
 pub mod sys;
+pub mod telemetry;
 
 pub use chaos::{chaos_write, WriteOutcome};
 pub use client::FrameClient;
 pub use frame::{encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME};
-pub use msg::{Reply, ReplyBody, Request, RequestBody};
+pub use msg::{Reply, ReplyBody, Request, RequestBody, ServedStats};
 pub use reactor::{Admission, ServeConfig, Server, ServerHandle};
 pub use service::{ServeHandler, SourceService};
+pub use telemetry::{Harvest, TelemetryHub, TelemetryTail};

@@ -37,9 +37,10 @@
 //! retry machinery reconnect.
 
 use crate::frame::{encode_frame, FrameDecoder};
-use crate::msg::{Reply, ReplyBody, Request};
+use crate::msg::{Reply, ReplyBody, Request, RequestBody};
 use crate::service::ServeHandler;
 use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::telemetry::TelemetryHub;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -152,9 +153,24 @@ struct Conn {
     last_read: Instant,
     /// Last write progress (stalled-write sweep baseline).
     last_write: Instant,
+    /// `Some` once the peer sent [`RequestBody::Subscribe`]: the
+    /// reactor pushes telemetry batches here every pump tick.
+    subscriber: Option<Subscriber>,
     /// Per-connection span: ties every request event on this
     /// connection into one causal trace.
     _span: gsview_obs::SpanGuard,
+}
+
+/// Per-subscriber stream state: its own sequence numbers, its own
+/// miss accounting — one slow subscriber never affects another.
+#[derive(Debug, Default)]
+struct Subscriber {
+    /// Batches shipped to this subscriber so far (next batch is
+    /// `seq + 1`; consumers detect gaps against `dropped`).
+    seq: u64,
+    /// Spans this subscriber missed because its socket was backed up
+    /// when a batch was ready (batches are skipped, not queued).
+    skipped: u64,
 }
 
 impl Conn {
@@ -199,6 +215,26 @@ pub struct Server;
 impl Server {
     /// Bind `127.0.0.1:0` and start serving `handler` under `cfg`.
     pub fn spawn(handler: Arc<dyn ServeHandler>, cfg: ServeConfig) -> io::Result<ServerHandle> {
+        Server::spawn_inner(handler, cfg, None)
+    }
+
+    /// [`Server::spawn`] with live telemetry export: subscribers
+    /// (`Request::Subscribe`) receive batches harvested from `hub`
+    /// once per reactor tick. Install `hub.exporter()` as the obs
+    /// collector to feed it spans.
+    pub fn spawn_with_telemetry(
+        handler: Arc<dyn ServeHandler>,
+        cfg: ServeConfig,
+        hub: Arc<TelemetryHub>,
+    ) -> io::Result<ServerHandle> {
+        Server::spawn_inner(handler, cfg, Some(hub))
+    }
+
+    fn spawn_inner(
+        handler: Arc<dyn ServeHandler>,
+        cfg: ServeConfig,
+        hub: Option<Arc<TelemetryHub>>,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -207,7 +243,7 @@ impl Server {
         let join = std::thread::Builder::new()
             .name("gsview-serve".into())
             .spawn(move || {
-                if let Err(e) = reactor_loop(listener, handler, cfg, stop) {
+                if let Err(e) = reactor_loop(listener, handler, cfg, hub, stop) {
                     gsview_obs::event!("serve.reactor.error", "error" = e.to_string());
                 }
             })?;
@@ -223,6 +259,7 @@ fn reactor_loop(
     listener: TcpListener,
     handler: Arc<dyn ServeHandler>,
     cfg: ServeConfig,
+    hub: Option<Arc<TelemetryHub>>,
     shutdown: Arc<AtomicBool>,
 ) -> io::Result<()> {
     let epoll = Epoll::new()?;
@@ -240,6 +277,11 @@ fn reactor_loop(
     let reg = gsview_obs::registry();
     let read_timeout = Duration::from_millis(cfg.read_timeout_ms);
     let write_timeout = Duration::from_millis(cfg.write_timeout_ms);
+    // The pump is time-gated, not wake-gated: under request load the
+    // loop spins far faster than WAIT_MS, and harvesting on every
+    // wake would charge the hot path one queue sweep per request.
+    let pump_interval = Duration::from_millis(WAIT_MS as u64);
+    let mut last_pump = Instant::now();
 
     while !shutdown.load(Ordering::Acquire) {
         let n = epoll.wait(&mut events, WAIT_MS)?;
@@ -261,11 +303,11 @@ fn reactor_loop(
                 // window, so frames parked in the decoder while reads
                 // were suspended get served now.
                 close = flush(conn)
-                    .and_then(|()| serve_buffered(conn, &*handler, &cfg))
+                    .and_then(|()| serve_buffered(conn, &*handler, &cfg, hub.is_some()))
                     .err();
             }
             if close.is_none() && ready & (EPOLLIN | EPOLLRDHUP) != 0 {
-                close = pump_reads(conn, &*handler, &cfg).err();
+                close = pump_reads(conn, &*handler, &cfg, hub.is_some()).err();
             }
             match close {
                 Some(reason) => {
@@ -296,11 +338,78 @@ fn reactor_loop(
             close_conn(&epoll, &mut conns, token, reason);
             admit_parked(&epoll, &mut conns, &mut parked, &cfg);
         }
+        // Telemetry pump: harvest once per tick, fan out per
+        // subscriber. Runs after request work so batches reflect this
+        // tick's traffic.
+        if let Some(hub) = &hub {
+            if now.duration_since(last_pump) >= pump_interval {
+                last_pump = now;
+                pump_telemetry(hub, &epoll, &mut conns, &cfg);
+            }
+        }
+
         // Counters are monotonic; expose the active-connection level
         // as a histogram of per-tick observations instead.
         reg.histogram("serve.conns.active").record(conns.len() as u64);
     }
     Ok(())
+}
+
+/// Harvest the hub once and append a batch to every subscriber whose
+/// socket can take it. A backed-up subscriber *skips* the batch (the
+/// miss is counted, never queued), so pump cost per tick stays
+/// bounded by subscriber count — a slow consumer can't grow server
+/// memory or stall the loop.
+fn pump_telemetry(
+    hub: &TelemetryHub,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    cfg: &ServeConfig,
+) {
+    if !conns.values().any(|c| c.subscriber.is_some()) {
+        return;
+    }
+    let harvest = hub.collect();
+    if harvest.is_empty() {
+        return;
+    }
+    let reg = gsview_obs::registry();
+    let tokens: Vec<u64> = conns
+        .iter()
+        .filter(|(_, c)| c.subscriber.is_some())
+        .map(|(&t, _)| t)
+        .collect();
+    let mut broken = Vec::new();
+    for token in tokens {
+        let Some(conn) = conns.get_mut(&token) else {
+            continue;
+        };
+        let sub = conn.subscriber.as_mut().expect("filtered above");
+        if conn.write_buf.len() >= cfg.max_write_buf {
+            // Backpressure: skip, count, and tell the subscriber how
+            // much it missed in the next batch's `dropped`.
+            sub.skipped += harvest.spans.len() as u64;
+            reg.counter("obs.export.dropped").add(harvest.spans.len() as u64);
+            reg.counter("serve.telemetry.skipped").incr();
+            continue;
+        }
+        sub.seq += 1;
+        let batch = hub.batch_for(&harvest, sub.seq, harvest.queue_dropped + sub.skipped);
+        let reply = Reply {
+            id: 0,
+            body: ReplyBody::Telemetry(batch),
+        };
+        conn.write_buf.extend_from_slice(&encode_frame(&reply.encode()));
+        reg.counter("serve.telemetry.batches").incr();
+        if flush(conn).is_err() {
+            broken.push(token);
+        } else {
+            update_interest(epoll, conn, token, cfg);
+        }
+    }
+    for token in broken {
+        close_conn(epoll, conns, token, CloseReason::IoError);
+    }
 }
 
 fn accept_burst(
@@ -361,6 +470,7 @@ fn register(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, stream: TcpStream, cf
         registered: EPOLLIN | EPOLLRDHUP,
         last_read: Instant::now(),
         last_write: Instant::now(),
+        subscriber: None,
         _span: span,
     };
     if epoll
@@ -408,7 +518,12 @@ fn update_interest(epoll: &Epoll, conn: &mut Conn, token: u64, cfg: &ServeConfig
 
 /// Drain the socket into the decoder, then answer every complete
 /// frame the per-connection window allows.
-fn pump_reads(conn: &mut Conn, handler: &dyn ServeHandler, cfg: &ServeConfig) -> Result<(), CloseReason> {
+fn pump_reads(
+    conn: &mut Conn,
+    handler: &dyn ServeHandler,
+    cfg: &ServeConfig,
+    telemetry: bool,
+) -> Result<(), CloseReason> {
     let mut buf = [0u8; 16 << 10];
     loop {
         match conn.stream.read(&mut buf) {
@@ -417,7 +532,7 @@ fn pump_reads(conn: &mut Conn, handler: &dyn ServeHandler, cfg: &ServeConfig) ->
                 // buffered, then drop: replies to a half-closed peer
                 // are deliverable, but we keep it simple — the client
                 // treats the close as a fault and retries.
-                let _ = process_frames(conn, handler, cfg)?;
+                let _ = process_frames(conn, handler, cfg, telemetry)?;
                 return Err(CloseReason::Eof);
             }
             Ok(n) => {
@@ -429,7 +544,7 @@ fn pump_reads(conn: &mut Conn, handler: &dyn ServeHandler, cfg: &ServeConfig) ->
             Err(_) => return Err(CloseReason::IoError),
         }
     }
-    serve_buffered(conn, handler, cfg)
+    serve_buffered(conn, handler, cfg, telemetry)
 }
 
 /// Alternate answering and flushing until the decoder runs dry or the
@@ -441,9 +556,10 @@ fn serve_buffered(
     conn: &mut Conn,
     handler: &dyn ServeHandler,
     cfg: &ServeConfig,
+    telemetry: bool,
 ) -> Result<(), CloseReason> {
     loop {
-        let handled = process_frames(conn, handler, cfg)?;
+        let handled = process_frames(conn, handler, cfg, telemetry)?;
         flush(conn)?;
         if handled == 0 || !conn.write_buf.is_empty() {
             // Dry, or backpressured: EPOLLOUT continues the latter.
@@ -458,6 +574,7 @@ fn process_frames(
     conn: &mut Conn,
     handler: &dyn ServeHandler,
     cfg: &ServeConfig,
+    telemetry: bool,
 ) -> Result<usize, CloseReason> {
     let reg = gsview_obs::registry();
     let mut handled = 0;
@@ -479,11 +596,32 @@ fn process_frames(
                 return Err(CloseReason::DecodeError);
             }
         };
-        let started = Instant::now();
-        let reply = Reply {
-            id: req.id,
-            body: handler.handle(req.body),
+        // The request span adopts the trace context stamped into the
+        // frame, so a networked resync renders as ONE trace: client
+        // root span → this span → handler events.
+        let _span = if gsview_obs::enabled() {
+            gsview_obs::span_with_parent(
+                "serve.request",
+                req.context(),
+                vec![gsview_obs::Field::new("id", req.id)],
+            )
+        } else {
+            gsview_obs::SpanGuard::disabled()
         };
+        let started = Instant::now();
+        let body = match req.body {
+            // Subscriptions are transport state: flip the flag here
+            // and let the per-tick pump do the rest.
+            RequestBody::Subscribe if telemetry => {
+                conn.subscriber.get_or_insert_with(Subscriber::default);
+                ReplyBody::Subscribed
+            }
+            RequestBody::Subscribe => {
+                ReplyBody::Err("telemetry export not enabled on this server".into())
+            }
+            body => handler.handle(body),
+        };
+        let reply = Reply { id: req.id, body };
         reg.counter("serve.requests").incr();
         reg.histogram("serve.request.micros")
             .record(started.elapsed().as_micros() as u64);

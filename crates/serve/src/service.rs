@@ -9,7 +9,7 @@
 //! writers nothing), report polls and checkpoints delegate to the
 //! monitor, and `Epoch` reads the publication watermark.
 
-use crate::msg::{ReplyBody, RequestBody};
+use crate::msg::{ReplyBody, RequestBody, ServedStats};
 use gsview_warehouse::protocol::CostMeter;
 use gsview_warehouse::source::ReportSource;
 use gsview_warehouse::{answer, Source};
@@ -60,6 +60,15 @@ impl ServeHandler for SourceService {
             }
             RequestBody::Epoch => ReplyBody::Epoch(self.source.epoch()),
             RequestBody::Ping => ReplyBody::Pong,
+            RequestBody::Stats => {
+                // Like queries, stats measure the latest *published*
+                // epoch via the handle — never the live store's lock.
+                let (epoch, stats) = gsdb::stats_at(&self.source.epoch_handle());
+                ReplyBody::Stats(ServedStats::from_stats(epoch, &stats))
+            }
+            // Subscriptions are transport state, owned by the reactor;
+            // a handler reached directly can't honor one.
+            RequestBody::Subscribe => ReplyBody::Err("subscribe is handled by the reactor".into()),
         }
     }
 }

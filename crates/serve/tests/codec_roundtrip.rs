@@ -12,8 +12,9 @@
 //!    allocation blow-up.
 
 use gsdb::{AppliedUpdate, Atom, Label, Oid, Path, Value};
+use gsview_obs::telemetry::{CounterPoint, HistogramPoint, Resource, SpanRecord, TelemetryBatch};
 use gsview_serve::frame::{encode_frame, FrameDecoder, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC};
-use gsview_serve::msg::{Reply, ReplyBody, Request, RequestBody};
+use gsview_serve::msg::{Reply, ReplyBody, Request, RequestBody, ServedStats};
 use gsview_warehouse::protocol::{
     ObjectInfo, RootPathInfo, SourceQuery, SourceReply, UpdateReport,
 };
@@ -140,8 +141,111 @@ fn update_report() -> impl Strategy<Value = UpdateReport> {
         })
 }
 
+fn served_stats() -> impl Strategy<Value = ServedStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        // Finite means only: NaN breaks PartialEq, not the codec.
+        any::<i32>().prop_map(|v| v as f64 / 8.0),
+        prop::collection::vec(any::<u64>(), 0..8),
+    )
+        .prop_map(
+            |(
+                (epoch, objects, set_objects),
+                (atomic_objects, edges, max_fanout),
+                mean_fanout,
+                shard_occupancy,
+            )| {
+                ServedStats {
+                    epoch,
+                    objects,
+                    set_objects,
+                    atomic_objects,
+                    edges,
+                    max_fanout,
+                    mean_fanout,
+                    shard_occupancy,
+                }
+            },
+        )
+}
+
+fn span_record() -> impl Strategy<Value = SpanRecord> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        name(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        any::<bool>(),
+    )
+        .prop_map(
+            |((trace, span, parent), nm, (thread, start_ns, elapsed_ns), error)| SpanRecord {
+                trace,
+                span,
+                parent,
+                name: nm,
+                thread,
+                start_ns,
+                elapsed_ns,
+                error,
+            },
+        )
+}
+
+fn counter_point() -> impl Strategy<Value = CounterPoint> {
+    (name(), any::<u64>(), any::<u64>()).prop_map(|(nm, delta, total)| CounterPoint {
+        name: nm,
+        delta,
+        total,
+    })
+}
+
+fn histogram_point() -> impl Strategy<Value = HistogramPoint> {
+    (
+        name(),
+        any::<u64>(),
+        any::<u64>(),
+        (any::<u64>(), any::<u64>()),
+        prop::collection::vec((0..=64u8, any::<u64>()), 0..6),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(nm, count, sum, (min, max), buckets, (p50, p90, p99))| HistogramPoint {
+            name: nm,
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+            p50,
+            p90,
+            p99,
+        })
+}
+
+fn telemetry_batch() -> impl Strategy<Value = TelemetryBatch> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        (name(), any::<u32>()),
+        prop::collection::vec(span_record(), 0..4),
+        prop::collection::vec(counter_point(), 0..4),
+        prop::collection::vec(histogram_point(), 0..3),
+    )
+        .prop_map(|(seq, dropped, (service, pid), spans, counters, histograms)| {
+            TelemetryBatch {
+                seq,
+                dropped,
+                resource: Resource { service, pid },
+                spans,
+                counters,
+                histograms,
+            }
+        })
+}
+
 fn request() -> impl Strategy<Value = Request> {
     (
+        any::<u64>(),
+        any::<u64>(),
         any::<u64>(),
         prop_oneof![
             source_query().prop_map(RequestBody::Query),
@@ -149,9 +253,16 @@ fn request() -> impl Strategy<Value = Request> {
             Just(RequestBody::Checkpoint),
             Just(RequestBody::Epoch),
             Just(RequestBody::Ping),
+            Just(RequestBody::Subscribe),
+            Just(RequestBody::Stats),
         ],
     )
-        .prop_map(|(id, body)| Request { id, body })
+        .prop_map(|(id, trace, span, body)| Request {
+            id,
+            trace,
+            span,
+            body,
+        })
 }
 
 fn reply() -> impl Strategy<Value = Reply> {
@@ -168,6 +279,9 @@ fn reply() -> impl Strategy<Value = Reply> {
             Just(ReplyBody::Pong),
             Just(ReplyBody::Busy),
             name().prop_map(ReplyBody::Err),
+            Just(ReplyBody::Subscribed),
+            served_stats().prop_map(ReplyBody::Stats),
+            telemetry_batch().prop_map(ReplyBody::Telemetry),
         ],
     )
         .prop_map(|(id, body)| Reply { id, body })

@@ -150,6 +150,8 @@ fn server_absorbs_raw_socket_faults() {
     let frame = encode_frame(
         &Request {
             id: 1,
+            trace: 0,
+            span: 0,
             body: RequestBody::Ping,
         }
         .encode(),

@@ -57,6 +57,11 @@ fn forced_failure_dumps_span_chain_and_valid_json() {
     std::env::set_var("OBS_DUMP_PATH", &dump_path);
     let recorder = Arc::new(obs::FlightRecorder::with_capacity(8192));
     let _guard = obs::install(recorder.clone());
+    // Seed one histogram so the dump's quantile table has a row even
+    // in this counter-only scenario.
+    for v in [120u64, 340, 2700] {
+        obs::registry().histogram("test.failure.lat_us").record(v);
+    }
 
     // Report loss with a zero resync budget: gaps are detected, the
     // view goes permanently stale, and assert_recovers must fail.
@@ -122,10 +127,23 @@ fn forced_failure_dumps_span_chain_and_valid_json() {
     );
     let _ = report_span;
 
-    // The JSON-lines dump on disk is non-empty and schema-valid.
+    // The JSON-lines dump on disk is non-empty and schema-valid, and
+    // now carries the metrics snapshot alongside the event ring — a
+    // failure dump without counters was telemetry-blind.
     let text = std::fs::read_to_string(&dump_path).expect("OBS_DUMP_PATH must be written");
     let lines = obs::export::validate_json_lines(&text).expect("dump must be schema-valid");
     assert!(lines > 0, "dump file must be non-empty");
-    assert_eq!(lines, dump.len(), "file and ring dumps must agree");
+    assert!(
+        lines >= dump.len(),
+        "file dump must contain at least every ring event"
+    );
+    assert!(
+        text.lines().any(|l| l.contains("\"kind\":\"counter\"")),
+        "dump must include counter metric lines"
+    );
+    assert!(
+        text.lines().any(|l| l.contains("\"kind\":\"histogram\"")),
+        "dump must include histogram metric lines with quantile estimates"
+    );
     std::fs::remove_file(&dump_path).ok();
 }

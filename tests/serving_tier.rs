@@ -219,6 +219,8 @@ fn pipelined_burst_drains_through_the_in_flight_window() {
         bytes.extend_from_slice(&encode_frame(
             &Request {
                 id,
+                trace: 0,
+                span: 0,
                 body: RequestBody::Epoch,
             }
             .encode(),
